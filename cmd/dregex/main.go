@@ -1,0 +1,167 @@
+// Command dregex checks determinism of regular expressions and matches
+// words against them, exposing every algorithm of the paper.
+//
+// Usage:
+//
+//	dregex [flags] EXPR [WORD...]
+//
+// With math syntax (default) each WORD is a string of single-rune symbols;
+// with -dtd each WORD is a comma-separated list of names. With no WORD
+// arguments and -stdin, whitespace-separated symbol names are matched from
+// standard input in one streaming pass.
+//
+// Flags:
+//
+//	-dtd        parse EXPR as a DTD content model
+//	-algo A     matching algorithm: auto, kore, colored, colored-binary,
+//	            pathdecomp, starfree-scan, climbing, nfa
+//	-numeric    allow numeric occurrence indicators e{m,n} (§3.3 engine)
+//	-explain    print a counterexample word for nondeterministic EXPR
+//	-stats      print structural statistics
+//	-stdin      match tokens from standard input
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dregex"
+)
+
+func main() {
+	var (
+		dtdSyntax = flag.Bool("dtd", false, "parse EXPR as a DTD content model")
+		algoName  = flag.String("algo", "auto", "matching algorithm")
+		numericOn = flag.Bool("numeric", false, "allow numeric occurrence indicators")
+		explain   = flag.Bool("explain", false, "explain nondeterminism")
+		stats     = flag.Bool("stats", false, "print structural statistics")
+		stdin     = flag.Bool("stdin", false, "match tokens from standard input")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: dregex [flags] EXPR [WORD...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src := flag.Arg(0)
+	syntax := dregex.Math
+	if *dtdSyntax {
+		syntax = dregex.DTD
+	}
+
+	if *numericOn {
+		runNumeric(src, syntax, flag.Args()[1:], *dtdSyntax)
+		return
+	}
+
+	e, err := dregex.Compile(src, syntax)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("expression: %s\n", e)
+	fmt.Printf("deterministic: %v\n", e.IsDeterministic())
+	if !e.IsDeterministic() && *explain {
+		if amb := e.Explain(); amb != nil {
+			fmt.Printf("ambiguity: rule %s on symbol %q, witness word %s\n",
+				amb.Rule, amb.Symbol, strings.Join(amb.Word, " "))
+		}
+	}
+	if *stats {
+		st := e.Stats()
+		fmt.Printf("size=%d positions=%d sigma=%d k=%d alternation-depth=%d star-free=%v depth=%d\n",
+			st.Size, st.Positions, st.Sigma, st.K, st.AlternationDepth, st.StarFree, st.Depth)
+	}
+
+	words := flag.Args()[1:]
+	if len(words) == 0 && !*stdin {
+		return
+	}
+	algo, ok := parseAlgo(*algoName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "error: unknown algorithm %q\n", *algoName)
+		os.Exit(2)
+	}
+	m, err := e.Matcher(algo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("algorithm: %v\n", m.Algorithm())
+	for _, w := range words {
+		var verdict bool
+		if *dtdSyntax {
+			verdict = m.MatchSymbols(splitWord(w))
+		} else {
+			verdict = m.MatchText(w)
+		}
+		fmt.Printf("%-30q %v\n", w, verdict)
+	}
+	if *stdin {
+		okStream, err := m.MatchReaderTokens(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("stdin: %v\n", okStream)
+	}
+}
+
+func runNumeric(src string, syntax dregex.Syntax, words []string, dtdSyntax bool) {
+	e, err := dregex.CompileNumeric(src, syntax)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("deterministic: %v\n", e.IsDeterministic())
+	if !e.IsDeterministic() {
+		fmt.Printf("rule: %s\n", e.Rule())
+	}
+	st := e.IterationStats()
+	fmt.Printf("iterations=%d flexible=%d unbounded=%v\n", st.Iterations, st.Flexible, st.Unbounded)
+	for _, w := range words {
+		var verdict bool
+		if dtdSyntax {
+			verdict = e.MatchSymbols(splitWord(w))
+		} else {
+			verdict = e.MatchText(w)
+		}
+		fmt.Printf("%-30q %v\n", w, verdict)
+	}
+}
+
+// splitWord splits a comma- or space-separated word of names.
+func splitWord(w string) []string {
+	f := strings.FieldsFunc(w, func(r rune) bool { return r == ',' || r == ' ' })
+	out := f[:0]
+	for _, s := range f {
+		if s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func parseAlgo(name string) (dregex.Algorithm, bool) {
+	switch name {
+	case "auto":
+		return dregex.Auto, true
+	case "kore":
+		return dregex.KORE, true
+	case "colored":
+		return dregex.Colored, true
+	case "colored-binary":
+		return dregex.ColoredBinary, true
+	case "pathdecomp":
+		return dregex.PathDecomp, true
+	case "starfree-scan":
+		return dregex.StarFreeScan, true
+	case "climbing":
+		return dregex.Climbing, true
+	case "nfa":
+		return dregex.NFA, true
+	}
+	return dregex.Auto, false
+}

@@ -1,0 +1,58 @@
+// Command dtdlint checks every content model of a DTD for determinism —
+// the XML well-formedness requirement the paper's Theorem 3.5 decides in
+// linear time — and reports the structural parameters (occurrence bound k,
+// alternation depth c_e) that govern matching complexity.
+//
+// Usage:
+//
+//	dtdlint FILE.dtd
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dregex/internal/ast"
+	"dregex/internal/dtd"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: dtdlint FILE.dtd")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	d, err := dtd.Parse(string(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-16s %-9s %-14s %3s %3s  %s\n", "ELEMENT", "KIND", "DETERMINISTIC", "k", "ce", "MODEL")
+	for _, name := range d.Order {
+		el := d.Elements[name]
+		k, ce := "-", "-"
+		if el.Kind == dtd.Children {
+			k = fmt.Sprint(ast.MaxOccurrence(el.Expr))
+			ce = fmt.Sprint(ast.AlternationDepth(el.Expr))
+		}
+		det := "yes"
+		if !el.Deterministic {
+			det = "NO (" + el.Rule + ")"
+		}
+		fmt.Printf("%-16s %-9s %-14s %3s %3s  %s\n", name, el.Kind, det, k, ce, el.Model)
+	}
+	issues := d.Check()
+	if len(issues) == 0 {
+		fmt.Println("\nno issues")
+		return
+	}
+	fmt.Printf("\n%d issue(s):\n", len(issues))
+	for _, is := range issues {
+		fmt.Printf("  %s: %s\n", is.Element, is.Msg)
+	}
+	os.Exit(1)
+}

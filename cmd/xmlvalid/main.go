@@ -1,0 +1,61 @@
+// Command xmlvalid validates XML documents against a DTD's content models,
+// using the paper's streaming transition simulators (each element's child
+// sequence is checked in one pass with O(1) state per open element).
+//
+// Usage:
+//
+//	xmlvalid -dtd FILE.dtd DOC.xml [DOC.xml...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dregex/internal/dtd"
+)
+
+func main() {
+	dtdPath := flag.String("dtd", "", "DTD file with <!ELEMENT> declarations")
+	flag.Parse()
+	if *dtdPath == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: xmlvalid -dtd FILE.dtd DOC.xml...")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*dtdPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	d, err := dtd.Parse(string(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	exit := 0
+	for _, doc := range flag.Args() {
+		f, err := os.Open(doc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			exit = 1
+			continue
+		}
+		errs, err := d.Validate(f)
+		f.Close()
+		if err != nil {
+			fmt.Printf("%s: %v\n", doc, err)
+			exit = 1
+			continue
+		}
+		if len(errs) == 0 {
+			fmt.Printf("%s: valid\n", doc)
+			continue
+		}
+		exit = 1
+		fmt.Printf("%s: %d error(s)\n", doc, len(errs))
+		for _, e := range errs {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+	os.Exit(exit)
+}

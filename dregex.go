@@ -1,0 +1,212 @@
+// Package dregex is a library for deterministic regular expressions — the
+// class required of content models in DTDs and XML Schema — implementing
+// the algorithms of Groz, Maneth and Staworko, "Deterministic Regular
+// Expressions in Linear Time" (PODS 2012):
+//
+//   - determinism (one-unambiguity) testing in O(|e|) time (Theorem 3.5),
+//     with counterexample diagnosis;
+//   - word matching by transition simulation in O(|e| + |w|·f) time with
+//     f = k for k-occurrence expressions (Theorem 4.3), f = c_e for
+//     bounded union/concatenation alternation depth (Theorem 4.10), and
+//     f = log log |e| for arbitrary deterministic expressions
+//     (Theorem 4.2);
+//   - batch matching of many words against star-free expressions in
+//     combined linear time (Theorem 4.12);
+//   - determinism testing with XML-Schema numeric occurrence indicators
+//     e{m,n} in O(|e|) (§3.3).
+//
+// Two concrete syntaxes are accepted: the paper's mathematical notation
+// ("(ab+b(b?)a)*", one rune per symbol) and DTD content-model notation
+// ("(title, author+, (section | appendix)*)"). All matchers are streaming:
+// input is consumed symbol by symbol in one pass.
+package dregex
+
+import (
+	"errors"
+	"fmt"
+
+	"dregex/internal/ast"
+	"dregex/internal/determinism"
+	"dregex/internal/follow"
+	"dregex/internal/parsetree"
+	"dregex/internal/skeleton"
+)
+
+// Syntax selects the concrete syntax accepted by Compile.
+type Syntax int
+
+// Concrete syntaxes.
+const (
+	// Math is the paper's notation: single-rune symbols, juxtaposition
+	// for concatenation, + for union, postfix * ? {m,n}.
+	Math Syntax = iota
+	// DTD is XML content-model notation: multi-rune names, ',' for
+	// concatenation, '|' for union, postfix * ? + {m,n}.
+	DTD
+)
+
+// Expr is a compiled expression. It is immutable and safe for concurrent
+// use once compiled.
+type Expr struct {
+	source string
+	syntax Syntax
+	alpha  *ast.Alphabet
+	root   *ast.Node // normalized, plus-desugared user expression
+	tree   *parsetree.Tree
+	fol    *follow.Index
+	sks    *skeleton.Skeletons
+	det    *determinism.Result
+}
+
+// ErrNumericIndicator is returned by Compile for expressions with numeric
+// occurrence indicators beyond e+ — use CompileNumeric (package numeric's
+// pipeline) for those.
+var ErrNumericIndicator = errors.New("dregex: numeric occurrence indicators require CompileNumeric")
+
+// Compile parses, normalizes (rules R1–R3 of the paper) and preprocesses an
+// expression: LCA structures, the Lemma 2.3 pointers, the §3.1 skeleta and
+// the linear determinism test all run here, in O(|e|) total. The e+
+// postfix of DTD syntax is desugared to e·e* (determinism-preserving);
+// other numeric bounds are rejected — see CompileNumeric.
+func Compile(source string, syntax Syntax) (*Expr, error) {
+	alpha := ast.NewAlphabet()
+	var root *ast.Node
+	var err error
+	switch syntax {
+	case Math:
+		root, err = ast.ParseMath(source, alpha)
+	case DTD:
+		root, err = ast.ParseDTD(source, alpha)
+	default:
+		return nil, fmt.Errorf("dregex: unknown syntax %d", syntax)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return compileAST(source, syntax, root, alpha)
+}
+
+func compileAST(source string, syntax Syntax, root *ast.Node, alpha *ast.Alphabet) (*Expr, error) {
+	root = ast.Normalize(ast.DesugarPlus(ast.Normalize(root)))
+	if err := ast.ValidatePlain(root); err != nil {
+		return nil, ErrNumericIndicator
+	}
+	tree, err := parsetree.Build(root, alpha)
+	if err != nil {
+		return nil, err
+	}
+	fol := follow.New(tree)
+	sks := skeleton.Build(tree, fol, skeleton.Options{})
+	det := determinism.CheckSkeletons(tree, sks, false)
+	return &Expr{
+		source: source,
+		syntax: syntax,
+		alpha:  alpha,
+		root:   root,
+		tree:   tree,
+		fol:    fol,
+		sks:    sks,
+		det:    det,
+	}, nil
+}
+
+// MustCompile is Compile that panics on error, for tests and constants.
+func MustCompile(source string, syntax Syntax) *Expr {
+	e, err := Compile(source, syntax)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Source returns the original expression text.
+func (e *Expr) Source() string { return e.source }
+
+// String renders the normalized expression in its own syntax.
+func (e *Expr) String() string {
+	if e.syntax == DTD {
+		return ast.StringDTD(e.root, e.alpha)
+	}
+	return ast.StringMath(e.root, e.alpha)
+}
+
+// IsDeterministic reports whether the expression is deterministic
+// (one-unambiguous); the verdict was computed at compile time in O(|e|).
+func (e *Expr) IsDeterministic() bool { return e.det.Deterministic }
+
+// Ambiguity describes why an expression is nondeterministic: a word w and
+// the two distinct positions of symbol Symbol that can both consume its
+// last letter.
+type Ambiguity struct {
+	// Rule is the internal condition that fired ("P1", "P2", "W-N", …).
+	Rule string
+	// Symbol is the doubly-matchable symbol name.
+	Symbol string
+	// Word is a shortest witness word (as symbol names) whose last letter
+	// is ambiguous; nil if the verdict predates diagnosis.
+	Word []string
+}
+
+// Explain returns a verified counterexample for a nondeterministic
+// expression (nil for deterministic ones). Diagnosis may take
+// O(|Pos(e)|²); the verdict itself is always linear.
+func (e *Expr) Explain() *Ambiguity {
+	if e.det.Deterministic {
+		return nil
+	}
+	w := determinism.Diagnose(e.tree, e.fol, e.det)
+	if w == nil {
+		return &Ambiguity{Rule: e.det.Rule}
+	}
+	amb := &Ambiguity{
+		Rule:   e.det.Rule,
+		Symbol: e.tree.Label(w.Q1),
+	}
+	for _, s := range determinism.ShortestWitnessWord(e.tree, e.fol, w) {
+		amb.Word = append(amb.Word, e.alpha.Name(s))
+	}
+	return amb
+}
+
+// Stats summarizes the structural parameters the paper's complexity bounds
+// depend on.
+type Stats struct {
+	// Size is the parse-tree node count including the (R1) wrapper.
+	Size int
+	// Positions is |Pos(e)| excluding the phantom # and $.
+	Positions int
+	// Sigma is the number of distinct symbols.
+	Sigma int
+	// K is the maximal occurrence count of any symbol (k-ORE parameter).
+	K int
+	// AlternationDepth is c_e, the maximal +/⊙ alternation depth.
+	AlternationDepth int
+	// StarFree reports absence of ∗.
+	StarFree bool
+	// Depth is the parse-tree depth.
+	Depth int
+	// Deterministic mirrors IsDeterministic.
+	Deterministic bool
+}
+
+// Stats computes the structural summary.
+func (e *Expr) Stats() Stats {
+	s := Stats{
+		Size:             e.tree.N(),
+		Positions:        e.tree.NumPositions() - 2,
+		Sigma:            e.alpha.UserSize(),
+		K:                ast.MaxOccurrence(e.root),
+		AlternationDepth: ast.AlternationDepth(e.root),
+		StarFree:         !ast.HasStar(e.root),
+		Deterministic:    e.det.Deterministic,
+	}
+	for n := int32(0); n < int32(e.tree.N()); n++ {
+		if d := int(e.tree.Depth[n]); d > s.Depth {
+			s.Depth = d
+		}
+	}
+	return s
+}
+
+// Symbols returns the distinct symbol names of the expression.
+func (e *Expr) Symbols() []string { return e.alpha.Names() }

@@ -1,0 +1,62 @@
+// DTD validation: lint a publishing DTD for nondeterministic content
+// models, then validate documents against it with streaming matchers.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"dregex/internal/dtd"
+)
+
+const bookDTD = `
+<!ELEMENT book (title, author+, chapter+, appendix*)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT chapter (title, (para | figure)*)>
+<!ELEMENT appendix (title, para*)>
+<!ELEMENT para (#PCDATA | em | code)*>
+<!ELEMENT em (#PCDATA)>
+<!ELEMENT code EMPTY>
+<!ELEMENT figure EMPTY>
+`
+
+const goodDoc = `<book>
+  <title>Deterministic Regular Expressions</title>
+  <author>Groz</author><author>Maneth</author><author>Staworko</author>
+  <chapter>
+    <title>Introduction</title>
+    <para>Content models must be <em>deterministic</em>.</para>
+    <figure/>
+  </chapter>
+  <appendix><title>Proofs</title><para>…</para></appendix>
+</book>`
+
+const badDoc = `<book>
+  <author>Missing Title</author>
+  <chapter><title>c</title><para><figure/></para></chapter>
+</book>`
+
+func main() {
+	d, err := dtd.Parse(bookDTD)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("parsed %d element declarations; lint issues: %d\n",
+		len(d.Elements), len(d.Check()))
+
+	for name, doc := range map[string]string{"good": goodDoc, "bad": badDoc} {
+		errs, err := d.Validate(strings.NewReader(doc))
+		if err != nil {
+			panic(err)
+		}
+		if len(errs) == 0 {
+			fmt.Printf("%s document: valid\n", name)
+			continue
+		}
+		fmt.Printf("%s document: %d violation(s)\n", name, len(errs))
+		for _, e := range errs {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: compile an expression, test determinism, explain an
+// ambiguity, and match words with the paper's algorithms.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"dregex"
+)
+
+func main() {
+	// Example 2.1 of the paper: e1 is deterministic, e2 is not.
+	e1 := dregex.MustCompile("(ab+b(b?)a)*", dregex.Math)
+	e2 := dregex.MustCompile("(a*ba+bb)*", dregex.Math)
+	fmt.Printf("e1 = %s  deterministic: %v\n", e1, e1.IsDeterministic())
+	fmt.Printf("e2 = %s  deterministic: %v\n", e2, e2.IsDeterministic())
+
+	// Linear-time diagnosis: why is e2 nondeterministic?
+	if amb := e2.Explain(); amb != nil {
+		fmt.Printf("e2 ambiguity: after %q the next %q matches two positions (rule %s)\n",
+			strings.Join(amb.Word[:len(amb.Word)-1], ""), amb.Symbol, amb.Rule)
+	}
+
+	// Match words with the automatically selected engine.
+	m, err := e1.Matcher(dregex.Auto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engine: %v\n", m.Algorithm())
+	for _, w := range []string{"abbaab", "abba", ""} {
+		fmt.Printf("e1 matches %-8q -> %v\n", w, m.MatchText(w))
+	}
+
+	// DTD content models use names and | , instead of + and juxtaposition.
+	cm := dregex.MustCompile("(title, author+, (section | appendix)*)", dregex.DTD)
+	all, err := cm.MatchAll([][]string{
+		{"title", "author", "section"},
+		{"title", "section"},
+	}, dregex.Auto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("content model %s: %v\n", cm, all)
+
+	// Numeric occurrence indicators (XML Schema): linear-time determinism
+	// even with astronomic bounds.
+	n, err := dregex.CompileNumeric("(ab){2}a(b+d)", dregex.Math)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(ab){2}a(b+d) deterministic: %v, ababab -> %v\n",
+		n.IsDeterministic(), n.MatchText("ababab"))
+	big, err := dregex.CompileNumeric("(a{2,1000000000}b)*", dregex.Math)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(a{2,10^9}b)* deterministic: %v (decided without unrolling)\n",
+		big.IsDeterministic())
+}

@@ -1,0 +1,48 @@
+// Streaming match: validate a long event stream against a deterministic
+// protocol expression in one pass with O(1) state — the paper's
+// "streamable" property (§1). The stream is never buffered.
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"dregex"
+)
+
+// protocol: a session is login, then any number of queries each optionally
+// followed by a page of results, then logout:
+//
+//	login, (query, (page, page*)?)*, logout
+func main() {
+	e := dregex.MustCompile("(login, (query, page*)*, logout)", dregex.DTD)
+	fmt.Printf("protocol %s deterministic: %v\n", e, e.IsDeterministic())
+	m, err := e.Matcher(dregex.PathDecomp)
+	if err != nil {
+		panic(err)
+	}
+
+	// Simulate a long stream through an io.Pipe: the producer emits 3
+	// million events; the consumer validates them as they arrive.
+	r, w := io.Pipe()
+	go func() {
+		defer w.Close()
+		io.WriteString(w, "login\n")
+		for i := 0; i < 1_000_000; i++ {
+			io.WriteString(w, "query page page ")
+		}
+		io.WriteString(w, "logout\n")
+	}()
+	ok, err := m.MatchReaderTokens(r)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("3M-event stream valid: %v\n", ok)
+
+	// Incremental API: inspect acceptance prefix by prefix.
+	s := m.Stream()
+	for _, ev := range []string{"login", "query", "logout"} {
+		s.FeedName(ev)
+		fmt.Printf("after %-7s alive=%v accepts=%v\n", ev, s.Alive(), s.Accepts())
+	}
+}

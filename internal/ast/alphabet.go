@@ -1,0 +1,81 @@
+package ast
+
+import "fmt"
+
+// Symbol is a dense interned identifier for an alphabet symbol. The two
+// phantom markers required by rule (R1) of the paper — # at the beginning
+// and $ at the end of every expression — occupy the first two ids so that
+// every compiled expression shares their encoding.
+type Symbol int32
+
+// Reserved symbols. Begin is the phantom symbol # and End is the phantom
+// symbol $ of rule (R1); user symbols start at FirstUser.
+const (
+	Begin Symbol = 0
+	End   Symbol = 1
+	// FirstUser is the first id handed out for a user symbol.
+	FirstUser Symbol = 2
+)
+
+// BeginName and EndName are the display names of the phantom markers.
+const (
+	BeginName = "#"
+	EndName   = "$"
+)
+
+// Alphabet interns symbol names to dense Symbol ids. The zero value is not
+// usable; call NewAlphabet.
+type Alphabet struct {
+	names []string
+	ids   map[string]Symbol
+}
+
+// NewAlphabet returns an empty alphabet with the phantom markers # and $
+// pre-interned.
+func NewAlphabet() *Alphabet {
+	a := &Alphabet{
+		names: []string{BeginName, EndName},
+		ids:   map[string]Symbol{BeginName: Begin, EndName: End},
+	}
+	return a
+}
+
+// Intern returns the id for name, allocating a fresh one on first use.
+func (a *Alphabet) Intern(name string) Symbol {
+	if id, ok := a.ids[name]; ok {
+		return id
+	}
+	id := Symbol(len(a.names))
+	a.names = append(a.names, name)
+	a.ids[name] = id
+	return id
+}
+
+// Lookup returns the id for name and whether it has been interned.
+func (a *Alphabet) Lookup(name string) (Symbol, bool) {
+	id, ok := a.ids[name]
+	return id, ok
+}
+
+// Name returns the display name of s. It panics if s was never interned.
+func (a *Alphabet) Name(s Symbol) string {
+	if int(s) < 0 || int(s) >= len(a.names) {
+		panic(fmt.Sprintf("ast.Alphabet.Name: unknown symbol %d", s))
+	}
+	return a.names[s]
+}
+
+// Size returns the number of interned symbols including # and $.
+func (a *Alphabet) Size() int { return len(a.names) }
+
+// UserSize returns σ, the number of distinct user symbols.
+func (a *Alphabet) UserSize() int { return len(a.names) - 2 }
+
+// Names returns the display names of all user symbols in id order.
+func (a *Alphabet) Names() []string {
+	out := make([]string, 0, a.UserSize())
+	for _, n := range a.names[FirstUser:] {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,299 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+	"unicode/utf8"
+)
+
+// ParseError describes a syntax error with its byte offset in the input.
+type ParseError struct {
+	Input  string
+	Offset int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("parse %q at offset %d: %s", e.Input, e.Offset, e.Msg)
+}
+
+// ParseMath parses the paper's mathematical notation, in which every
+// letter or digit is a single-character symbol, juxtaposition denotes
+// concatenation, + denotes union, and *, ? and {i,j} are postfix. Examples:
+//
+//	(ab+b(b?)a)*        (a*ba+bb)*       (a{2,3}+b){2}b
+//
+// Whitespace is ignored. Symbols are interned into alpha.
+func ParseMath(input string, alpha *Alphabet) (*Node, error) {
+	p := &parser{input: input, alpha: alpha, math: true}
+	return p.parseTop()
+}
+
+// ParseDTD parses XML-DTD content-model notation: multi-character names,
+// ',' for concatenation, '|' for union, postfix *, ?, + and the XML-Schema
+// style {i,j}. Examples:
+//
+//	(title, author+, (section | appendix)*)
+//	(a | b)*, c?
+//
+// Whitespace is ignored. Names are interned into alpha. The one-or-more
+// postfix e+ is represented as the numeric iteration e{1,∞}; Normalize (or
+// DesugarPlus) rewrites it for the plain-operator pipeline.
+func ParseDTD(input string, alpha *Alphabet) (*Node, error) {
+	p := &parser{input: input, alpha: alpha, math: false}
+	return p.parseTop()
+}
+
+type parser struct {
+	input string
+	pos   int
+	alpha *Alphabet
+	math  bool
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &ParseError{Input: p.input, Offset: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) {
+		r, w := utf8.DecodeRuneInString(p.input[p.pos:])
+		if !unicode.IsSpace(r) {
+			return
+		}
+		p.pos += w
+	}
+}
+
+func (p *parser) peek() rune {
+	if p.pos >= len(p.input) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(p.input[p.pos:])
+	return r
+}
+
+func (p *parser) advance() rune {
+	r, w := utf8.DecodeRuneInString(p.input[p.pos:])
+	p.pos += w
+	return r
+}
+
+func (p *parser) parseTop() (*Node, error) {
+	p.skipSpace()
+	if p.pos >= len(p.input) {
+		return nil, p.errf("empty expression")
+	}
+	e, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.input) {
+		return nil, p.errf("unexpected %q", p.peek())
+	}
+	return e, nil
+}
+
+func (p *parser) unionRune() rune {
+	if p.math {
+		return '+'
+	}
+	return '|'
+}
+
+func (p *parser) parseUnion() (*Node, error) {
+	e, err := p.parseCat()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() != p.unionRune() {
+			return e, nil
+		}
+		p.advance()
+		r, err := p.parseCat()
+		if err != nil {
+			return nil, err
+		}
+		e = Union(e, r)
+	}
+}
+
+func (p *parser) parseCat() (*Node, error) {
+	e, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.math {
+			// Juxtaposition: stop at operators and closers.
+			switch p.peek() {
+			case 0, ')', '+', '|':
+				return e, nil
+			}
+		} else {
+			if p.peek() != ',' {
+				return e, nil
+			}
+			p.advance()
+		}
+		r, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		e = Cat(e, r)
+	}
+}
+
+func (p *parser) parsePostfix() (*Node, error) {
+	e, err := p.parseBase()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case '*':
+			p.advance()
+			e = Star(e)
+		case '?':
+			p.advance()
+			e = Opt(e)
+		case '+':
+			if p.math {
+				return e, nil // union operator, handled above
+			}
+			p.advance()
+			e = Iter(e, 1, Unbounded)
+		case '{':
+			min, max, err := p.parseBounds()
+			if err != nil {
+				return nil, err
+			}
+			e = Iter(e, min, max)
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parseBounds() (min, max int, err error) {
+	p.advance() // '{'
+	p.skipSpace()
+	min, err = p.parseInt()
+	if err != nil {
+		return 0, 0, err
+	}
+	max = min
+	p.skipSpace()
+	if p.peek() == ',' {
+		p.advance()
+		p.skipSpace()
+		if p.peek() == '}' {
+			max = Unbounded
+		} else {
+			max, err = p.parseInt()
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	p.skipSpace()
+	if p.peek() != '}' {
+		return 0, 0, p.errf("expected '}' in bounds")
+	}
+	p.advance()
+	if max != Unbounded && max < min {
+		return 0, 0, p.errf("bounds {%d,%d}: max < min", min, max)
+	}
+	if max == 0 {
+		return 0, 0, p.errf("bounds {%d,%d}: max must be positive", min, max)
+	}
+	return min, max, nil
+}
+
+func (p *parser) parseInt() (int, error) {
+	start := p.pos
+	for p.pos < len(p.input) && p.input[p.pos] >= '0' && p.input[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, p.errf("expected number")
+	}
+	n, err := strconv.Atoi(p.input[start:p.pos])
+	if err != nil {
+		return 0, p.errf("bad number: %v", err)
+	}
+	return n, nil
+}
+
+func (p *parser) parseBase() (*Node, error) {
+	p.skipSpace()
+	r := p.peek()
+	switch {
+	case r == 0:
+		return nil, p.errf("unexpected end of expression")
+	case r == '(':
+		p.advance()
+		e, err := p.parseUnion()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, p.errf("expected ')'")
+		}
+		p.advance()
+		return e, nil
+	case r == '#' || r == '$':
+		return nil, p.errf("symbol %q is reserved by rule (R1)", r)
+	case p.math && (unicode.IsLetter(r) || unicode.IsDigit(r)):
+		p.advance()
+		return Sym(p.alpha.Intern(string(r))), nil
+	case !p.math && isNameStart(r):
+		start := p.pos
+		p.advance()
+		for isNameRune(p.peek()) {
+			p.advance()
+		}
+		name := p.input[start:p.pos]
+		if name == "#PCDATA" {
+			return nil, p.errf("#PCDATA is only valid in mixed content (handled by package dtd)")
+		}
+		return Sym(p.alpha.Intern(name)), nil
+	default:
+		return nil, p.errf("unexpected %q", r)
+	}
+}
+
+func isNameStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == ':' || r == '#'
+}
+
+func isNameRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) ||
+		r == '_' || r == ':' || r == '-' || r == '.'
+}
+
+// MustParseMath is ParseMath that panics on error; intended for tests and
+// examples with literal expressions.
+func MustParseMath(input string, alpha *Alphabet) *Node {
+	e, err := ParseMath(input, alpha)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// MustParseDTD is ParseDTD that panics on error.
+func MustParseDTD(input string, alpha *Alphabet) *Node {
+	e, err := ParseDTD(input, alpha)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}

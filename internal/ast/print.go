@@ -1,0 +1,91 @@
+package ast
+
+import (
+	"strconv"
+	"strings"
+)
+
+// operator binding strength for printing: union < cat < postfix.
+const (
+	precUnion = iota
+	precCat
+	precPostfix
+)
+
+// StringMath renders e in the paper's mathematical notation. Symbols whose
+// names are longer than one rune are wrapped in parentheses-free DTD style
+// and therefore only round-trip through StringDTD.
+func StringMath(e *Node, alpha *Alphabet) string {
+	var b strings.Builder
+	printExpr(&b, e, alpha, true, precUnion)
+	return b.String()
+}
+
+// StringDTD renders e in DTD content-model notation.
+func StringDTD(e *Node, alpha *Alphabet) string {
+	var b strings.Builder
+	printExpr(&b, e, alpha, false, precUnion)
+	return b.String()
+}
+
+func printExpr(b *strings.Builder, e *Node, alpha *Alphabet, math bool, outer int) {
+	if e == nil {
+		b.WriteString("<nil>")
+		return
+	}
+	prec := nodePrec(e)
+	if prec < outer {
+		b.WriteByte('(')
+		defer b.WriteByte(')')
+	}
+	switch e.Kind {
+	case KSym:
+		b.WriteString(alpha.Name(e.Sym))
+	case KCat:
+		printExpr(b, e.L, alpha, math, precCat)
+		if !math {
+			b.WriteByte(',')
+		}
+		printExpr(b, e.R, alpha, math, precCat+1)
+	case KUnion:
+		printExpr(b, e.L, alpha, math, precUnion)
+		if math {
+			b.WriteByte('+')
+		} else {
+			b.WriteByte('|')
+		}
+		printExpr(b, e.R, alpha, math, precUnion+1)
+	case KOpt:
+		printExpr(b, e.L, alpha, math, precPostfix)
+		b.WriteByte('?')
+	case KStar:
+		printExpr(b, e.L, alpha, math, precPostfix)
+		b.WriteByte('*')
+	case KIter:
+		printExpr(b, e.L, alpha, math, precPostfix)
+		if !math && e.Min == 1 && e.Max == Unbounded {
+			b.WriteByte('+')
+			return
+		}
+		b.WriteByte('{')
+		b.WriteString(strconv.Itoa(e.Min))
+		if e.Max == Unbounded {
+			b.WriteByte(',')
+		} else if e.Max != e.Min {
+			b.WriteByte(',')
+			b.WriteString(strconv.Itoa(e.Max))
+		}
+		b.WriteByte('}')
+	}
+}
+
+func nodePrec(e *Node) int {
+	switch e.Kind {
+	case KUnion:
+		return precUnion
+	case KCat:
+		return precCat
+	default:
+		return precPostfix
+	}
+}

@@ -1,0 +1,128 @@
+package colorancestor
+
+import (
+	"math/rand"
+	"testing"
+
+	"dregex/internal/ast"
+	"dregex/internal/parsetree"
+	"dregex/internal/wordgen"
+)
+
+// naiveLowest walks parent pointers looking for the nearest node with the
+// requested color.
+func naiveLowest(t *parsetree.Tree, colored []ColoredNode, v parsetree.NodeID, a ast.Symbol) (int32, bool) {
+	byNode := map[parsetree.NodeID]int32{}
+	for _, c := range colored {
+		if c.Sym == a {
+			byNode[c.Node] = c.Payload
+		}
+	}
+	for x := v; x != parsetree.Null; x = t.Parent[x] {
+		if p, ok := byNode[x]; ok {
+			return p, true
+		}
+	}
+	return -1, false
+}
+
+func randomTree(t *testing.T, r *rand.Rand, nodes int) *parsetree.Tree {
+	t.Helper()
+	alpha := ast.NewAlphabet()
+	e := ast.Normalize(wordgen.RandomExpr(r, alpha, wordgen.ExprConfig{Symbols: 5, MaxNodes: nodes}))
+	tr, err := parsetree.Build(e, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for _, binary := range []bool{false, true} {
+		for trial := 0; trial < 40; trial++ {
+			tr := randomTree(t, r, 80)
+
+			// Random color assignment: colors are the alphabet symbols,
+			// nodes arbitrary (the matcher only colors ⊙ nodes, but the
+			// structure must not care).
+			var colored []ColoredNode
+			numColors := tr.Alpha.Size()
+			for n := parsetree.NodeID(0); n < parsetree.NodeID(tr.N()); n++ {
+				for c := 0; c < numColors; c++ {
+					if r.Intn(8) == 0 {
+						colored = append(colored, ColoredNode{
+							Sym:     ast.Symbol(c),
+							Node:    n,
+							Payload: int32(len(colored)),
+						})
+					}
+				}
+			}
+			ix := Build(tr, colored, Options{BinarySearch: binary})
+			for q := 0; q < 500; q++ {
+				v := parsetree.NodeID(r.Intn(tr.N()))
+				a := ast.Symbol(r.Intn(numColors))
+				got, ok := ix.Query(v, a)
+				want, wok := naiveLowest(tr, colored, v, a)
+				if ok != wok || (ok && got != want) {
+					t.Fatalf("binary=%v Query(%d,%d) = (%d,%v), want (%d,%v)",
+						binary, v, a, got, ok, want, wok)
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyAndSingleColor(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	tr := randomTree(t, r, 30)
+
+	ix := Build(tr, nil, Options{})
+	if _, ok := ix.Query(tr.PosNode[0], ast.FirstUser); ok {
+		t.Fatal("query on empty index succeeded")
+	}
+	// One colored node: the root region answers for everything below.
+	colored := []ColoredNode{{Sym: ast.FirstUser, Node: tr.UserRoot, Payload: 7}}
+	ix2 := Build(tr, colored, Options{})
+	for n := parsetree.NodeID(0); n < parsetree.NodeID(tr.N()); n++ {
+		got, ok := ix2.Query(n, ast.FirstUser)
+		want, wok := naiveLowest(tr, colored, n, ast.FirstUser)
+		if ok != wok || (ok && got != want) {
+			t.Fatalf("Query(%d) = (%d,%v), want (%d,%v)", n, got, ok, want, wok)
+		}
+	}
+}
+
+func TestLargeSkewed(t *testing.T) {
+	// Mixed-content tree: many symbols, all colored nodes near the root.
+	alpha := ast.NewAlphabet()
+	e := wordgen.MixedContent(alpha, 800)
+	tr, err := parsetree.Build(ast.Normalize(e), alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var colored []ColoredNode
+	for i := 1; i < tr.NumPositions()-1; i++ {
+		p := tr.PosNode[i]
+		if psf := tr.PSupFirst[p]; psf != parsetree.Null {
+			colored = append(colored, ColoredNode{
+				Sym:     tr.Sym[p],
+				Node:    tr.Parent[psf],
+				Payload: int32(i),
+			})
+		}
+	}
+	ix := Build(tr, colored, Options{})
+	r := rand.New(rand.NewSource(79))
+	for q := 0; q < 2000; q++ {
+		v := parsetree.NodeID(r.Intn(tr.N()))
+		a := tr.Sym[tr.PosNode[1+r.Intn(tr.NumPositions()-2)]]
+		got, ok := ix.Query(v, a)
+		want, wok := naiveLowest(tr, colored, v, a)
+		if ok != wok || (ok && got != want) {
+			t.Fatalf("Query(%d,%d) = (%d,%v), want (%d,%v)", v, a, got, ok, want, wok)
+		}
+	}
+}

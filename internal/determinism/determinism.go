@@ -1,0 +1,192 @@
+// Package determinism implements Theorem 3.5 of the paper: deciding in
+// O(|e|) time whether a regular expression is deterministic (one-
+// unambiguous), without building the Glushkov automaton.
+//
+// The test is the composition of §3's pieces: condition (P1), skeleton
+// construction with Witness/FirstPos/Next (Algorithm 1, condition (P2)) —
+// all provided by package skeleton — and Algorithm 2 (CheckNode) executed
+// at every colored node:
+//
+//	non-deterministic  iff  (P1) or (P2) fails, or some colored node n of
+//	color a has Rchild(n) nullable and (Next(n,a) ≠ ∅, or
+//	FirstPos(pStar(n),a) = FirstPos(n,a) ≠ ∅ with pSupLast(n) 4 pStar(n))
+//
+// (Lemma 3.4 + Theorem 3.5). The same case analysis with loop nodes
+// generalized from ∗ to flexible numeric iterations is reused by package
+// numeric (§3.3).
+package determinism
+
+import (
+	"fmt"
+
+	"dregex/internal/ast"
+	"dregex/internal/follow"
+	"dregex/internal/parsetree"
+	"dregex/internal/skeleton"
+)
+
+// Result reports the verdict of the linear determinism test. For a
+// nondeterministic expression it carries the rule that fired and a pair of
+// distinct, equally-labeled candidate positions; use Diagnose for a fully
+// verified counterexample.
+type Result struct {
+	Deterministic bool
+	// Rule is "P1", "P2", "Y-overflow", "double-first", "W-N" (Witness vs
+	// Next, Theorem 3.5 case (i)) or "W-F" (Witness vs FirstPos through a
+	// star, case (ii)).
+	Rule string
+	// Q1, Q2 are the competing positions (valid when nondeterministic).
+	Q1, Q2 parsetree.NodeID
+	// Node is the colored node at which CheckNode fired (W-N / W-F only).
+	Node parsetree.NodeID
+	// Sym is the color involved (W-N / W-F only).
+	Sym ast.Symbol
+}
+
+func (r *Result) String() string {
+	if r.Deterministic {
+		return "deterministic"
+	}
+	return fmt.Sprintf("nondeterministic (%s: positions %d, %d)", r.Rule, r.Q1, r.Q2)
+}
+
+// Check runs the linear-time determinism test on a compiled plain
+// expression, reusing the caller's follow index.
+func Check(t *parsetree.Tree, fol *follow.Index) *Result {
+	sks := skeleton.Build(t, fol, skeleton.Options{})
+	return fromSkeletons(t, sks, false)
+}
+
+// CheckSkeletons finishes the test on prebuilt skeleta (used by the colored
+// matcher, which needs the skeleta anyway). numericLoops selects the §3.3
+// loop generalization and must match the skeleton build options.
+func CheckSkeletons(t *parsetree.Tree, sks *skeleton.Skeletons, numericLoops bool) *Result {
+	return fromSkeletons(t, sks, numericLoops)
+}
+
+func fromSkeletons(t *parsetree.Tree, sks *skeleton.Skeletons, numericLoops bool) *Result {
+	if v := sks.NonDet; v != nil {
+		return &Result{Rule: v.Rule, Q1: v.Q1, Q2: v.Q2}
+	}
+	for _, c := range sks.ColoredNodes {
+		if r := checkNode(t, sks, c, numericLoops); r != nil {
+			return r
+		}
+	}
+	return &Result{Deterministic: true}
+}
+
+// checkNode is Algorithm 2. n is a colored (hence ⊙-labeled) node with
+// witness W = Witness(n,a); it returns a non-nil failure Result iff some
+// position is followed by two equally-labeled candidates through n.
+func checkNode(t *parsetree.Tree, sks *skeleton.Skeletons, c skeleton.Colored, numericLoops bool) *Result {
+	n := c.Node
+	rchild := t.RChild[n]
+	if !t.Nullable[rchild] {
+		return nil
+	}
+	w := sks.Wit[c.Sk]
+	// Case (i): Witness and Next both follow any position in
+	// Last(Lchild(n)).
+	if nx := sks.Next[c.Sk]; nx != parsetree.Null {
+		return &Result{Rule: "W-N", Q1: w, Q2: nx, Node: n, Sym: c.Sym}
+	}
+	// Case (ii): Witness and FirstPos both follow a position when the
+	// FirstPos survives to the enclosing star S and Last(n) reaches S.
+	f := sks.First[c.Sk]
+	s := t.PStar[n]
+	if numericLoops {
+		s = t.PLoop[n]
+	}
+	if f != parsetree.Null && s != parsetree.Null && f != w &&
+		t.IsAncestor(t.PSupFirst[f], s) && // FirstPos(S,a) = F
+		t.IsAncestor(t.PSupLast[n], s) { // pSupLast(n) 4 S
+		return &Result{Rule: "W-F", Q1: w, Q2: f, Node: n, Sym: c.Sym}
+	}
+	return nil
+}
+
+// IsDeterministic is the one-call variant of Check: it compiles nothing and
+// reuses nothing, building the follow index internally.
+func IsDeterministic(t *parsetree.Tree) bool {
+	return Check(t, follow.New(t)).Deterministic
+}
+
+// Witness is a fully verified nondeterminism counterexample: Q1 ≠ Q2 carry
+// the same label and both follow P.
+type Witness struct {
+	P, Q1, Q2 parsetree.NodeID
+}
+
+// Diagnose turns a failed Result into a verified Witness by locating a
+// common predecessor with the O(1) checkIfFollow test: O(|Pos(e)|) for
+// CheckNode failures (scan candidates for P), O(|Pos(e)|²) worst case for
+// the remaining rules. Returns nil if r is deterministic or no witness
+// could be verified (which would indicate a bug; tests assert it never
+// happens).
+func Diagnose(t *parsetree.Tree, fol *follow.Index, r *Result) *Witness {
+	if r == nil || r.Deterministic {
+		return nil
+	}
+	// Fast path: the reported pair, against every possible predecessor.
+	if r.Q1 != parsetree.Null && r.Q2 != parsetree.Null {
+		for _, p := range t.PosNode {
+			if fol.CheckIfFollow(p, r.Q1) && fol.CheckIfFollow(p, r.Q2) {
+				return &Witness{P: p, Q1: r.Q1, Q2: r.Q2}
+			}
+		}
+	}
+	// Fallback: search all equally-labeled pairs (quadratic; diagnosis
+	// only).
+	for i, q1 := range t.PosNode {
+		for _, q2 := range t.PosNode[i+1:] {
+			if t.Sym[q1] != t.Sym[q2] {
+				continue
+			}
+			for _, p := range t.PosNode {
+				if fol.CheckIfFollow(p, q1) && fol.CheckIfFollow(p, q2) {
+					return &Witness{P: p, Q1: q1, Q2: q2}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ShortestWitnessWord builds a word uσ such that after reading u the parser
+// is at position w.P and the next symbol σ = lab(w.Q1) = lab(w.Q2) can be
+// matched at two positions — a concrete ambiguity proof for error messages.
+// It runs a BFS over the Glushkov transition relation realized with
+// checkIfFollow, O(|Pos(e)|²) worst case; intended for diagnostics.
+func ShortestWitnessWord(t *parsetree.Tree, fol *follow.Index, w *Witness) []ast.Symbol {
+	if w == nil {
+		return nil
+	}
+	begin := t.BeginPos()
+	prev := make(map[parsetree.NodeID]parsetree.NodeID)
+	seen := map[parsetree.NodeID]bool{begin: true}
+	queue := []parsetree.NodeID{begin}
+	for len(queue) > 0 && !seen[w.P] {
+		p := queue[0]
+		queue = queue[1:]
+		for _, q := range t.PosNode {
+			if !seen[q] && fol.CheckIfFollow(p, q) {
+				seen[q] = true
+				prev[q] = p
+				queue = append(queue, q)
+			}
+		}
+	}
+	if !seen[w.P] {
+		return nil
+	}
+	var rev []ast.Symbol
+	for p := w.P; p != begin; p = prev[p] {
+		rev = append(rev, t.Sym[p])
+	}
+	word := make([]ast.Symbol, 0, len(rev)+1)
+	for i := len(rev) - 1; i >= 0; i-- {
+		word = append(word, rev[i])
+	}
+	return append(word, t.Sym[w.Q1])
+}

@@ -1,0 +1,247 @@
+package determinism
+
+import (
+	"math/rand"
+	"testing"
+
+	"dregex/internal/ast"
+	"dregex/internal/follow"
+	"dregex/internal/glushkov"
+	"dregex/internal/parsetree"
+	"dregex/internal/wordgen"
+)
+
+func compile(t *testing.T, expr string) *parsetree.Tree {
+	t.Helper()
+	alpha := ast.NewAlphabet()
+	e := ast.Normalize(ast.MustParseMath(expr, alpha))
+	tr, err := parsetree.Build(e, alpha)
+	if err != nil {
+		t.Fatalf("Build(%q): %v", expr, err)
+	}
+	return tr
+}
+
+func TestPaperExamples(t *testing.T) {
+	cases := []struct {
+		expr string
+		det  bool
+	}{
+		{"(ab+b(b?)a)*", true},
+		{"(a*ba+bb)*", false},
+		{"ab*b", false},
+		{"(a+b)*", true},
+		{"(a+a)*", false},
+		{"(c(b?a?))a", false},
+		{"(c(a?b?))a", false},
+		{"(c(b?a)*)a", false},
+		{"(c(b?a))a", true},
+		{"(a(b?a))*", true},
+		{"(a(b?a?))*", false},
+		{"(c?((ab*)(a?c)))*(ba)", true},
+		{"a?b?c?", true},
+		{"(a+b)(a+c)", true},
+		{"a*a", false},
+		{"(ab)*a(b+d)", false},
+		{"a", true},
+		{"a*", true},
+		{"aa", true},
+		{"(aa)*", true},
+		{"b(a?a)", false}, // "ba": the a can match either position
+		{"b(a?a?)", false},
+		{"b(a?c)", true},
+	}
+	for _, c := range cases {
+		tr := compile(t, c.expr)
+		r := Check(tr, follow.New(tr))
+		if r.Deterministic != c.det {
+			t.Errorf("Check(%s) = %v (%s), want deterministic=%v",
+				c.expr, r.Deterministic, r.Rule, c.det)
+		}
+	}
+}
+
+// The decisive test: the linear algorithm must agree with the
+// Brüggemann-Klein baseline on large randomized corpora.
+func TestAgainstBKFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	configs := []wordgen.ExprConfig{
+		{Symbols: 1, MaxNodes: 10},
+		{Symbols: 2, MaxNodes: 15},
+		{Symbols: 2, MaxNodes: 40},
+		{Symbols: 3, MaxNodes: 30},
+		{Symbols: 4, MaxNodes: 60},
+		{Symbols: 6, MaxNodes: 120},
+	}
+	total, nondet := 0, 0
+	for _, cfg := range configs {
+		for trial := 0; trial < 700; trial++ {
+			alpha := ast.NewAlphabet()
+			e := ast.Normalize(wordgen.RandomExpr(r, alpha, cfg))
+			tr, err := parsetree.Build(e, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := glushkov.CheckBK(tr) == nil
+			got := Check(tr, follow.New(tr))
+			if got.Deterministic != want {
+				t.Fatalf("disagreement on %s: linear=%v (%s), BK=%v",
+					ast.StringMath(e, alpha), got.Deterministic, got.Rule, want)
+			}
+			total++
+			if !want {
+				nondet++
+			}
+		}
+	}
+	// The corpus must exercise both verdicts heavily.
+	if nondet < total/10 || nondet > total*9/10 {
+		t.Fatalf("unbalanced corpus: %d/%d nondeterministic", nondet, total)
+	}
+}
+
+func TestDeterministicFamilies(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 150; trial++ {
+		alpha := ast.NewAlphabet()
+		e := wordgen.RandomDeterministicExpr(r, alpha, 10, 60, trial%2 == 0)
+		tr, err := parsetree.Build(e, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := Check(tr, follow.New(tr)); !res.Deterministic {
+			t.Fatalf("deterministic-by-construction rejected: %s (%s)",
+				ast.StringMath(e, alpha), res.Rule)
+		}
+	}
+	alpha := ast.NewAlphabet()
+	tr, err := parsetree.Build(ast.Normalize(wordgen.MixedContent(alpha, 500)), alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsDeterministic(tr) {
+		t.Fatal("(a1+…+a500)* rejected")
+	}
+	// Duplicate one symbol: a nondeterministic mixed-content model.
+	alpha2 := ast.NewAlphabet()
+	dup := ast.Star(ast.Union(wordgen.MixedContent(alpha2, 1).L, // a
+		ast.Union(balanced(alpha2, 200), ast.Sym(alpha2.Intern(wordgen.SymbolName(7))))))
+	tr2, err := parsetree.Build(ast.Normalize(dup), alpha2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsDeterministic(tr2) {
+		t.Fatal("duplicated mixed-content symbol accepted as deterministic")
+	}
+}
+
+func balanced(alpha *ast.Alphabet, m int) *ast.Node {
+	e := wordgen.MixedContent(alpha, m)
+	return e.L // strip the star
+}
+
+func TestDiagnoseProducesValidWitness(t *testing.T) {
+	r := rand.New(rand.NewSource(107))
+	checked := 0
+	for trial := 0; trial < 600 || checked < 100; trial++ {
+		if trial > 5000 {
+			t.Fatal("could not collect enough nondeterministic samples")
+		}
+		alpha := ast.NewAlphabet()
+		e := ast.Normalize(wordgen.RandomExpr(r, alpha, wordgen.ExprConfig{Symbols: 3, MaxNodes: 40}))
+		tr, err := parsetree.Build(e, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fol := follow.New(tr)
+		res := Check(tr, fol)
+		if res.Deterministic {
+			continue
+		}
+		checked++
+		w := Diagnose(tr, fol, res)
+		if w == nil {
+			t.Fatalf("Diagnose failed for %s (%s)", ast.StringMath(e, alpha), res.Rule)
+		}
+		if w.Q1 == w.Q2 || tr.Sym[w.Q1] != tr.Sym[w.Q2] {
+			t.Fatalf("invalid witness pair for %s", ast.StringMath(e, alpha))
+		}
+		if !fol.CheckIfFollow(w.P, w.Q1) || !fol.CheckIfFollow(w.P, w.Q2) {
+			t.Fatalf("witness pair does not follow P for %s", ast.StringMath(e, alpha))
+		}
+	}
+}
+
+func TestShortestWitnessWord(t *testing.T) {
+	r := rand.New(rand.NewSource(109))
+	verified := 0
+	for trial := 0; trial < 3000 && verified < 60; trial++ {
+		alpha := ast.NewAlphabet()
+		e := ast.Normalize(wordgen.RandomExpr(r, alpha, wordgen.ExprConfig{Symbols: 3, MaxNodes: 30}))
+		tr, err := parsetree.Build(e, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fol := follow.New(tr)
+		res := Check(tr, fol)
+		if res.Deterministic {
+			continue
+		}
+		w := Diagnose(tr, fol, res)
+		if w == nil {
+			t.Fatal("no witness")
+		}
+		word := ShortestWitnessWord(tr, fol, w)
+		if word == nil {
+			t.Fatalf("no witness word for %s", ast.StringMath(e, alpha))
+		}
+		// Simulate the Glushkov relation: after word[:n-1] the state set
+		// must contain P, and the last symbol must reach both Q1 and Q2.
+		states := map[parsetree.NodeID]bool{tr.BeginPos(): true}
+		for _, sym := range word[:len(word)-1] {
+			next := map[parsetree.NodeID]bool{}
+			for p := range states {
+				for _, q := range tr.PosNode {
+					if tr.Sym[q] == sym && fol.CheckIfFollow(p, q) {
+						next[q] = true
+					}
+				}
+			}
+			states = next
+		}
+		if !states[w.P] {
+			t.Fatalf("witness word does not reach P in %s", ast.StringMath(e, alpha))
+		}
+		last := word[len(word)-1]
+		if tr.Sym[w.Q1] != last || !fol.CheckIfFollow(w.P, w.Q1) || !fol.CheckIfFollow(w.P, w.Q2) {
+			t.Fatalf("witness word final step invalid in %s", ast.StringMath(e, alpha))
+		}
+		verified++
+	}
+	if verified < 30 {
+		t.Fatalf("only %d witness words verified", verified)
+	}
+}
+
+func TestRuleAttribution(t *testing.T) {
+	// Representative failures for each rule.
+	cases := []struct {
+		expr string
+		rule string
+	}{
+		{"a?a", "P1"},         // both a's share pSupFirst
+		{"(c(b?a?))a", "W-N"}, // §3.2 combination (1)
+		{"(a(b?a?))*", "W-F"}, // §3.2 combination (2)
+	}
+	for _, c := range cases {
+		tr := compile(t, c.expr)
+		r := Check(tr, follow.New(tr))
+		if r.Deterministic {
+			t.Errorf("%s: expected nondeterministic", c.expr)
+			continue
+		}
+		if r.Rule != c.rule {
+			t.Errorf("%s: rule = %s, want %s", c.expr, r.Rule, c.rule)
+		}
+	}
+}

@@ -1,0 +1,415 @@
+// Package dtd applies the paper's algorithms to their motivating domain:
+// XML DTD content models. It parses <!ELEMENT …> declarations, checks every
+// content model for determinism (the well-formedness requirement that XML
+// inherits from SGML, §1 of the paper), and validates documents by matching
+// each element's child sequence against its content model with a streaming
+// transition simulator.
+//
+// Mixed content (#PCDATA | a | b)* is handled by the specialized
+// linear-time procedure the paper attributes to Xerces: determinism of a
+// mixed model is just distinctness of the listed names, and validation is
+// set membership.
+package dtd
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dregex/internal/ast"
+	"dregex/internal/determinism"
+	"dregex/internal/follow"
+	"dregex/internal/match"
+	"dregex/internal/match/kore"
+	"dregex/internal/match/pathdecomp"
+	"dregex/internal/parsetree"
+)
+
+// ContentKind classifies an element declaration.
+type ContentKind int
+
+// Content model kinds per the XML specification.
+const (
+	// Empty is <!ELEMENT x EMPTY>: no children, no text.
+	Empty ContentKind = iota
+	// Any is <!ELEMENT x ANY>.
+	Any
+	// Mixed is <!ELEMENT x (#PCDATA | a | …)*>: text plus listed elements
+	// in any order.
+	Mixed
+	// Children is a regular content model over element names.
+	Children
+)
+
+func (k ContentKind) String() string {
+	switch k {
+	case Empty:
+		return "EMPTY"
+	case Any:
+		return "ANY"
+	case Mixed:
+		return "mixed"
+	case Children:
+		return "children"
+	}
+	return fmt.Sprintf("ContentKind(%d)", int(k))
+}
+
+// Element is one compiled element declaration.
+type Element struct {
+	Name  string
+	Kind  ContentKind
+	Model string // the raw content model text
+
+	// Children models:
+	Expr *ast.Node
+	Tree *parsetree.Tree
+	Fol  *follow.Index
+	// Deterministic reports the §3 linear test verdict; Ambiguous holds
+	// the diagnosis for nondeterministic models.
+	Deterministic bool
+	Rule          string
+	sim           match.TransitionSim
+
+	// Mixed models:
+	allowed map[string]bool
+	// DupName is the repeated name making a mixed model nondeterministic.
+	DupName string
+}
+
+// DTD is a set of compiled element declarations.
+type DTD struct {
+	Elements map[string]*Element
+	// Order preserves declaration order for deterministic reporting.
+	Order []string
+}
+
+// Parse reads <!ELEMENT …> declarations from DTD text. ATTLIST, ENTITY and
+// NOTATION declarations, comments and processing instructions are skipped.
+func Parse(src string) (*DTD, error) {
+	d := &DTD{Elements: map[string]*Element{}}
+	rest := src
+	for {
+		i := strings.Index(rest, "<!")
+		if i < 0 {
+			break
+		}
+		rest = rest[i:]
+		switch {
+		case strings.HasPrefix(rest, "<!--"):
+			end := strings.Index(rest, "-->")
+			if end < 0 {
+				return nil, fmt.Errorf("dtd: unterminated comment")
+			}
+			rest = rest[end+3:]
+		case strings.HasPrefix(rest, "<!ELEMENT"):
+			end := strings.IndexByte(rest, '>')
+			if end < 0 {
+				return nil, fmt.Errorf("dtd: unterminated <!ELEMENT")
+			}
+			decl := strings.TrimSpace(rest[len("<!ELEMENT"):end])
+			rest = rest[end+1:]
+			if err := d.addElement(decl); err != nil {
+				return nil, err
+			}
+		default:
+			end := strings.IndexByte(rest, '>')
+			if end < 0 {
+				return nil, fmt.Errorf("dtd: unterminated declaration")
+			}
+			rest = rest[end+1:]
+		}
+	}
+	if len(d.Elements) == 0 {
+		return nil, fmt.Errorf("dtd: no <!ELEMENT> declarations found")
+	}
+	return d, nil
+}
+
+func (d *DTD) addElement(decl string) error {
+	fields := strings.Fields(decl)
+	if len(fields) < 2 {
+		return fmt.Errorf("dtd: malformed element declaration %q", decl)
+	}
+	name := fields[0]
+	model := strings.TrimSpace(decl[len(name):])
+	if _, dup := d.Elements[name]; dup {
+		return fmt.Errorf("dtd: element %q declared twice", name)
+	}
+	el, err := compileElement(name, model)
+	if err != nil {
+		return err
+	}
+	d.Elements[name] = el
+	d.Order = append(d.Order, name)
+	return nil
+}
+
+func compileElement(name, model string) (*Element, error) {
+	el := &Element{Name: name, Model: model}
+	switch {
+	case model == "EMPTY":
+		el.Kind = Empty
+		el.Deterministic = true
+		return el, nil
+	case model == "ANY":
+		el.Kind = Any
+		el.Deterministic = true
+		return el, nil
+	case strings.Contains(model, "#PCDATA"):
+		return compileMixed(el, model)
+	default:
+		return compileChildren(el, model)
+	}
+}
+
+// compileMixed handles (#PCDATA) and (#PCDATA | a | b)* — the case the
+// paper's §1 notes Xerces special-cases with a linear procedure: the model
+// is deterministic iff the listed names are distinct.
+func compileMixed(el *Element, model string) (*Element, error) {
+	el.Kind = Mixed
+	inner := strings.TrimSpace(model)
+	inner = strings.TrimSuffix(inner, "*")
+	inner = strings.TrimSpace(inner)
+	if !strings.HasPrefix(inner, "(") || !strings.HasSuffix(inner, ")") {
+		return nil, fmt.Errorf("dtd: element %s: malformed mixed model %q", el.Name, model)
+	}
+	parts := strings.Split(inner[1:len(inner)-1], "|")
+	if strings.TrimSpace(parts[0]) != "#PCDATA" {
+		return nil, fmt.Errorf("dtd: element %s: mixed model must start with #PCDATA", el.Name)
+	}
+	if len(parts) > 1 && !strings.HasSuffix(strings.TrimSpace(model), "*") {
+		return nil, fmt.Errorf("dtd: element %s: mixed model with names needs a trailing *", el.Name)
+	}
+	el.allowed = map[string]bool{}
+	el.Deterministic = true
+	for _, p := range parts[1:] {
+		n := strings.TrimSpace(p)
+		if n == "" {
+			return nil, fmt.Errorf("dtd: element %s: empty name in mixed model", el.Name)
+		}
+		if el.allowed[n] {
+			// Duplicate name: (a1+…+am)* with a repeat — nondeterministic.
+			el.Deterministic = false
+			el.Rule = "mixed-duplicate"
+			el.DupName = n
+		}
+		el.allowed[n] = true
+	}
+	return el, nil
+}
+
+func compileChildren(el *Element, model string) (*Element, error) {
+	el.Kind = Children
+	alpha := ast.NewAlphabet()
+	e, err := ast.ParseDTD(model, alpha)
+	if err != nil {
+		return nil, fmt.Errorf("dtd: element %s: %w", el.Name, err)
+	}
+	e = ast.Normalize(ast.DesugarPlus(ast.Normalize(e)))
+	if hasFiniteIter(e) {
+		return nil, fmt.Errorf("dtd: element %s: numeric bounds are XML-Schema only; use package numeric", el.Name)
+	}
+	tree, err := parsetree.Build(e, alpha)
+	if err != nil {
+		return nil, fmt.Errorf("dtd: element %s: %w", el.Name, err)
+	}
+	el.Expr = e
+	el.Tree = tree
+	el.Fol = follow.New(tree)
+	res := determinism.Check(tree, el.Fol)
+	el.Deterministic = res.Deterministic
+	el.Rule = res.Rule
+	if el.Deterministic {
+		// Content models are shallow; the path-decomposition simulator is
+		// the paper's recommendation for them (c_e ≤ 4 in real DTDs).
+		sim, err := pathdecomp.New(tree, el.Fol)
+		if err == nil {
+			el.sim = sim
+		} else {
+			el.sim = kore.New(tree, el.Fol)
+		}
+	}
+	return el, nil
+}
+
+func hasFiniteIter(e *ast.Node) bool {
+	found := false
+	ast.Walk(e, func(n *ast.Node) {
+		if n.Kind == ast.KIter {
+			found = true
+		}
+	})
+	return found
+}
+
+// Issue is a lint finding about a declaration.
+type Issue struct {
+	Element string
+	Msg     string
+}
+
+// Check lints all declarations: nondeterministic content models (fatal for
+// XML processors) and references to undeclared elements (warnings).
+func (d *DTD) Check() []Issue {
+	var issues []Issue
+	for _, name := range d.Order {
+		el := d.Elements[name]
+		if !el.Deterministic {
+			switch el.Kind {
+			case Mixed:
+				issues = append(issues, Issue{name,
+					fmt.Sprintf("mixed model repeats %q", el.DupName)})
+			default:
+				issues = append(issues, Issue{name,
+					fmt.Sprintf("content model %s is nondeterministic (%s)", el.Model, el.Rule)})
+			}
+		}
+		for _, ref := range el.References() {
+			if _, ok := d.Elements[ref]; !ok {
+				issues = append(issues, Issue{name,
+					fmt.Sprintf("references undeclared element %q", ref)})
+			}
+		}
+	}
+	return issues
+}
+
+// References returns the element names used by this declaration.
+func (el *Element) References() []string {
+	set := map[string]bool{}
+	switch el.Kind {
+	case Mixed:
+		for n := range el.allowed {
+			set[n] = true
+		}
+	case Children:
+		ast.Walk(el.Expr, func(n *ast.Node) {
+			if n.Kind == ast.KSym {
+				set[el.Tree.Alpha.Name(n.Sym)] = true
+			}
+		})
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValidationError describes one violation found while validating a
+// document.
+type ValidationError struct {
+	Path    string // slash-separated element path
+	Element string
+	Msg     string
+}
+
+func (e ValidationError) Error() string {
+	return fmt.Sprintf("%s: <%s>: %s", e.Path, e.Element, e.Msg)
+}
+
+// Validate checks an XML document against the DTD: every element must be
+// declared, its children sequence must match its content model (evaluated
+// with a streaming simulator — one pass, no buffering of child lists), and
+// text content must be allowed. It returns all violations found, or nil.
+func (d *DTD) Validate(r io.Reader) ([]ValidationError, error) {
+	dec := xml.NewDecoder(r)
+	var errs []ValidationError
+	type frame struct {
+		el     *Element
+		name   string
+		stream *match.Stream
+		failed bool
+	}
+	var stack []frame
+	path := func() string {
+		parts := make([]string, 0, len(stack))
+		for _, f := range stack {
+			parts = append(parts, f.name)
+		}
+		return "/" + strings.Join(parts, "/")
+	}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return errs, fmt.Errorf("dtd: malformed XML: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			name := t.Name.Local
+			// Record the child in the parent's model.
+			if len(stack) > 0 {
+				p := &stack[len(stack)-1]
+				switch {
+				case p.el == nil || p.failed:
+					// parent already failed; keep descending silently
+				case p.el.Kind == Any:
+				case p.el.Kind == Mixed:
+					if !p.el.allowed[name] {
+						errs = append(errs, ValidationError{path(), p.name,
+							fmt.Sprintf("child <%s> not allowed in mixed model %s", name, p.el.Model)})
+						p.failed = true
+					}
+				case p.el.Kind == Empty:
+					errs = append(errs, ValidationError{path(), p.name,
+						fmt.Sprintf("EMPTY element has child <%s>", name)})
+					p.failed = true
+				default:
+					if !p.stream.FeedName(name) {
+						errs = append(errs, ValidationError{path(), p.name,
+							fmt.Sprintf("child <%s> violates content model %s", name, p.el.Model)})
+						p.failed = true
+					}
+				}
+			}
+			el := d.Elements[name]
+			f := frame{el: el, name: name}
+			if el == nil {
+				errs = append(errs, ValidationError{path() + "/" + name, name,
+					"element not declared"})
+			} else if el.Kind == Children {
+				if !el.Deterministic {
+					errs = append(errs, ValidationError{path() + "/" + name, name,
+						"content model is nondeterministic; cannot validate"})
+					f.failed = true
+				} else {
+					f.stream = match.NewStream(el.sim)
+				}
+			}
+			stack = append(stack, f)
+		case xml.EndElement:
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if f.el != nil && f.el.Kind == Children && !f.failed {
+				if !f.stream.Accepts() {
+					errs = append(errs, ValidationError{path() + "/" + f.name, f.name,
+						fmt.Sprintf("children end prematurely for content model %s", f.el.Model)})
+				}
+			}
+		case xml.CharData:
+			if len(stack) == 0 {
+				continue
+			}
+			p := &stack[len(stack)-1]
+			if p.el == nil || p.failed {
+				continue
+			}
+			if strings.TrimSpace(string(t)) == "" {
+				continue
+			}
+			if p.el.Kind == Children || p.el.Kind == Empty {
+				errs = append(errs, ValidationError{path(), p.name,
+					"text content not allowed"})
+				p.failed = true
+			}
+		}
+	}
+	return errs, nil
+}

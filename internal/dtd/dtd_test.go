@@ -1,0 +1,174 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+const bookDTD = `
+<!-- a small publishing DTD -->
+<!ELEMENT book (title, author+, chapter+, appendix*)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT chapter (title, (para | figure)*)>
+<!ELEMENT appendix (title, para*)>
+<!ELEMENT para (#PCDATA | em | code)*>
+<!ELEMENT em (#PCDATA)>
+<!ELEMENT code EMPTY>
+<!ATTLIST book isbn CDATA #REQUIRED>
+<!ELEMENT figure EMPTY>
+`
+
+func TestParseAndCheck(t *testing.T) {
+	d, err := Parse(bookDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Elements) != 9 {
+		t.Fatalf("parsed %d elements, want 9", len(d.Elements))
+	}
+	if issues := d.Check(); len(issues) != 0 {
+		t.Fatalf("clean DTD reported issues: %v", issues)
+	}
+	book := d.Elements["book"]
+	if book.Kind != Children || !book.Deterministic {
+		t.Errorf("book: kind=%v det=%v", book.Kind, book.Deterministic)
+	}
+	para := d.Elements["para"]
+	if para.Kind != Mixed || !para.allowed["em"] || para.allowed["b"] {
+		t.Errorf("para mixed model wrong: %+v", para)
+	}
+	if code := d.Elements["code"]; code.Kind != Empty {
+		t.Errorf("code: kind=%v", code.Kind)
+	}
+	refs := book.References()
+	if strings.Join(refs, " ") != "appendix author chapter title" {
+		t.Errorf("book references = %v", refs)
+	}
+}
+
+func TestNondeterministicModels(t *testing.T) {
+	d, err := Parse(`
+<!ELEMENT a ((b, c) | (b, d))>
+<!ELEMENT m (#PCDATA | x | y | x)*>
+<!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY>
+<!ELEMENT x EMPTY><!ELEMENT y EMPTY>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issues := d.Check()
+	var aFound, mFound bool
+	for _, is := range issues {
+		if is.Element == "a" {
+			aFound = true
+		}
+		if is.Element == "m" {
+			mFound = true
+		}
+	}
+	if !aFound {
+		t.Error("(b,c)|(b,d) not reported as nondeterministic")
+	}
+	if !mFound {
+		t.Error("duplicate mixed name not reported")
+	}
+}
+
+func TestUndeclaredReference(t *testing.T) {
+	d, err := Parse(`<!ELEMENT r (s, t?)><!ELEMENT s EMPTY>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issues := d.Check()
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, `"t"`) {
+		t.Fatalf("issues = %v", issues)
+	}
+}
+
+func validateString(t *testing.T, d *DTD, doc string) []ValidationError {
+	t.Helper()
+	errs, err := d.Validate(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return errs
+}
+
+func TestValidateDocuments(t *testing.T) {
+	d, err := Parse(bookDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := `<book>
+  <title>T</title>
+  <author>A</author><author>B</author>
+  <chapter><title>C1</title><para>text <em>emph</em> more</para><figure/></chapter>
+  <appendix><title>Ap</title></appendix>
+</book>`
+	if errs := validateString(t, d, good); len(errs) != 0 {
+		t.Fatalf("valid document rejected: %v", errs)
+	}
+
+	cases := []struct {
+		name string
+		doc  string
+		frag string // expected substring of the first error
+	}{
+		{"missing author", `<book><title>T</title><chapter><title>c</title></chapter></book>`,
+			"violates content model"},
+		{"premature end", `<book><title>T</title><author>A</author></book>`,
+			"end prematurely"},
+		{"undeclared child", `<book><title>T</title><author>A</author><chapter><title>c</title><mystery/></chapter></book>`,
+			"not declared"},
+		{"empty with child", `<book><title>T</title><author>A</author><chapter><title>c</title><figure><em>x</em></figure></chapter></book>`,
+			"EMPTY element has child"},
+		{"text in children model", `<book>stray<title>T</title><author>A</author><chapter><title>c</title></chapter></book>`,
+			"text content not allowed"},
+		{"mixed violation", `<book><title>T</title><author>A</author><chapter><title>c</title><para><figure/></para></chapter></book>`,
+			"not allowed in mixed model"},
+	}
+	for _, c := range cases {
+		errs := validateString(t, d, c.doc)
+		if len(errs) == 0 {
+			t.Errorf("%s: no errors reported", c.name)
+			continue
+		}
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), c.frag) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: errors %v lack %q", c.name, errs, c.frag)
+		}
+	}
+}
+
+func TestValidateMalformedXML(t *testing.T) {
+	d, err := Parse(`<!ELEMENT a EMPTY>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Validate(strings.NewReader("<a><unclosed></a>")); err == nil {
+		t.Error("malformed XML not reported")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"<!ELEMENT>",
+		"<!ELEMENT a (b",
+		"<!ELEMENT a (#PCDATA | )*>",
+		"<!ELEMENT a (x | #PCDATA)*>",
+		"<!ELEMENT a (b{2,3})>",
+		"<!ELEMENT a EMPTY><!ELEMENT a EMPTY>",
+		"<!-- unterminated",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}

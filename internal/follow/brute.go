@@ -1,0 +1,93 @@
+package follow
+
+import "dregex/internal/parsetree"
+
+// BruteSets carries First/Last/Follow sets materialized by the classical
+// syntax-directed definitions (no LCA, no pointer tricks). It serves as the
+// ground-truth oracle for the O(1) machinery and as a building block of the
+// Glushkov baseline.
+type BruteSets struct {
+	T *parsetree.Tree
+	// First[n], Last[n]: position nodes of the respective sets.
+	First [][]parsetree.NodeID
+	Last  [][]parsetree.NodeID
+	// Follow[p] for each position node p (indexed by node id, nil for
+	// inner nodes): successors contributed by concatenation and star
+	// nodes per the classical construction.
+	Follow []map[parsetree.NodeID]bool
+}
+
+// Brute computes all sets in O(|e|·|Pos(e)|) worst case.
+func Brute(t *parsetree.Tree) *BruteSets {
+	n := t.N()
+	b := &BruteSets{
+		T:      t,
+		First:  make([][]parsetree.NodeID, n),
+		Last:   make([][]parsetree.NodeID, n),
+		Follow: make([]map[parsetree.NodeID]bool, n),
+	}
+	for _, p := range t.PosNode {
+		b.Follow[p] = map[parsetree.NodeID]bool{}
+	}
+	// Postorder: children have larger preorder ids than parents, so walk
+	// ids backwards... that is not postorder; instead recurse explicitly.
+	var rec func(id parsetree.NodeID)
+	rec = func(id parsetree.NodeID) {
+		l, r := t.LChild[id], t.RChild[id]
+		if l != parsetree.Null {
+			rec(l)
+		}
+		if r != parsetree.Null {
+			rec(r)
+		}
+		switch t.Op[id] {
+		case parsetree.OpSym:
+			b.First[id] = []parsetree.NodeID{id}
+			b.Last[id] = []parsetree.NodeID{id}
+		case parsetree.OpCat:
+			b.First[id] = append(append([]parsetree.NodeID{}, b.First[l]...), nilUnless(t.Nullable[l], b.First[r])...)
+			b.Last[id] = append(append([]parsetree.NodeID{}, b.Last[r]...), nilUnless(t.Nullable[r], b.Last[l])...)
+			for _, p := range b.Last[l] {
+				for _, q := range b.First[r] {
+					b.Follow[p][q] = true
+				}
+			}
+		case parsetree.OpUnion:
+			b.First[id] = append(append([]parsetree.NodeID{}, b.First[l]...), b.First[r]...)
+			b.Last[id] = append(append([]parsetree.NodeID{}, b.Last[l]...), b.Last[r]...)
+		case parsetree.OpOpt:
+			b.First[id] = b.First[l]
+			b.Last[id] = b.Last[l]
+		case parsetree.OpStar:
+			b.First[id] = b.First[l]
+			b.Last[id] = b.Last[l]
+			for _, p := range b.Last[l] {
+				for _, q := range b.First[l] {
+					b.Follow[p][q] = true
+				}
+			}
+		case parsetree.OpIter:
+			// Loop edges whenever a second iteration is possible
+			// (Max ≥ 2 always holds in normal form). Used by the numeric
+			// oracle; plain trees have no OpIter.
+			b.First[id] = b.First[l]
+			b.Last[id] = b.Last[l]
+			if t.Max[id] >= 2 {
+				for _, p := range b.Last[l] {
+					for _, q := range b.First[l] {
+						b.Follow[p][q] = true
+					}
+				}
+			}
+		}
+	}
+	rec(t.Root)
+	return b
+}
+
+func nilUnless(cond bool, s []parsetree.NodeID) []parsetree.NodeID {
+	if cond {
+		return s
+	}
+	return nil
+}

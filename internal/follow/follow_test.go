@@ -1,0 +1,177 @@
+package follow
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dregex/internal/ast"
+	"dregex/internal/parsetree"
+	"dregex/internal/wordgen"
+)
+
+func buildTree(t *testing.T, expr string) *parsetree.Tree {
+	t.Helper()
+	alpha := ast.NewAlphabet()
+	e := ast.Normalize(ast.MustParseMath(expr, alpha))
+	tr, err := parsetree.Build(e, alpha)
+	if err != nil {
+		t.Fatalf("Build(%q): %v", expr, err)
+	}
+	return tr
+}
+
+// followIndices converts a follow set to user-position indices (1-based,
+// as in the paper's p1, p2, …).
+func followIndices(tr *parsetree.Tree, nodes []parsetree.NodeID) []int {
+	var out []int
+	for _, q := range nodes {
+		i := int(tr.PosIndex[q])
+		if i > 0 && i < tr.NumPositions()-1 {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestPaperExamples(t *testing.T) {
+	// Example 2.1: e1 = (ab+b(b?)a)*, Follow(p3) = {p4, p5}.
+	tr := buildTree(t, "(ab+b(b?)a)*")
+	ix := New(tr)
+	got := followIndices(tr, ix.FollowSet(tr.PosNode[3]))
+	if len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Errorf("e1: Follow(p3) = %v, want [4 5]", got)
+	}
+
+	// Example 2.1: e2 = (a*ba+bb)*, Follow(q3) = {q1, q2, q4}.
+	tr2 := buildTree(t, "(a*ba+bb)*")
+	ix2 := New(tr2)
+	got2 := followIndices(tr2, ix2.FollowSet(tr2.PosNode[3]))
+	if len(got2) != 3 || got2[0] != 1 || got2[1] != 2 || got2[2] != 4 {
+		t.Errorf("e2: Follow(q3) = %v, want [1 2 4]", got2)
+	}
+
+	// Figure 1 / §2: in e0, p4 ∈ Follow⊙(p3) and p1 ∈ Follow∗(p5).
+	tr0 := buildTree(t, "(c?((ab*)(a?c)))*(ba)")
+	ix0 := New(tr0)
+	if !ix0.ViaCat(tr0.PosNode[3], tr0.PosNode[4]) {
+		t.Error("e0: p4 ∈ Follow⊙(p3) expected")
+	}
+	if !ix0.ViaStar(tr0.PosNode[5], tr0.PosNode[1]) {
+		t.Error("e0: p1 ∈ Follow∗(p5) expected")
+	}
+	if ix0.ViaStar(tr0.PosNode[3], tr0.PosNode[4]) {
+		t.Error("e0: p4 ∈ Follow∗(p3) not expected")
+	}
+}
+
+func TestPhantomMarkers(t *testing.T) {
+	// Follow(#) is First(e′) (plus $ when e′ is nullable).
+	tr := buildTree(t, "a?b")
+	ix := New(tr)
+	begin, end := tr.BeginPos(), tr.EndPos()
+	if !ix.CheckIfFollow(begin, tr.PosNode[1]) || !ix.CheckIfFollow(begin, tr.PosNode[2]) {
+		t.Error("a?b: both a and b must follow #")
+	}
+	if ix.CheckIfFollow(begin, end) {
+		t.Error("a?b: $ must not follow # (ε ∉ L)")
+	}
+	tr2 := buildTree(t, "a*")
+	ix2 := New(tr2)
+	if !ix2.CheckIfFollow(tr2.BeginPos(), tr2.EndPos()) {
+		t.Error("a*: $ must follow # (ε ∈ L)")
+	}
+	// Nothing follows $; # follows nothing.
+	for i := 0; i < tr.NumPositions(); i++ {
+		if ix.CheckIfFollow(end, tr.PosNode[i]) {
+			t.Errorf("position %d follows $", i)
+		}
+		if ix.CheckIfFollow(tr.PosNode[i], begin) {
+			t.Errorf("# follows position %d", i)
+		}
+	}
+}
+
+func TestSelfFollowThroughStar(t *testing.T) {
+	tr := buildTree(t, "a*")
+	ix := New(tr)
+	a := tr.PosNode[1]
+	if !ix.CheckIfFollow(a, a) {
+		t.Error("a*: a must follow itself")
+	}
+	tr2 := buildTree(t, "ab")
+	ix2 := New(tr2)
+	if ix2.CheckIfFollow(tr2.PosNode[1], tr2.PosNode[1]) {
+		t.Error("ab: a must not follow itself")
+	}
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	exprs := []string{
+		"(c?((ab*)(a?c)))*(ba)",
+		"(ab+b(b?)a)*",
+		"(a*ba+bb)*",
+		"((a+b)?c)*d?",
+		"a?b?c?",
+		"(a(b?c)*)+(d(e+f)?)*",
+		"((ab)*(ba)*)*",
+	}
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 120; trial++ {
+		alpha := ast.NewAlphabet()
+		e := ast.Normalize(wordgen.RandomExpr(r, alpha, wordgen.ExprConfig{Symbols: 4, MaxNodes: 60}))
+		tr, err := parsetree.Build(e, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFollowAgainstBrute(t, tr, ast.StringMath(e, alpha))
+	}
+	for _, expr := range exprs {
+		checkFollowAgainstBrute(t, buildTree(t, expr), expr)
+	}
+}
+
+func checkFollowAgainstBrute(t *testing.T, tr *parsetree.Tree, name string) {
+	t.Helper()
+	ix := New(tr)
+	b := Brute(tr)
+	for _, p := range tr.PosNode {
+		for _, q := range tr.PosNode {
+			got := ix.CheckIfFollow(p, q)
+			want := b.Follow[p][q]
+			if got != want {
+				t.Fatalf("%s: checkIfFollow(%s@%d, %s@%d) = %v, brute = %v",
+					name, tr.Label(p), p, tr.Label(q), q, got, want)
+			}
+		}
+	}
+}
+
+func TestFollowViaDecomposition(t *testing.T) {
+	// ViaCat ∨ ViaStar must equal CheckIfFollow everywhere, and on plain
+	// trees ViaLoop must equal ViaStar.
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		alpha := ast.NewAlphabet()
+		e := ast.Normalize(wordgen.RandomExpr(r, alpha, wordgen.ExprConfig{Symbols: 3, MaxNodes: 40}))
+		tr, err := parsetree.Build(e, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := New(tr)
+		for _, p := range tr.PosNode {
+			for _, q := range tr.PosNode {
+				if ix.CheckIfFollow(p, q) != (ix.ViaCat(p, q) || ix.ViaStar(p, q)) {
+					t.Fatal("CheckIfFollow disagrees with ViaCat∨ViaStar")
+				}
+				if ix.ViaStar(p, q) != ix.ViaLoop(p, q) {
+					t.Fatal("ViaLoop differs from ViaStar on a plain tree")
+				}
+				if ix.CheckIfFollow(p, q) != ix.CheckIfFollowLoop(p, q) {
+					t.Fatal("CheckIfFollowLoop differs on a plain tree")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package glushkov
+
+import (
+	"fmt"
+
+	"dregex/internal/ast"
+	"dregex/internal/parsetree"
+)
+
+// Conflict is a witness of nondeterminism: two distinct equally-labeled
+// positions Q1 and Q2 that both follow position P.
+type Conflict struct {
+	P, Q1, Q2 parsetree.NodeID
+}
+
+// Describe renders the conflict using position indices and labels.
+func (c *Conflict) Describe(t *parsetree.Tree) string {
+	return fmt.Sprintf("positions %s_%d and %s_%d both follow %s_%d",
+		t.Label(c.Q1), t.PosIndex[c.Q1], t.Label(c.Q2), t.PosIndex[c.Q2],
+		t.Label(c.P), t.PosIndex[c.P])
+}
+
+// CheckBK is the Brüggemann-Klein baseline determinism test: build the
+// Glushkov transition relation and stop at the first position that gains
+// two distinct successors with the same label. It returns nil iff the
+// expression is deterministic. For deterministic inputs every position ends
+// with at most σ successors, so the test runs in O(σ|e|) time and space —
+// the bound the paper's Theorem 3.5 improves to O(|e|).
+func CheckBK(t *parsetree.Tree) *Conflict {
+	first, last := FirstLast(t)
+	// succ[p] maps label → the unique successor seen so far.
+	succ := make([]map[ast.Symbol]parsetree.NodeID, t.N())
+	var conflict *Conflict
+	add := func(p, q parsetree.NodeID) bool {
+		m := succ[p]
+		if m == nil {
+			m = map[ast.Symbol]parsetree.NodeID{}
+			succ[p] = m
+		}
+		s := t.Sym[q]
+		if old, ok := m[s]; ok {
+			if old != q {
+				conflict = &Conflict{P: p, Q1: old, Q2: q}
+				return false
+			}
+			return true
+		}
+		m[s] = q
+		return true
+	}
+	for n := parsetree.NodeID(0); n < parsetree.NodeID(t.N()); n++ {
+		var l, r parsetree.NodeID
+		switch t.Op[n] {
+		case parsetree.OpCat:
+			l, r = t.LChild[n], t.RChild[n]
+		case parsetree.OpStar:
+			l, r = t.LChild[n], t.LChild[n]
+		case parsetree.OpIter:
+			if t.Max[n] < 2 {
+				continue
+			}
+			l, r = t.LChild[n], t.LChild[n]
+		default:
+			continue
+		}
+		for _, p := range last[l] {
+			for _, q := range first[r] {
+				if !add(p, q) {
+					return conflict
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// IsDeterministic reports whether the compiled expression is deterministic
+// per the Brüggemann-Klein criterion.
+func IsDeterministic(t *parsetree.Tree) bool { return CheckBK(t) == nil }

@@ -1,0 +1,169 @@
+package glushkov
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"dregex/internal/ast"
+	"dregex/internal/parsetree"
+)
+
+// DFA is the subset-construction determinization of a Glushkov automaton.
+// It exists as a matching baseline and as the language-equivalence oracle
+// for tests; state count can be exponential, so callers cap construction
+// via maxStates.
+type DFA struct {
+	// Trans[state][symbol] = next state, or -1.
+	Trans  []map[ast.Symbol]int
+	Accept []bool
+	// Symbols is the set of symbols with outgoing edges anywhere.
+	Symbols []ast.Symbol
+}
+
+// ErrTooManyStates reports that determinization exceeded the state budget.
+type ErrTooManyStates struct{ Limit int }
+
+func (e ErrTooManyStates) Error() string {
+	return "glushkov: subset construction exceeded " + strconv.Itoa(e.Limit) + " states"
+}
+
+// Determinize runs the subset construction. maxStates bounds the number of
+// DFA states (0 means 1<<16).
+func (a *Automaton) Determinize(maxStates int) (*DFA, error) {
+	if maxStates <= 0 {
+		maxStates = 1 << 16
+	}
+	t := a.T
+	end := t.EndPos()
+	symSet := map[ast.Symbol]bool{}
+	for _, m := range a.Trans {
+		for s := range m {
+			if s != ast.End {
+				symSet[s] = true
+			}
+		}
+	}
+	syms := make([]ast.Symbol, 0, len(symSet))
+	for s := range symSet {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+
+	d := &DFA{Symbols: syms}
+	key := func(set []parsetree.NodeID) string {
+		var b strings.Builder
+		for _, p := range set {
+			b.WriteString(strconv.Itoa(int(p)))
+			b.WriteByte(',')
+		}
+		return b.String()
+	}
+	index := map[string]int{}
+	var sets [][]parsetree.NodeID
+	intern := func(set []parsetree.NodeID) int {
+		sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+		k := key(set)
+		if id, ok := index[k]; ok {
+			return id
+		}
+		id := len(sets)
+		index[k] = id
+		sets = append(sets, set)
+		d.Trans = append(d.Trans, map[ast.Symbol]int{})
+		acc := false
+		for _, p := range set {
+			for _, q := range a.Trans[p][ast.End] {
+				if q == end {
+					acc = true
+				}
+			}
+		}
+		d.Accept = append(d.Accept, acc)
+		return id
+	}
+	start := intern([]parsetree.NodeID{t.BeginPos()})
+	if start != 0 {
+		panic("glushkov: start state must be 0")
+	}
+	for work := 0; work < len(sets); work++ {
+		if len(sets) > maxStates {
+			return nil, ErrTooManyStates{maxStates}
+		}
+		set := sets[work]
+		for _, s := range syms {
+			var next []parsetree.NodeID
+			seen := map[parsetree.NodeID]bool{}
+			for _, p := range set {
+				for _, q := range a.Trans[p][s] {
+					if !seen[q] {
+						seen[q] = true
+						next = append(next, q)
+					}
+				}
+			}
+			if len(next) == 0 {
+				continue
+			}
+			d.Trans[work][s] = intern(next)
+		}
+	}
+	return d, nil
+}
+
+// Match runs the DFA on a word; out-of-alphabet symbols reject.
+func (d *DFA) Match(word []ast.Symbol) bool {
+	state := 0
+	for _, s := range word {
+		next, ok := d.Trans[state][s]
+		if !ok {
+			return false
+		}
+		state = next
+	}
+	return d.Accept[state]
+}
+
+// Equivalent reports whether two DFAs accept the same language, by BFS over
+// the product automaton (with an implicit dead state for missing edges).
+func Equivalent(a, b *DFA) bool {
+	symSet := map[ast.Symbol]bool{}
+	for _, s := range a.Symbols {
+		symSet[s] = true
+	}
+	for _, s := range b.Symbols {
+		symSet[s] = true
+	}
+	type pair struct{ x, y int } // -1 encodes the dead state
+	seen := map[pair]bool{}
+	queue := []pair{{0, 0}}
+	seen[queue[0]] = true
+	acc := func(d *DFA, s int) bool { return s >= 0 && d.Accept[s] }
+	step := func(d *DFA, s int, sym ast.Symbol) int {
+		if s < 0 {
+			return -1
+		}
+		if n, ok := d.Trans[s][sym]; ok {
+			return n
+		}
+		return -1
+	}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if acc(a, p.x) != acc(b, p.y) {
+			return false
+		}
+		if p.x < 0 && p.y < 0 {
+			continue
+		}
+		for sym := range symSet {
+			np := pair{step(a, p.x, sym), step(b, p.y, sym)}
+			if !seen[np] {
+				seen[np] = true
+				queue = append(queue, np)
+			}
+		}
+	}
+	return true
+}

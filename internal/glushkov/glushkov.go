@@ -1,0 +1,172 @@
+// Package glushkov implements the classical position-automaton baseline the
+// paper improves upon: First/Last/Follow sets computed by the syntax-
+// directed merging construction, the Glushkov automaton [12, 2], and the
+// Brüggemann-Klein determinism test [8] ("e is deterministic iff its
+// Glushkov automaton is deterministic"), which runs in O(σ|e|) for
+// deterministic inputs and exhibits the quadratic behaviour discussed in §1
+// on expressions such as E = (a1 + … + am)*.
+//
+// The package doubles as the test oracle for the linear-time algorithms:
+// NFA simulation provides ground-truth membership, and the subset-
+// construction DFA provides language equivalence on small alphabets.
+package glushkov
+
+import (
+	"dregex/internal/ast"
+	"dregex/internal/parsetree"
+)
+
+// Automaton is the Glushkov (position) automaton of a compiled tree.
+// States are position nodes of (#e′)$: the phantom # is the start state and
+// an input is accepted iff the phantom $ is reached, which encodes the
+// usual "Last + nullability" acceptance through rule (R1).
+type Automaton struct {
+	T *parsetree.Tree
+	// Trans[p] maps a symbol to the follow positions of p with that
+	// label, keyed per position node id. Inner nodes have nil maps.
+	Trans []map[ast.Symbol][]parsetree.NodeID
+	// Size is the total number of transitions.
+	Size int
+}
+
+// Build constructs the automaton in time proportional to its size
+// (worst case Θ(|e|²); Θ(σ|e|) for deterministic expressions).
+func Build(t *parsetree.Tree) *Automaton {
+	first, last := FirstLast(t)
+	a := &Automaton{T: t, Trans: make([]map[ast.Symbol][]parsetree.NodeID, t.N())}
+	add := func(p, q parsetree.NodeID) {
+		m := a.Trans[p]
+		if m == nil {
+			m = map[ast.Symbol][]parsetree.NodeID{}
+			a.Trans[p] = m
+		}
+		s := t.Sym[q]
+		for _, old := range m[s] {
+			if old == q {
+				return
+			}
+		}
+		m[s] = append(m[s], q)
+		a.Size++
+	}
+	for n := parsetree.NodeID(0); n < parsetree.NodeID(t.N()); n++ {
+		switch t.Op[n] {
+		case parsetree.OpCat:
+			l, r := t.LChild[n], t.RChild[n]
+			for _, p := range last[l] {
+				for _, q := range first[r] {
+					add(p, q)
+				}
+			}
+		case parsetree.OpStar:
+			c := t.LChild[n]
+			for _, p := range last[c] {
+				for _, q := range first[c] {
+					add(p, q)
+				}
+			}
+		case parsetree.OpIter:
+			if t.Max[n] >= 2 {
+				c := t.LChild[n]
+				for _, p := range last[c] {
+					for _, q := range first[c] {
+						add(p, q)
+					}
+				}
+			}
+		}
+	}
+	return a
+}
+
+// FirstLast computes the First and Last position sets of every node by the
+// classical merging construction. Slices are freshly allocated per node.
+func FirstLast(t *parsetree.Tree) (first, last [][]parsetree.NodeID) {
+	n := t.N()
+	first = make([][]parsetree.NodeID, n)
+	last = make([][]parsetree.NodeID, n)
+	// Children have larger ids (preorder), so a reverse scan is a valid
+	// bottom-up order.
+	for id := parsetree.NodeID(n - 1); id >= 0; id-- {
+		l, r := t.LChild[id], t.RChild[id]
+		switch t.Op[id] {
+		case parsetree.OpSym:
+			first[id] = []parsetree.NodeID{id}
+			last[id] = []parsetree.NodeID{id}
+		case parsetree.OpCat:
+			if t.Nullable[l] {
+				first[id] = concat(first[l], first[r])
+			} else {
+				first[id] = first[l]
+			}
+			if t.Nullable[r] {
+				last[id] = concat(last[r], last[l])
+			} else {
+				last[id] = last[r]
+			}
+		case parsetree.OpUnion:
+			first[id] = concat(first[l], first[r])
+			last[id] = concat(last[l], last[r])
+		default: // Opt, Star, Iter
+			first[id] = first[l]
+			last[id] = last[l]
+		}
+	}
+	return first, last
+}
+
+func concat(a, b []parsetree.NodeID) []parsetree.NodeID {
+	out := make([]parsetree.NodeID, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// Match simulates the automaton on a word of interned symbols (without the
+// phantom markers) by position-set simulation: O(|e|·|w|) worst case.
+func (a *Automaton) Match(word []ast.Symbol) bool {
+	t := a.T
+	cur := []parsetree.NodeID{t.BeginPos()}
+	seen := make([]int32, t.N())
+	for i := range seen {
+		seen[i] = -1
+	}
+	for step, s := range word {
+		var next []parsetree.NodeID
+		for _, p := range cur {
+			for _, q := range a.Trans[p][s] {
+				if seen[q] != int32(step) {
+					seen[q] = int32(step)
+					next = append(next, q)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = next
+	}
+	end := t.Sym[t.EndPos()]
+	for _, p := range cur {
+		for _, q := range a.Trans[p][end] {
+			if q == t.EndPos() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MatchNames interns the given symbol names against the tree's alphabet and
+// matches; names absent from the alphabet (and the reserved markers # and
+// $) reject immediately.
+func (a *Automaton) MatchNames(names []string) bool {
+	word := make([]ast.Symbol, len(names))
+	for i, n := range names {
+		s, ok := a.T.Alpha.Lookup(n)
+		if !ok || s == ast.Begin || s == ast.End {
+			return false
+		}
+		word[i] = s
+	}
+	return a.Match(word)
+}

@@ -1,0 +1,304 @@
+package glushkov
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dregex/internal/ast"
+	"dregex/internal/follow"
+	"dregex/internal/parsetree"
+	"dregex/internal/wordgen"
+)
+
+func compile(t *testing.T, expr string) *parsetree.Tree {
+	t.Helper()
+	alpha := ast.NewAlphabet()
+	e := ast.Normalize(ast.MustParseMath(expr, alpha))
+	tr, err := parsetree.Build(e, alpha)
+	if err != nil {
+		t.Fatalf("Build(%q): %v", expr, err)
+	}
+	return tr
+}
+
+// matchChars matches a word of single-character symbols.
+func matchChars(a *Automaton, w string) bool {
+	names := make([]string, 0, len(w))
+	for _, r := range w {
+		names = append(names, string(r))
+	}
+	return a.MatchNames(names)
+}
+
+func TestDeterminismExamplesFromPaper(t *testing.T) {
+	cases := []struct {
+		expr string
+		det  bool
+	}{
+		{"(ab+b(b?)a)*", true},          // e1, Example 2.1
+		{"(a*ba+bb)*", false},           // e2, Example 2.1
+		{"ab*b", false},                 // §1: "the expression ab∗b is ambiguous"
+		{"(a+b)*", true},                // mixed content, distinct symbols
+		{"(a+a)*", false},               // mixed content, duplicate
+		{"(c(b?a?))a", false},           // §3.2 discussion
+		{"(c(a?b?))a", false},           // §3.2: e′
+		{"(c(b?a)*)a", false},           // §3.2: e″
+		{"(c(b?a))a", true},             // §3.2: e‴ is deterministic
+		{"(a(b?a))*", true},             // §3.2 combination (2) discussion
+		{"(a(b?a?))*", false},           // §3.2: nondeterministic variant
+		{"(c?((ab*)(a?c)))*(ba)", true}, // Figure 1
+		{"a?b?c?", true},
+		{"(a+b)(a+c)", true},
+		{"a*a", false},
+		{"(ab)*a(b+d)", false}, // counter example base: (ab)*a is ambiguous
+	}
+	for _, c := range cases {
+		tr := compile(t, c.expr)
+		conflict := CheckBK(tr)
+		if got := conflict == nil; got != c.det {
+			t.Errorf("CheckBK(%s): deterministic = %v, want %v (conflict %+v)",
+				c.expr, got, c.det, conflict)
+		}
+		if conflict != nil {
+			validateConflict(t, tr, conflict, c.expr)
+		}
+	}
+}
+
+// validateConflict checks the conflict witness against the brute-force
+// follow relation.
+func validateConflict(t *testing.T, tr *parsetree.Tree, c *Conflict, expr string) {
+	t.Helper()
+	if c.Q1 == c.Q2 {
+		t.Errorf("%s: conflict with identical positions", expr)
+	}
+	if tr.Sym[c.Q1] != tr.Sym[c.Q2] {
+		t.Errorf("%s: conflict positions carry different labels", expr)
+	}
+	b := follow.Brute(tr)
+	if !b.Follow[c.P][c.Q1] || !b.Follow[c.P][c.Q2] {
+		t.Errorf("%s: conflict positions do not both follow P: %s", expr, c.Describe(tr))
+	}
+}
+
+func TestMatchHandPicked(t *testing.T) {
+	a := Build(compile(t, "(ab+b(b?)a)*"))
+	accept := []string{"", "ab", "ba", "bba", "abbaab", "bbaab", "abab"}
+	reject := []string{"a", "b", "bb", "aba", "abb", "baa", "c"}
+	for _, w := range accept {
+		if !matchChars(a, w) {
+			t.Errorf("(ab+b(b?)a)* must accept %q", w)
+		}
+	}
+	for _, w := range reject {
+		if matchChars(a, w) {
+			t.Errorf("(ab+b(b?)a)* must reject %q", w)
+		}
+	}
+	// Paper §3.3 example language fragment: (ab){2}a(b+d) — via unrolling.
+	alpha := ast.NewAlphabet()
+	e := ast.MustParseMath("(ab){2}a(b+d)", alpha)
+	u, err := ast.Unroll(e, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := parsetree.Build(ast.Normalize(u), alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := Build(tr)
+	if !matchChars(a2, "ababab") || !matchChars(a2, "abab"+"ad") {
+		t.Error("(ab){2}a(b+d): abab·a(b|d) must be accepted")
+	}
+	if matchChars(a2, "aba") || matchChars(a2, "ababab"+"x") {
+		t.Error("(ab){2}a(b+d): bad words accepted")
+	}
+}
+
+// enumWords yields all words over syms up to length maxLen.
+func enumWords(syms []string, maxLen int, f func([]string)) {
+	var rec func(cur []string)
+	rec = func(cur []string) {
+		f(cur)
+		if len(cur) == maxLen {
+			return
+		}
+		for _, s := range syms {
+			rec(append(cur, s))
+		}
+	}
+	rec(nil)
+}
+
+func TestNFAvsDFAEnumerated(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	syms := []string{"a", "b", "c"}
+	for trial := 0; trial < 60; trial++ {
+		alpha := ast.NewAlphabet()
+		e := ast.Normalize(wordgen.RandomExpr(r, alpha, wordgen.ExprConfig{Symbols: 3, MaxNodes: 25}))
+		tr, err := parsetree.Build(e, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := Build(tr)
+		d, err := a.Determinize(1 << 12)
+		if err != nil {
+			continue // oversized; skip this sample
+		}
+		enumWords(syms, 5, func(w []string) {
+			nfa := a.MatchNames(w)
+			word := make([]ast.Symbol, len(w))
+			ok := true
+			for i, n := range w {
+				s, found := alpha.Lookup(n)
+				if !found {
+					ok = false
+					break
+				}
+				word[i] = s
+			}
+			dfa := ok && d.Match(word)
+			if nfa != dfa {
+				t.Fatalf("expr %s word %s: NFA=%v DFA=%v",
+					ast.StringMath(e, alpha), strings.Join(w, ""), nfa, dfa)
+			}
+		})
+	}
+}
+
+func TestNormalizePreservesLanguage(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 60; trial++ {
+		alpha := ast.NewAlphabet()
+		e := wordgen.RandomExpr(r, alpha, wordgen.ExprConfig{Symbols: 3, MaxNodes: 20})
+		ne := ast.Normalize(e)
+		tr1, err := parsetree.Build(ast.Normalize(e), alpha) // normalize twice: idempotent input
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr2, err := parsetree.Build(ne, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1, err1 := Build(tr1).Determinize(1 << 12)
+		d2, err2 := Build(tr2).Determinize(1 << 12)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if !Equivalent(d1, d2) {
+			t.Fatalf("normalization changed language of %s", ast.StringMath(e, alpha))
+		}
+	}
+}
+
+func TestUnrollPreservesLanguage(t *testing.T) {
+	exprs := []string{"a{2,4}", "(ab){1,3}", "(a+b){2}", "a{3,}", "(a{2})*", "(a?){1,2}b"}
+	for _, expr := range exprs {
+		alpha := ast.NewAlphabet()
+		e := ast.MustParseMath(expr, alpha)
+		u1, err := ast.Unroll(e, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u2, err := ast.Unroll(ast.Normalize(e), 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr1, err := parsetree.Build(ast.Normalize(u1), alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr2, err := parsetree.Build(ast.Normalize(u2), alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1, err1 := Build(tr1).Determinize(0)
+		d2, err2 := Build(tr2).Determinize(0)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: determinize failed: %v %v", expr, err1, err2)
+		}
+		if !Equivalent(d1, d2) {
+			t.Fatalf("%s: normalization+unroll changed the language", expr)
+		}
+	}
+}
+
+func TestDesugarPlusPreservesDeterminismAndLanguage(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		alpha := ast.NewAlphabet()
+		e := wordgen.CHARE(r, alpha, 1+r.Intn(4), 3)
+		plain := ast.Normalize(ast.DesugarPlus(e))
+		tr, err := parsetree.Build(plain, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if CheckBK(tr) != nil {
+			t.Fatalf("CHARE instance became nondeterministic after DesugarPlus: %s",
+				ast.StringDTD(e, alpha))
+		}
+	}
+}
+
+func TestMixedContentFamily(t *testing.T) {
+	alpha := ast.NewAlphabet()
+	e := wordgen.MixedContent(alpha, 50)
+	tr, err := parsetree.Build(ast.Normalize(e), alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CheckBK(tr) != nil {
+		t.Fatal("(a1+…+a50)* must be deterministic")
+	}
+	a := Build(tr)
+	// Quadratic size: m² loop transitions plus the initial/star structure.
+	if a.Size < 50*50 {
+		t.Errorf("Glushkov size = %d, expected ≥ 2500 (the quadratic blowup of §1)", a.Size)
+	}
+	if !a.MatchNames([]string{"a", "z", "a", "b"}) {
+		t.Error("mixed content word rejected")
+	}
+	if a.MatchNames([]string{"a", "nope"}) {
+		t.Error("unknown symbol accepted")
+	}
+}
+
+func TestDeterministicGeneratorsAreDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 80; trial++ {
+		alpha := ast.NewAlphabet()
+		e := wordgen.RandomDeterministicExpr(r, alpha, 8, 40, trial%2 == 0)
+		tr, err := parsetree.Build(e, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := CheckBK(tr); c != nil {
+			t.Fatalf("RandomDeterministicExpr produced nondeterministic %s: %s",
+				ast.StringMath(e, alpha), c.Describe(tr))
+		}
+	}
+	for _, gen := range []func() (*ast.Alphabet, *ast.Node){
+		func() (*ast.Alphabet, *ast.Node) {
+			a := ast.NewAlphabet()
+			return a, wordgen.KOccurrence(a, 5, 3)
+		},
+		func() (*ast.Alphabet, *ast.Node) {
+			a := ast.NewAlphabet()
+			return a, wordgen.DeepAlternation(a, 3, 3)
+		},
+		func() (*ast.Alphabet, *ast.Node) {
+			a := ast.NewAlphabet()
+			return a, wordgen.StarFree(rand.New(rand.NewSource(31)), a, 10, 40)
+		},
+	} {
+		alpha, e := gen()
+		tr, err := parsetree.Build(ast.Normalize(e), alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := CheckBK(tr); c != nil {
+			t.Fatalf("workload generator produced nondeterministic expression: %s", c.Describe(tr))
+		}
+	}
+}

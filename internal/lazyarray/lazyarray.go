@@ -1,0 +1,90 @@
+// Package lazyarray implements the constant-time-initialization associative
+// array of the paper's §4.3 ("Lazy arrays", references [17, 22]): an array A
+// of values, a counter C of active keys, and two cross-validating index
+// arrays B and F such that key k is active iff 1 ≤ B[k] ≤ C and F[B[k]] = k.
+//
+// The classic trick allocates A, B and F as uninitialized memory; Go's
+// allocator zero-fills, so the initial allocation is O(N) here (see
+// DESIGN.md §4.2 for the substitution note). What the structure still buys —
+// and what the matchers rely on — is Reset in O(1), letting one allocation
+// be reused across arbitrarily many runs, exactly the workload of the
+// paper's transition-simulation preprocessing.
+package lazyarray
+
+// Array is a lazy array with keys in [0, N). The zero value is unusable;
+// call New.
+type Array[V any] struct {
+	a []V     // values
+	b []int32 // b[k]: position of k in f, if active
+	f []int32 // f[i]: the i-th activated key
+	c int32   // number of active keys
+}
+
+// New returns a lazy array for keys 0..n-1.
+func New[V any](n int) *Array[V] {
+	return &Array[V]{
+		a: make([]V, n),
+		b: make([]int32, n),
+		f: make([]int32, n),
+	}
+}
+
+// Len returns the key-space size N.
+func (l *Array[V]) Len() int { return len(l.a) }
+
+// Count returns the number of active keys.
+func (l *Array[V]) Count() int { return int(l.c) }
+
+// active reports whether key k currently holds a value.
+func (l *Array[V]) active(k int32) bool {
+	return l.b[k] >= 1 && l.b[k] <= l.c && l.f[l.b[k]-1] == k
+}
+
+// Set assigns value v to key k in O(1).
+func (l *Array[V]) Set(k int, v V) {
+	kk := int32(k)
+	if !l.active(kk) {
+		l.f[l.c] = kk
+		l.c++
+		l.b[kk] = l.c
+	}
+	l.a[kk] = v
+}
+
+// Get returns the value at key k and whether it is set, in O(1).
+func (l *Array[V]) Get(k int) (V, bool) {
+	kk := int32(k)
+	if l.active(kk) {
+		return l.a[kk], true
+	}
+	var zero V
+	return zero, false
+}
+
+// Delete removes key k in O(1) (swap-with-last on the active list).
+func (l *Array[V]) Delete(k int) {
+	kk := int32(k)
+	if !l.active(kk) {
+		return
+	}
+	pos := l.b[kk] - 1
+	last := l.f[l.c-1]
+	l.f[pos] = last
+	l.b[last] = pos + 1
+	l.c--
+	var zero V
+	l.a[kk] = zero
+}
+
+// Reset deactivates every key in O(1) — the operation hash maps cannot
+// match (§4.3: "lazy arrays stand on their own merit because they allow a
+// constant time reset operation").
+func (l *Array[V]) Reset() { l.c = 0 }
+
+// Keys appends the active keys to dst and returns it (order of activation).
+func (l *Array[V]) Keys(dst []int) []int {
+	for i := int32(0); i < l.c; i++ {
+		dst = append(dst, int(l.f[i]))
+	}
+	return dst
+}

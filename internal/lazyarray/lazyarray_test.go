@@ -1,0 +1,115 @@
+package lazyarray
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasic(t *testing.T) {
+	l := New[string](8)
+	if _, ok := l.Get(3); ok {
+		t.Fatal("fresh array has an active key")
+	}
+	l.Set(3, "x")
+	if v, ok := l.Get(3); !ok || v != "x" {
+		t.Fatal("Set/Get broken")
+	}
+	l.Set(3, "y")
+	if v, _ := l.Get(3); v != "y" {
+		t.Fatal("overwrite broken")
+	}
+	if l.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", l.Count())
+	}
+	l.Reset()
+	if _, ok := l.Get(3); ok || l.Count() != 0 {
+		t.Fatal("Reset did not deactivate keys")
+	}
+	// Keys left from before Reset must not resurrect.
+	l.Set(5, "z")
+	if _, ok := l.Get(3); ok {
+		t.Fatal("stale key resurrected after Reset")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	l := New[int](10)
+	for i := 0; i < 10; i += 2 {
+		l.Set(i, i*i)
+	}
+	l.Delete(4)
+	l.Delete(4) // double delete is a no-op
+	if _, ok := l.Get(4); ok {
+		t.Fatal("deleted key still active")
+	}
+	for _, i := range []int{0, 2, 6, 8} {
+		if v, ok := l.Get(i); !ok || v != i*i {
+			t.Fatalf("key %d lost after Delete", i)
+		}
+	}
+	if l.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", l.Count())
+	}
+}
+
+// TestAgainstMap drives random operation sequences against a map.
+func TestAgainstMap(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(100)
+		l := New[int](n)
+		ref := map[int]int{}
+		for op := 0; op < 1000; op++ {
+			k := r.Intn(n)
+			switch r.Intn(5) {
+			case 0, 1, 2:
+				v := r.Int()
+				l.Set(k, v)
+				ref[k] = v
+			case 3:
+				l.Delete(k)
+				delete(ref, k)
+			case 4:
+				if r.Intn(20) == 0 {
+					l.Reset()
+					ref = map[int]int{}
+				}
+			}
+			if l.Count() != len(ref) {
+				t.Fatalf("Count = %d, map has %d", l.Count(), len(ref))
+			}
+			got, ok := l.Get(k)
+			want, wok := ref[k]
+			if ok != wok || (ok && got != want) {
+				t.Fatalf("Get(%d) = (%d,%v), want (%d,%v)", k, got, ok, want, wok)
+			}
+		}
+		keys := l.Keys(nil)
+		if len(keys) != len(ref) {
+			t.Fatalf("Keys: %d, want %d", len(keys), len(ref))
+		}
+		for _, k := range keys {
+			if _, ok := ref[k]; !ok {
+				t.Fatalf("Keys contains inactive key %d", k)
+			}
+		}
+	}
+}
+
+func TestQuickResetIsolation(t *testing.T) {
+	// Property: after Reset, no key from the previous epoch is visible,
+	// regardless of the write pattern.
+	f := func(writes []uint8, probe uint8) bool {
+		l := New[int](256)
+		for _, w := range writes {
+			l.Set(int(w), 1)
+		}
+		l.Reset()
+		_, ok := l.Get(int(probe))
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

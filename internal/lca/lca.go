@@ -1,0 +1,82 @@
+// Package lca answers lowest-common-ancestor queries on a parse tree in
+// O(1) after O(|e|) preprocessing, via the classical reduction to ±1 range
+// minimum queries over the Euler tour (Bender–Farach-Colton; reference [1]
+// of the paper). This is the engine behind Theorem 2.4 (constant-time
+// checkIfFollow) and Lemma 3.1 (linear-time skeleton construction).
+package lca
+
+import (
+	"dregex/internal/parsetree"
+	"dregex/internal/rmq"
+)
+
+// LCA is a preprocessed lowest-common-ancestor index for one tree.
+type LCA struct {
+	tree  *parsetree.Tree
+	euler []int32 // node at each Euler-tour step
+	depth []int32 // depth at each Euler-tour step (±1 sequence)
+	first []int32 // first Euler-tour occurrence of each node
+	rmq   *rmq.PM1
+}
+
+// New preprocesses t for O(1) LCA queries in O(|t|) time and space.
+func New(t *parsetree.Tree) *LCA {
+	n := t.N()
+	l := &LCA{
+		tree:  t,
+		euler: make([]int32, 0, 2*n-1),
+		depth: make([]int32, 0, 2*n-1),
+		first: make([]int32, n),
+	}
+	for i := range l.first {
+		l.first[i] = -1
+	}
+	// Iterative Euler tour: visit a node, descend to each child in turn,
+	// and record the node again after each child's subtree.
+	type frame struct {
+		node  parsetree.NodeID
+		stage int8 // 0: first visit; 1: returned from left; 2: from right
+	}
+	stack := make([]frame, 0, 64)
+	stack = append(stack, frame{t.Root, 0})
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		id := f.node
+		step := int32(len(l.euler))
+		l.euler = append(l.euler, id)
+		l.depth = append(l.depth, t.Depth[id])
+		if l.first[id] < 0 {
+			l.first[id] = step
+		}
+		switch f.stage {
+		case 0:
+			if c := t.LChild[id]; c != parsetree.Null {
+				stack = append(stack, frame{id, 1})
+				stack = append(stack, frame{c, 0})
+			}
+		case 1:
+			if c := t.RChild[id]; c != parsetree.Null {
+				stack = append(stack, frame{id, 2})
+				stack = append(stack, frame{c, 0})
+			}
+		}
+	}
+	l.rmq = rmq.NewPM1(l.depth)
+	return l
+}
+
+// Query returns the lowest common ancestor of u and v.
+func (l *LCA) Query(u, v parsetree.NodeID) parsetree.NodeID {
+	if u == v {
+		return u
+	}
+	i, j := l.first[u], l.first[v]
+	if i > j {
+		i, j = j, i
+	}
+	return l.euler[l.rmq.MinIndex(int(i), int(j)+1)]
+}
+
+// Tree returns the tree this index was built for.
+func (l *LCA) Tree() *parsetree.Tree { return l.tree }

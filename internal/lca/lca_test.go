@@ -1,0 +1,146 @@
+package lca
+
+import (
+	"math/rand"
+	"testing"
+
+	"dregex/internal/ast"
+	"dregex/internal/parsetree"
+	"dregex/internal/wordgen"
+)
+
+func buildTree(t *testing.T, expr string) *parsetree.Tree {
+	t.Helper()
+	alpha := ast.NewAlphabet()
+	e := ast.Normalize(ast.MustParseMath(expr, alpha))
+	tr, err := parsetree.Build(e, alpha)
+	if err != nil {
+		t.Fatalf("Build(%q): %v", expr, err)
+	}
+	return tr
+}
+
+// naiveLCA walks parent pointers.
+func naiveLCA(tr *parsetree.Tree, u, v parsetree.NodeID) parsetree.NodeID {
+	anc := map[parsetree.NodeID]bool{}
+	for x := u; x != parsetree.Null; x = tr.Parent[x] {
+		anc[x] = true
+	}
+	for x := v; x != parsetree.Null; x = tr.Parent[x] {
+		if anc[x] {
+			return x
+		}
+	}
+	return parsetree.Null
+}
+
+func TestLCAExhaustiveSmall(t *testing.T) {
+	exprs := []string{
+		"a",
+		"ab",
+		"(c?((ab*)(a?c)))*(ba)",
+		"(ab+b(b?)a)*",
+		"((a+b)?c)*d?",
+		"a?b?c?d?e?",
+	}
+	for _, expr := range exprs {
+		tr := buildTree(t, expr)
+		idx := New(tr)
+		n := parsetree.NodeID(tr.N())
+		for u := parsetree.NodeID(0); u < n; u++ {
+			for v := parsetree.NodeID(0); v < n; v++ {
+				got := idx.Query(u, v)
+				want := naiveLCA(tr, u, v)
+				if got != want {
+					t.Fatalf("%s: LCA(%d,%d) = %d, want %d", expr, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLCARandomLarge(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		alpha := ast.NewAlphabet()
+		e := ast.Normalize(wordgen.RandomExpr(r, alpha, wordgen.ExprConfig{
+			Symbols:  6,
+			MaxNodes: 400,
+		}))
+		tr, err := parsetree.Build(e, alpha)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		idx := New(tr)
+		n := tr.N()
+		for q := 0; q < 2000; q++ {
+			u := parsetree.NodeID(r.Intn(n))
+			v := parsetree.NodeID(r.Intn(n))
+			got := idx.Query(u, v)
+			want := naiveLCA(tr, u, v)
+			if got != want {
+				t.Fatalf("trial %d: LCA(%d,%d) = %d, want %d", trial, u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestLCAProperties(t *testing.T) {
+	tr := buildTree(t, "(a(b?c)*)+(d(e+f)?)*")
+	idx := New(tr)
+	n := parsetree.NodeID(tr.N())
+	for u := parsetree.NodeID(0); u < n; u++ {
+		if idx.Query(u, u) != u {
+			t.Fatalf("LCA(%d,%d) != %d", u, u, u)
+		}
+		if idx.Query(tr.Root, u) != tr.Root {
+			t.Fatal("LCA with root must be root")
+		}
+		for v := parsetree.NodeID(0); v < n; v++ {
+			l := idx.Query(u, v)
+			if l != idx.Query(v, u) {
+				t.Fatal("LCA not symmetric")
+			}
+			if !tr.IsAncestor(l, u) || !tr.IsAncestor(l, v) {
+				t.Fatal("LCA is not a common ancestor")
+			}
+			// An ancestor of u that is an ancestor of v must be above l.
+			if tr.IsAncestor(u, v) && l != u {
+				t.Fatal("LCA of ancestor pair must be the ancestor")
+			}
+		}
+	}
+	if idx.Tree() != tr {
+		t.Fatal("Tree() identity")
+	}
+}
+
+func TestMixedContentScale(t *testing.T) {
+	// A large balanced union under a star: exercises deep-ish trees and the
+	// block boundaries of the ±1 RMQ.
+	alpha := ast.NewAlphabet()
+	e := wordgen.MixedContent(alpha, 3000)
+	tr, err := parsetree.Build(ast.Normalize(e), alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := New(tr)
+	r := rand.New(rand.NewSource(9))
+	for q := 0; q < 5000; q++ {
+		u := parsetree.NodeID(r.Intn(tr.N()))
+		v := parsetree.NodeID(r.Intn(tr.N()))
+		l := idx.Query(u, v)
+		if !tr.IsAncestor(l, u) || !tr.IsAncestor(l, v) {
+			t.Fatalf("LCA(%d,%d)=%d is not a common ancestor", u, v, l)
+		}
+		// Lowest: neither child of l on the u/v sides is a common ancestor.
+		if l != u && l != v {
+			lc, rc := tr.LChild[l], tr.RChild[l]
+			for _, c := range []parsetree.NodeID{lc, rc} {
+				if c != parsetree.Null && tr.IsAncestor(c, u) && tr.IsAncestor(c, v) {
+					t.Fatalf("LCA(%d,%d)=%d not lowest", u, v, l)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package kore
+
+import (
+	"testing"
+
+	"dregex/internal/ast"
+	"dregex/internal/follow"
+	"dregex/internal/match"
+	"dregex/internal/parsetree"
+	"dregex/internal/wordgen"
+)
+
+// The cross-engine and oracle fuzzing for this matcher lives in
+// package match's test suite; here only the k-ORE-specific accounting is
+// checked.
+
+func compile(t *testing.T, e *ast.Node, alpha *ast.Alphabet) (*parsetree.Tree, *follow.Index) {
+	t.Helper()
+	tr, err := parsetree.Build(ast.Normalize(e), alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, follow.New(tr)
+}
+
+func TestOccurrenceBookkeeping(t *testing.T) {
+	alpha := ast.NewAlphabet()
+	tr, fol := compile(t, ast.MustParseMath("(ab+b(b?)a)*", alpha), alpha)
+	m := New(tr, fol)
+	if m.K != 3 { // three b's
+		t.Fatalf("K = %d, want 3", m.K)
+	}
+	b, _ := alpha.Lookup("b")
+	a, _ := alpha.Lookup("a")
+	if len(m.occ[b]) != 3 || len(m.occ[a]) != 2 {
+		t.Fatalf("occurrence lists wrong: b=%d a=%d", len(m.occ[b]), len(m.occ[a]))
+	}
+	// Occurrence lists are in document order.
+	for _, occ := range m.occ {
+		for i := 1; i < len(occ); i++ {
+			if occ[i-1] >= occ[i] {
+				t.Fatal("occurrence list not in document order")
+			}
+		}
+	}
+}
+
+func TestUnknownSymbol(t *testing.T) {
+	alpha := ast.NewAlphabet()
+	tr, fol := compile(t, ast.MustParseMath("ab", alpha), alpha)
+	m := New(tr, fol)
+	other := alpha.Intern("zz") // interned after preprocessing
+	if q := m.Next(tr.BeginPos(), other); q != parsetree.Null {
+		t.Fatalf("transition on unseen symbol returned %d", q)
+	}
+}
+
+func TestOneOREFastPath(t *testing.T) {
+	// 1-OREs are the common real-world case (98% per the paper's related
+	// work): each transition does exactly one checkIfFollow.
+	alpha := ast.NewAlphabet()
+	tr, fol := compile(t, ast.Normalize(wordgen.KOccurrence(alpha, 12, 1)), alpha)
+	m := New(tr, fol)
+	if m.K != 1 {
+		t.Fatalf("K = %d, want 1", m.K)
+	}
+	w := []string{"sep0"}
+	for i := 0; i < 12; i++ {
+		w = append(w, wordgen.SymbolName(i))
+	}
+	if !match.Names(m, w) {
+		t.Fatal("full block must match")
+	}
+	if match.Names(m, append(w, "sep0")) {
+		t.Fatal("trailing separator must reject")
+	}
+}

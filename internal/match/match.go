@@ -1,0 +1,190 @@
+// Package match defines the transition-simulation contract shared by all
+// matchers of the paper's §4 and the word/stream drivers built on it.
+//
+// Every matcher realizes one procedure: "given a position p and a symbol a,
+// return the position labeled a that follows p, or Null" (§4, intro). With
+// rule (R1) in place, matching a word w against e′ is: start at the phantom
+// position #, step through w, and finally test whether the phantom $
+// follows the last position (§4: "matching a word w against e′ is
+// straightforward").
+//
+// All matchers are streamable: drivers consume input symbol by symbol in
+// one pass and keep O(1) state beyond the preprocessed expression.
+package match
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"dregex/internal/ast"
+	"dregex/internal/parsetree"
+)
+
+// TransitionSim is the §4 transition-simulation procedure.
+type TransitionSim interface {
+	// Tree returns the compiled expression the simulator runs on.
+	Tree() *parsetree.Tree
+	// Start returns the initial position (the phantom #).
+	Start() parsetree.NodeID
+	// Next returns the position labeled a that follows p, or Null.
+	Next(p parsetree.NodeID, a ast.Symbol) parsetree.NodeID
+	// Accept reports whether a word ending at position p is in L(e),
+	// i.e. whether the phantom $ follows p.
+	Accept(p parsetree.NodeID) bool
+}
+
+// Word matches a word of interned symbols.
+func Word(sim TransitionSim, word []ast.Symbol) bool {
+	p := sim.Start()
+	for _, a := range word {
+		p = sim.Next(p, a)
+		if p == parsetree.Null {
+			return false
+		}
+	}
+	return sim.Accept(p)
+}
+
+// Names matches a word of symbol names; names outside the alphabet (or the
+// reserved markers) reject.
+func Names(sim TransitionSim, names []string) bool {
+	alpha := sim.Tree().Alpha
+	p := sim.Start()
+	for _, n := range names {
+		a, ok := alpha.Lookup(n)
+		if !ok || a == ast.Begin || a == ast.End {
+			return false
+		}
+		p = sim.Next(p, a)
+		if p == parsetree.Null {
+			return false
+		}
+	}
+	return sim.Accept(p)
+}
+
+// Chars matches a word of single-rune symbols (the paper's mathematical
+// notation).
+func Chars(sim TransitionSim, w string) bool {
+	alpha := sim.Tree().Alpha
+	p := sim.Start()
+	for _, r := range w {
+		a, ok := alpha.Lookup(string(r))
+		if !ok || a == ast.Begin || a == ast.End {
+			return false
+		}
+		p = sim.Next(p, a)
+		if p == parsetree.Null {
+			return false
+		}
+	}
+	return sim.Accept(p)
+}
+
+// Stream is an incremental matcher: feed symbols one at a time, query
+// acceptance at any prefix. The zero value is unusable; call NewStream.
+type Stream struct {
+	sim  TransitionSim
+	cur  parsetree.NodeID
+	dead bool
+	fed  int
+}
+
+// NewStream starts a stream at the phantom # position.
+func NewStream(sim TransitionSim) *Stream {
+	return &Stream{sim: sim, cur: sim.Start()}
+}
+
+// Feed consumes one symbol; it reports whether the prefix read so far is
+// still a viable prefix of some word in L(e).
+func (s *Stream) Feed(a ast.Symbol) bool {
+	if s.dead {
+		return false
+	}
+	s.fed++
+	s.cur = s.sim.Next(s.cur, a)
+	if s.cur == parsetree.Null {
+		s.dead = true
+	}
+	return !s.dead
+}
+
+// FeedName consumes one symbol by name.
+func (s *Stream) FeedName(name string) bool {
+	a, ok := s.sim.Tree().Alpha.Lookup(name)
+	if !ok || a == ast.Begin || a == ast.End {
+		s.dead = true
+		return false
+	}
+	return s.Feed(a)
+}
+
+// Accepts reports whether the prefix consumed so far is in L(e).
+func (s *Stream) Accepts() bool {
+	return !s.dead && s.sim.Accept(s.cur)
+}
+
+// Alive reports whether some extension of the consumed prefix could still
+// be accepted (false once a symbol had no follower).
+func (s *Stream) Alive() bool { return !s.dead }
+
+// Len returns the number of symbols consumed.
+func (s *Stream) Len() int { return s.fed }
+
+// Reset rewinds the stream to the empty prefix.
+func (s *Stream) Reset() {
+	s.cur = s.sim.Start()
+	s.dead = false
+	s.fed = 0
+}
+
+// Position returns the current position (for diagnostics); Null when dead.
+func (s *Stream) Position() parsetree.NodeID {
+	if s.dead {
+		return parsetree.Null
+	}
+	return s.cur
+}
+
+// ReaderRunes matches the runes of r as single-character symbols, reading
+// the input in one sequential pass (the §1 "streamable" claim: w is never
+// stored). Malformed input returns an error.
+func ReaderRunes(sim TransitionSim, r io.Reader) (bool, error) {
+	br := bufio.NewReader(r)
+	s := NewStream(sim)
+	for {
+		ch, _, err := br.ReadRune()
+		if err == io.EOF {
+			return s.Accepts(), nil
+		}
+		if err != nil {
+			return false, fmt.Errorf("match: read: %w", err)
+		}
+		if ch == '\n' || ch == '\r' {
+			continue
+		}
+		if !s.FeedName(string(ch)) {
+			// Drain is unnecessary: the verdict is already final.
+			return false, nil
+		}
+	}
+}
+
+// ReaderTokens matches whitespace-separated symbol names from r in one
+// sequential pass.
+func ReaderTokens(sim TransitionSim, r io.Reader) (bool, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	sc.Split(bufio.ScanWords)
+	s := NewStream(sim)
+	for sc.Scan() {
+		if !s.FeedName(sc.Text()) {
+			return false, sc.Err()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return false, err
+	}
+	return s.Accepts(), nil
+}

@@ -1,0 +1,256 @@
+package match_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dregex/internal/ast"
+	"dregex/internal/follow"
+	"dregex/internal/glushkov"
+	"dregex/internal/match"
+	"dregex/internal/match/colored"
+	"dregex/internal/match/kore"
+	"dregex/internal/match/pathdecomp"
+	"dregex/internal/parsetree"
+	"dregex/internal/wordgen"
+	"dregex/internal/words"
+)
+
+// sims builds every deterministic transition simulator for tr.
+func sims(t *testing.T, tr *parsetree.Tree, fol *follow.Index) map[string]match.TransitionSim {
+	t.Helper()
+	out := map[string]match.TransitionSim{
+		"kore": kore.New(tr, fol),
+	}
+	cm, err := colored.New(tr, fol, colored.Options{})
+	if err != nil {
+		t.Fatalf("colored.New: %v", err)
+	}
+	out["colored-veb"] = cm
+	cb, err := colored.New(tr, fol, colored.Options{BinarySearch: true})
+	if err != nil {
+		t.Fatalf("colored.New(binary): %v", err)
+	}
+	out["colored-bin"] = cb
+	cl, err := colored.NewClimbing(tr, fol)
+	if err != nil {
+		t.Fatalf("colored.NewClimbing: %v", err)
+	}
+	out["climbing"] = cl
+	pd, err := pathdecomp.New(tr, fol)
+	if err != nil {
+		t.Fatalf("pathdecomp.New: %v", err)
+	}
+	out["pathdecomp"] = pd
+	return out
+}
+
+func compileDet(t *testing.T, expr string) (*parsetree.Tree, *follow.Index) {
+	t.Helper()
+	alpha := ast.NewAlphabet()
+	e := ast.Normalize(ast.MustParseMath(expr, alpha))
+	tr, err := parsetree.Build(e, alpha)
+	if err != nil {
+		t.Fatalf("Build(%q): %v", expr, err)
+	}
+	return tr, follow.New(tr)
+}
+
+func TestHandPickedWords(t *testing.T) {
+	cases := []struct {
+		expr   string
+		accept []string
+		reject []string
+	}{
+		{
+			expr:   "(ab+b(b?)a)*",
+			accept: []string{"", "ab", "ba", "bba", "abbaab", "bbaab", "abab"},
+			reject: []string{"a", "b", "bb", "aba", "abb", "baa", "c"},
+		},
+		{
+			expr:   "(c?((ab*)(a?c)))*(ba)",
+			accept: []string{"ba", "acba", "abbbacba", "aacacba", "cacaacba"},
+			reject: []string{"", "b", "ab", "acb", "bab", "caba"},
+		},
+		{
+			expr:   "a?b?c?",
+			accept: []string{"", "a", "b", "c", "ab", "ac", "bc", "abc"},
+			reject: []string{"aa", "ba", "cb", "abca"},
+		},
+		{
+			expr:   "(a+b)*",
+			accept: []string{"", "a", "b", "abba", "bbbb"},
+			reject: []string{"c", "abc"},
+		},
+	}
+	for _, c := range cases {
+		tr, fol := compileDet(t, c.expr)
+		for name, sim := range sims(t, tr, fol) {
+			for _, w := range c.accept {
+				if !match.Chars(sim, w) {
+					t.Errorf("%s/%s must accept %q", c.expr, name, w)
+				}
+			}
+			for _, w := range c.reject {
+				if match.Chars(sim, w) {
+					t.Errorf("%s/%s must reject %q", c.expr, name, w)
+				}
+			}
+		}
+	}
+}
+
+// TestAgainstGlushkovOracle fuzzes every matcher against NFA simulation on
+// positive samples, noise words, and near-miss mutations.
+func TestAgainstGlushkovOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(211))
+	trials := 0
+	for trials < 150 {
+		alpha := ast.NewAlphabet()
+		e := wordgen.RandomDeterministicExpr(r, alpha, 8, 50, trials%2 == 0)
+		tr, err := parsetree.Build(e, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fol := follow.New(tr)
+		oracle := glushkov.Build(tr)
+		ms := sims(t, tr, fol)
+		trials++
+		var corpus [][]ast.Symbol
+		for i := 0; i < 10; i++ {
+			if w, ok := words.RandomWord(r, fol, 30, 0.25); ok {
+				corpus = append(corpus, w)
+				corpus = append(corpus, words.Mutate(r, tr, w, 1+r.Intn(3)))
+			}
+			corpus = append(corpus, words.NoiseWord(r, tr, r.Intn(12)))
+		}
+		for _, w := range corpus {
+			want := oracle.Match(w)
+			for name, sim := range ms {
+				if got := match.Word(sim, w); got != want {
+					t.Fatalf("%s on %s word %v: got %v, oracle %v",
+						name, ast.StringMath(e, alpha), w, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestKOREBound(t *testing.T) {
+	alpha := ast.NewAlphabet()
+	e := ast.Normalize(wordgen.KOccurrence(alpha, 6, 3))
+	tr, err := parsetree.Build(e, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := kore.New(tr, follow.New(tr))
+	if m.K != 3 {
+		t.Errorf("K = %d, want 3", m.K)
+	}
+}
+
+func TestNondeterministicKORE(t *testing.T) {
+	// The NFA variant must match nondeterministic expressions correctly.
+	r := rand.New(rand.NewSource(223))
+	for trial := 0; trial < 120; trial++ {
+		alpha := ast.NewAlphabet()
+		e := ast.Normalize(wordgen.RandomExpr(r, alpha, wordgen.ExprConfig{Symbols: 3, MaxNodes: 30}))
+		tr, err := parsetree.Build(e, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fol := follow.New(tr)
+		oracle := glushkov.Build(tr)
+		nfa := kore.NewNFA(tr, fol)
+		for i := 0; i < 20; i++ {
+			var w []ast.Symbol
+			if i%2 == 0 {
+				if pw, ok := words.RandomWord(r, fol, 15, 0.3); ok {
+					w = pw
+				}
+			}
+			if w == nil {
+				w = words.NoiseWord(r, tr, r.Intn(10))
+			}
+			if got, want := nfa.Match(w), oracle.Match(w); got != want {
+				t.Fatalf("NFA on %s word %v: got %v, want %v",
+					ast.StringMath(e, alpha), w, got, want)
+			}
+		}
+	}
+}
+
+func TestColoredRejectsNondeterministic(t *testing.T) {
+	tr, fol := compileDet(t, "(a*ba+bb)*")
+	if _, err := colored.New(tr, fol, colored.Options{}); err == nil {
+		t.Fatal("colored.New accepted a nondeterministic expression")
+	}
+	if _, err := colored.NewClimbing(tr, fol); err == nil {
+		t.Fatal("NewClimbing accepted a nondeterministic expression")
+	}
+	if _, err := pathdecomp.New(tr, fol); err == nil {
+		t.Fatal("pathdecomp.New accepted a nondeterministic expression")
+	}
+}
+
+func TestStreamAPI(t *testing.T) {
+	tr, fol := compileDet(t, "(ab+b(b?)a)*")
+	m := kore.New(tr, fol)
+	s := match.NewStream(m)
+	if !s.Accepts() { // ε ∈ L
+		t.Fatal("empty prefix must accept")
+	}
+	for _, step := range []struct {
+		sym     string
+		alive   bool
+		accepts bool
+	}{
+		{"a", true, false},
+		{"b", true, true},
+		{"b", true, false},
+		{"b", true, false},
+		{"a", true, true},
+		{"c", false, false},
+	} {
+		s.FeedName(step.sym)
+		if s.Alive() != step.alive || s.Accepts() != step.accepts {
+			t.Fatalf("after %q: alive=%v accepts=%v, want %v %v",
+				step.sym, s.Alive(), s.Accepts(), step.alive, step.accepts)
+		}
+	}
+	s.Reset()
+	if !s.Alive() || s.Len() != 0 || !s.Accepts() {
+		t.Fatal("Reset did not restore the start state")
+	}
+}
+
+func TestReaders(t *testing.T) {
+	tr, fol := compileDet(t, "(ab+b(b?)a)*")
+	m := kore.New(tr, fol)
+	ok, err := match.ReaderRunes(m, strings.NewReader("abba\nab"))
+	if err != nil || !ok {
+		t.Fatalf("ReaderRunes: %v %v", ok, err)
+	}
+	ok, err = match.ReaderRunes(m, strings.NewReader("abx"))
+	if err != nil || ok {
+		t.Fatalf("ReaderRunes reject: %v %v", ok, err)
+	}
+
+	alpha := ast.NewAlphabet()
+	e := ast.Normalize(ast.MustParseDTD("title, author+, (section | appendix)*", alpha))
+	e = ast.Normalize(ast.DesugarPlus(e))
+	tr2, err := parsetree.Build(e, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := kore.New(tr2, follow.New(tr2))
+	ok, err = match.ReaderTokens(m2, strings.NewReader("title author author section section appendix"))
+	if err != nil || !ok {
+		t.Fatalf("ReaderTokens: %v %v", ok, err)
+	}
+	ok, err = match.ReaderTokens(m2, strings.NewReader("title section"))
+	if err != nil || ok {
+		t.Fatalf("ReaderTokens reject: %v %v", ok, err)
+	}
+}

@@ -1,0 +1,202 @@
+package pathdecomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"dregex/internal/ast"
+	"dregex/internal/follow"
+	"dregex/internal/glushkov"
+	"dregex/internal/match"
+	"dregex/internal/parsetree"
+	"dregex/internal/wordgen"
+	"dregex/internal/words"
+)
+
+func compile(t *testing.T, expr string) (*parsetree.Tree, *follow.Index) {
+	t.Helper()
+	alpha := ast.NewAlphabet()
+	tr, err := parsetree.Build(ast.Normalize(ast.MustParseMath(expr, alpha)), alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, follow.New(tr)
+}
+
+func TestDecompositionInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(601))
+	for trial := 0; trial < 60; trial++ {
+		alpha := ast.NewAlphabet()
+		e := wordgen.RandomDeterministicExpr(r, alpha, 10, 60, true)
+		tr, err := parsetree.Build(e, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fol := follow.New(tr)
+		m, err := New(tr, fol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := parsetree.NodeID(0); n < parsetree.NodeID(tr.N()); n++ {
+			// pathTop is the nearest topmost ancestor-or-self.
+			want := n
+			for !m.topmost[want] {
+				want = tr.Parent[want]
+			}
+			if m.pathTop[n] != want {
+				t.Fatalf("pathTop(%d) = %d, want %d", n, m.pathTop[n], want)
+			}
+			// Paths are chains: a non-topmost node has at most one
+			// non-topmost child.
+			nonTop := 0
+			for _, c := range []parsetree.NodeID{tr.LChild[n], tr.RChild[n]} {
+				if c != parsetree.Null && !m.topmost[c] {
+					nonTop++
+				}
+			}
+			if nonTop > 1 {
+				t.Fatalf("node %d has two path children — not a path decomposition", n)
+			}
+			// nexttop, where defined, is a strict topmost ancestor.
+			if nt := m.nexttop[n]; nt != parsetree.Null {
+				if !m.topmost[nt] || !tr.IsAncestor(nt, n) || nt == n {
+					t.Fatalf("nexttop(%d) = %d invalid", n, nt)
+				}
+			}
+		}
+		// Every user position and $ has a nexttop (the root record
+		// always qualifies).
+		for i := 1; i < tr.NumPositions(); i++ {
+			if m.nexttop[tr.PosNode[i]] == parsetree.Null {
+				t.Fatalf("position %d has no nexttop", i)
+			}
+		}
+	}
+}
+
+// naiveNexttop recomputes nexttop by definition: the lowest topmost node y
+// that is a strict ancestor of n and is the root, a SupLast or SupFirst
+// node, or has a non-nullable ⊙ ancestor of n on its path.
+func naiveNexttop(tr *parsetree.Tree, m *Matcher, n parsetree.NodeID) parsetree.NodeID {
+	for y := tr.Parent[n]; y != parsetree.Null; y = tr.Parent[y] {
+		if !m.topmost[y] {
+			continue
+		}
+		if y == tr.Root || tr.SupLast[y] || tr.SupFirst[y] {
+			return y
+		}
+		// Condition (3): a non-nullable ⊙ node on y's path that is an
+		// ancestor of n.
+		for x := n; x != parsetree.Null; x = tr.Parent[x] {
+			if m.pathTop[x] == y &&
+				tr.Op[x] == parsetree.OpCat && !tr.Nullable[x] {
+				return y
+			}
+			if tr.IsAncestor(x, y) {
+				break
+			}
+		}
+	}
+	return parsetree.Null
+}
+
+func TestNexttopAgainstDefinition(t *testing.T) {
+	r := rand.New(rand.NewSource(607))
+	for trial := 0; trial < 60; trial++ {
+		alpha := ast.NewAlphabet()
+		e := wordgen.RandomDeterministicExpr(r, alpha, 8, 50, trial%2 == 0)
+		tr, err := parsetree.Build(e, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(tr, follow.New(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := parsetree.NodeID(0); n < parsetree.NodeID(tr.N()); n++ {
+			if !tr.IsPos(n) && !m.topmost[n] {
+				continue // nexttop only defined there
+			}
+			got := m.nexttop[n]
+			want := naiveNexttop(tr, m, n)
+			if got != want {
+				t.Fatalf("trial %d: nexttop(%d) = %d, want %d (op=%v)",
+					trial, n, got, want, tr.Op[n])
+			}
+		}
+	}
+}
+
+func TestDeepAlternationFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(613))
+	for _, depth := range []int{2, 3, 4, 5} {
+		alpha := ast.NewAlphabet()
+		e := wordgen.DeepAlternation(alpha, depth, 3)
+		tr, err := parsetree.Build(ast.Normalize(e), alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fol := follow.New(tr)
+		m, err := New(tr, fol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.CE < 1 {
+			t.Fatalf("depth %d: CE = %d", depth, m.CE)
+		}
+		oracle := glushkov.Build(tr)
+		for i := 0; i < 60; i++ {
+			var w []ast.Symbol
+			if i%2 == 0 {
+				if pw, ok := words.RandomWord(r, fol, 60, 0.2); ok {
+					w = pw
+				}
+			}
+			if w == nil {
+				w = words.NoiseWord(r, tr, r.Intn(30))
+			}
+			if got, want := match.Word(m, w), oracle.Match(w); got != want {
+				t.Fatalf("depth %d word %v: got %v, want %v", depth, w, got, want)
+			}
+		}
+	}
+}
+
+func TestCEMetric(t *testing.T) {
+	cases := []struct {
+		expr  string
+		maxCE int // CE must be ≥1 and ≤ this loose bound
+	}{
+		{"abc", 1},
+		{"(a+b)c", 2},
+		{"((a+b)c+d)e", 3},
+		{"(a+b)*", 2},
+	}
+	for _, c := range cases {
+		tr, fol := compile(t, c.expr)
+		m, err := New(tr, fol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.CE < 1 || m.CE > c.maxCE {
+			t.Errorf("%s: CE = %d, want in [1,%d]", c.expr, m.CE, c.maxCE)
+		}
+	}
+}
+
+func TestHCollisionFreedom(t *testing.T) {
+	// Lemma 4.5: on deterministic expressions the h table never collides;
+	// New must therefore never return the collision error.
+	r := rand.New(rand.NewSource(617))
+	for trial := 0; trial < 150; trial++ {
+		alpha := ast.NewAlphabet()
+		e := wordgen.RandomDeterministicExpr(r, alpha, 9, 70, true)
+		tr, err := parsetree.Build(e, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := New(tr, follow.New(tr)); err != nil {
+			t.Fatalf("Lemma 4.5 violated on %s: %v", ast.StringMath(e, alpha), err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package starfree
+
+import (
+	"math/rand"
+	"testing"
+
+	"dregex/internal/ast"
+	"dregex/internal/follow"
+	"dregex/internal/glushkov"
+	"dregex/internal/match"
+	"dregex/internal/parsetree"
+	"dregex/internal/wordgen"
+	"dregex/internal/words"
+)
+
+func compile(t *testing.T, e *ast.Node, alpha *ast.Alphabet) (*parsetree.Tree, *follow.Index) {
+	t.Helper()
+	tr, err := parsetree.Build(ast.Normalize(e), alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, follow.New(tr)
+}
+
+func TestValidation(t *testing.T) {
+	alpha := ast.NewAlphabet()
+	tr, fol := compile(t, ast.MustParseMath("(a+b)*", alpha), alpha)
+	if _, err := NewScan(tr, fol); err != ErrNotStarFree {
+		t.Errorf("NewScan on starred expression: %v", err)
+	}
+	if _, err := NewBatch(tr, fol); err != ErrNotStarFree {
+		t.Errorf("NewBatch on starred expression: %v", err)
+	}
+	alpha2 := ast.NewAlphabet()
+	tr2, fol2 := compile(t, ast.MustParseMath("a?a", alpha2), alpha2)
+	if _, err := NewScan(tr2, fol2); err != ErrNondeterministic {
+		t.Errorf("NewScan on nondeterministic expression: %v", err)
+	}
+}
+
+func TestPaperExample411(t *testing.T) {
+	// Example 4.11: e = (a+ba)(c?)(d?b) against w1..w4; expression written
+	// without the phantom markers (added by the compiler).
+	alpha := ast.NewAlphabet()
+	tr, fol := compile(t, ast.MustParseMath("((a+ba)(c?))(d?b)", alpha), alpha)
+	b, err := NewBatch(tr, fol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := [][]string{
+		{"b", "c", "d", "b"},      // w1 = bcdb
+		{"a", "c", "d", "b", "a"}, // w2 = acdba
+		{"a", "c", "b"},           // w3 = acb
+		{"b", "a", "d", "a"},      // w4 = bada
+	}
+	got := b.MatchAllNames(ws)
+	want := []bool{false, false, true, false} // only w3 matches (paper)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("w%d: got %v, want %v", i+1, got[i], want[i])
+		}
+	}
+}
+
+func TestScanAndBatchAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(307))
+	for trial := 0; trial < 120; trial++ {
+		alpha := ast.NewAlphabet()
+		e := wordgen.StarFree(r, alpha, 3+r.Intn(10), 10+r.Intn(60))
+		tr, fol := compile(t, e, alpha)
+		oracle := glushkov.Build(tr)
+		scan, err := NewScan(tr, fol)
+		if err != nil {
+			t.Fatalf("NewScan(%s): %v", ast.StringMath(e, alpha), err)
+		}
+		batch, err := NewBatch(tr, fol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var corpus [][]ast.Symbol
+		for i := 0; i < 25; i++ {
+			switch i % 3 {
+			case 0:
+				if w, ok := words.RandomWord(r, fol, 20, 0.3); ok {
+					corpus = append(corpus, w)
+				}
+			case 1:
+				corpus = append(corpus, words.NoiseWord(r, tr, r.Intn(8)))
+			default:
+				if w, ok := words.RandomWord(r, fol, 20, 0.3); ok {
+					corpus = append(corpus, words.Mutate(r, tr, w, 1+r.Intn(2)))
+				} else {
+					corpus = append(corpus, nil)
+				}
+			}
+		}
+		batchGot := batch.MatchAll(corpus)
+		for i, w := range corpus {
+			want := oracle.Match(w)
+			if got := match.Word(scan, w); got != want {
+				t.Fatalf("Scan on %s word %v: got %v, want %v",
+					ast.StringMath(e, alpha), w, got, want)
+			}
+			if batchGot[i] != want {
+				t.Fatalf("Batch on %s word %v: got %v, want %v",
+					ast.StringMath(e, alpha), w, batchGot[i], want)
+			}
+		}
+	}
+}
+
+func TestBatchManyIdenticalAndEmpty(t *testing.T) {
+	alpha := ast.NewAlphabet()
+	tr, fol := compile(t, ast.MustParseMath("a?b?c?", alpha), alpha)
+	b, err := NewBatch(tr, fol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := alpha.Lookup("a")
+	c, _ := alpha.Lookup("c")
+	ws := [][]ast.Symbol{
+		nil,    // ε ∈ L
+		{a},    // a
+		{a, c}, // ac
+		{c, a}, // ca — reject
+		{a, a}, // aa — reject
+		{a, c}, // duplicate word: independent verdicts
+		{},     // ε again
+	}
+	got := b.MatchAll(ws)
+	want := []bool{true, true, true, false, false, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("word %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBatchScale(t *testing.T) {
+	// Many words against a larger CHARE-like star-free expression.
+	r := rand.New(rand.NewSource(311))
+	alpha := ast.NewAlphabet()
+	e := wordgen.StarFree(r, alpha, 20, 200)
+	tr, fol := compile(t, e, alpha)
+	oracle := glushkov.Build(tr)
+	batch, err := NewBatch(tr, fol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var corpus [][]ast.Symbol
+	for i := 0; i < 500; i++ {
+		if w, ok := words.RandomWord(r, fol, 40, 0.2); ok && i%2 == 0 {
+			corpus = append(corpus, w)
+		} else {
+			corpus = append(corpus, words.NoiseWord(r, tr, r.Intn(20)))
+		}
+	}
+	got := batch.MatchAll(corpus)
+	for i, w := range corpus {
+		if want := oracle.Match(w); got[i] != want {
+			t.Fatalf("word %d (%v): got %v, want %v", i, w, got[i], want)
+		}
+	}
+}

@@ -1,0 +1,472 @@
+// Package numeric implements §3.3 of the paper: deciding determinism of
+// regular expressions with XML-Schema numeric occurrence indicators e{m,n}
+// in O(|e|) time — improving the O(σ|e|) of Kilpeläinen [18] — plus
+// counter-based matching.
+//
+// Semantics and spec. Following DESIGN.md §4.4, the determinism *spec* for
+// counted expressions is determinism of the canonical unrolling
+// (e{m,n} = e·…·e·(e(e(…)?)?)?, e{m,∞} = e·…·e·e*), which the test suite
+// evaluates with the already-validated plain linear checker. The linear
+// counted checker reproduces that verdict directly on the counted parse
+// tree:
+//
+//   - loop candidates propagate through every iteration with Max ≥ 2
+//     exactly as through ∗ (a first iteration can always loop);
+//   - the Witness/Next and Witness/FirstPos-through-ancestor-loop cases of
+//     Algorithm 2 apply with pStar generalized to the lowest loop node;
+//   - one genuinely new case appears (the paper's "flexible iterations"):
+//     Witness against FirstPos through a loop at a *descendant* iteration
+//     s of the colored node. Because such an s is non-nullable, it blocks
+//     the pSupFirst chains that make the ∗ analysis work, and the
+//     competition is live only when s can loop and exit on the same
+//     counter value — i.e. when s is flexible: Min < Max, or a nullable
+//     body lets empty iterations pad the count.
+//
+// The descendant-loop case walks one ancestor chain bounded by the parse
+// tree depth, so the implementation is O(|e| + D·|colored|) with D the
+// tree depth — linear for the bounded-depth content models the paper
+// targets (see DESIGN.md §4.4 for the honesty note).
+package numeric
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dregex/internal/ast"
+	"dregex/internal/determinism"
+	"dregex/internal/follow"
+	"dregex/internal/parsetree"
+	"dregex/internal/skeleton"
+)
+
+// Counted is a compiled expression with numeric occurrence indicators.
+type Counted struct {
+	Alpha *ast.Alphabet
+	Root  *ast.Node
+	Tree  *parsetree.Tree
+	Fol   *follow.Index
+
+	// iterChain[p] lists the OpIter ancestors of each position, outermost
+	// first (used by the counter matcher).
+	iterChain map[parsetree.NodeID][]parsetree.NodeID
+	// loopsOf[n] caches, per LCA node, the loop ancestors usable by
+	// Lemma 2.2(2); computed lazily in Match.
+	det *determinism.Result
+}
+
+// Compile normalizes (ast.Normalize: Min ≥ 1, Max ≥ 2 for every surviving
+// iteration) and preprocesses e, then runs the linear §3.3 determinism
+// test.
+func Compile(e *ast.Node, alpha *ast.Alphabet) (*Counted, error) {
+	root := ast.Normalize(ast.DesugarPlus(ast.Normalize(e)))
+	tree, err := parsetree.BuildNumeric(root, alpha)
+	if err != nil {
+		return nil, err
+	}
+	fol := follow.New(tree)
+	c := &Counted{
+		Alpha:     alpha,
+		Root:      root,
+		Tree:      tree,
+		Fol:       fol,
+		iterChain: map[parsetree.NodeID][]parsetree.NodeID{},
+	}
+	for _, p := range tree.PosNode {
+		var chain []parsetree.NodeID
+		for x := tree.Parent[p]; x != parsetree.Null; x = tree.Parent[x] {
+			if tree.Op[x] == parsetree.OpIter {
+				chain = append(chain, x)
+			}
+		}
+		// outermost first
+		for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+			chain[i], chain[j] = chain[j], chain[i]
+		}
+		c.iterChain[p] = chain
+	}
+	c.det = c.check()
+	return c, nil
+}
+
+// CompileString parses math-notation source and compiles it.
+func CompileString(src string) (*Counted, error) {
+	alpha := ast.NewAlphabet()
+	e, err := ast.ParseMath(src, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(e, alpha)
+}
+
+// IsDeterministic reports the linear-test verdict.
+func (c *Counted) IsDeterministic() bool { return c.det.Deterministic }
+
+// Result exposes the detailed verdict (rule and candidate positions).
+func (c *Counted) Result() *determinism.Result { return c.det }
+
+// flexible reports whether iteration s can loop and exit on a common
+// counter value, i.e. Min < Max. (Iterations with nullable bodies are
+// flexible too, but they are unconditionally nondeterministic — rule N1 —
+// so they never reach the flexibility checks.)
+func (c *Counted) flexible(s parsetree.NodeID) bool {
+	t := c.Tree
+	return t.Op[s] == parsetree.OpIter && t.Max[s] > t.Min[s]
+}
+
+// check runs the §3.3 determinism test.
+func (c *Counted) check() *determinism.Result {
+	t := c.Tree
+	sks := skeleton.Build(t, c.Fol, skeleton.Options{NumericLoops: true})
+	if v := sks.NonDet; v != nil {
+		return &determinism.Result{Rule: v.Rule, Q1: v.Q1, Q2: v.Q2}
+	}
+
+	// Rule N1: an iteration with a nullable body is ambiguous in itself —
+	// empty iterations pad the counter, so the same input reaches the same
+	// position with different counter values (distinct unrolled copies).
+	// After normalization every iteration has Max ≥ 2, so no further
+	// condition is needed.
+	for n := parsetree.NodeID(0); n < parsetree.NodeID(t.N()); n++ {
+		if t.Op[n] == parsetree.OpIter && t.Nullable[t.LChild[n]] {
+			w := t.FirstWitness(n)
+			return &determinism.Result{Rule: "nullable-iter-body", Q1: w, Q2: w, Node: n}
+		}
+	}
+
+	// Rule N2: nested loop levels conflict when a position in Last(s2) can
+	// loop at s1 and at s2 simultaneously with diverging counters. With s2
+	// the lowest loop strictly above s1, the pair conflicts iff First and
+	// Last of s1 survive to s2 (pointer checks) and either s1 is a
+	// flexible iteration (it can loop and be exited on one counter value)
+	// or s1 is a ∗ under an iteration (whose counter diverges between the
+	// two routes). Rigid iterations make the two routes counter-disjoint;
+	// star-under-star is the classical deterministic nesting.
+	for s1 := parsetree.NodeID(0); s1 < parsetree.NodeID(t.N()); s1++ {
+		if t.PLoop[s1] != s1 {
+			continue // not a loop node
+		}
+		p := t.Parent[s1]
+		if p == parsetree.Null {
+			continue
+		}
+		s2 := t.PLoop[p]
+		if s2 == parsetree.Null {
+			continue
+		}
+		if !t.IsAncestor(t.PSupFirst[s1], s2) || !t.IsAncestor(t.PSupLast[s1], s2) {
+			continue
+		}
+		conflict := c.flexible(s1) ||
+			(t.Op[s1] == parsetree.OpStar && t.Op[s2] == parsetree.OpIter)
+		if conflict {
+			w := t.FirstWitness(s1)
+			return &determinism.Result{Rule: "nested-loops", Q1: w, Q2: w, Node: s1}
+		}
+	}
+	// Rule N3 — the universal flexible-iteration conflict. At a flexible
+	// iteration s, FirstPos(s,a) follows every p ∈ Last(s) by looping
+	// (counter < Max) while Next(s,a) follows the same p by exiting
+	// (counter ≥ Min); Min < Max makes both live at once. Algorithm 1 has
+	// already aggregated exactly these two candidates at s's skeleton
+	// nodes, so the rule is a linear scan. It subsumes the paper's
+	// descendant-loop cases ((ii-b) and friends); the explicit variants
+	// below remain for diagnosis precision.
+	for i := range sks.ENode {
+		s1 := sks.ENode[i]
+		if c.flexible(s1) &&
+			sks.First[i] != parsetree.Null && sks.Next[i] != parsetree.Null {
+			return &determinism.Result{Rule: "flex-loop-exit",
+				Q1: sks.First[i], Q2: sks.Next[i], Node: s1}
+		}
+	}
+
+	for _, cn := range sks.ColoredNodes {
+		n := cn.Node
+		w := sks.Wit[cn.Sk]
+		f := sks.First[cn.Sk]
+		rchild := t.RChild[n]
+		// Case (i-b): the witness's SupFirst node is itself a flexible
+		// iteration S′ = Rchild(n). Any p ∈ Last(S′) is followed by W via
+		// an S′ loop (counter < Max) and by Next(n,a) via an S′ exit
+		// (counter ≥ Min); with Min < Max both are live at once. The ∗
+		// version of this conflict is absorbed by case (i) because ∗ is
+		// nullable; a non-nullable iteration needs the explicit rule.
+		if c.flexible(rchild) {
+			if nx := sks.Next[cn.Sk]; nx != parsetree.Null {
+				return &determinism.Result{Rule: "W-N-flex", Q1: w, Q2: nx, Node: n, Sym: cn.Sym}
+			}
+			// (ii-a) with the loop at Rchild(n) itself: W via an Rchild
+			// loop vs FirstPos via an enclosing loop S — live together
+			// exactly when Rchild is flexible.
+			f := sks.First[cn.Sk]
+			s := t.PLoop[n]
+			if f != parsetree.Null && s != parsetree.Null && f != w &&
+				t.IsAncestor(t.PSupFirst[f], s) &&
+				t.IsAncestor(t.PSupLast[n], s) {
+				return &determinism.Result{Rule: "W-F-rflex", Q1: w, Q2: f, Node: n, Sym: cn.Sym}
+			}
+		}
+		if t.Nullable[rchild] {
+			// Case (i): Witness vs Next.
+			if nx := sks.Next[cn.Sk]; nx != parsetree.Null {
+				return &determinism.Result{Rule: "W-N", Q1: w, Q2: nx, Node: n, Sym: cn.Sym}
+			}
+			// Case (ii-a): Witness vs FirstPos through an ancestor loop.
+			s := t.PLoop[n]
+			if f != parsetree.Null && s != parsetree.Null && f != w &&
+				t.IsAncestor(t.PSupFirst[f], s) &&
+				t.IsAncestor(t.PSupLast[n], s) {
+				return &determinism.Result{Rule: "W-F", Q1: w, Q2: f, Node: n, Sym: cn.Sym}
+			}
+		}
+		// Case (ii-b): Witness vs FirstPos through a flexible descendant
+		// loop s on the chain from F up to Lchild(n). A SupLast node
+		// strictly between kills lower candidates (their Last positions
+		// cannot reach Lchild(n)); the top node m survives its own
+		// SupLast flag.
+		if f != parsetree.Null && f != w {
+			m := t.LChild[n]
+			if t.IsAncestor(m, f) {
+				alive := false
+				for x := f; x != parsetree.Null; x = t.Parent[x] {
+					if x == m {
+						if c.flexible(x) {
+							alive = true
+						}
+						break
+					}
+					if c.flexible(x) {
+						alive = true
+					}
+					if t.SupLast[x] {
+						alive = false
+					}
+				}
+				if alive {
+					return &determinism.Result{Rule: "W-F-flex", Q1: w, Q2: f, Node: n, Sym: cn.Sym}
+				}
+			}
+		}
+	}
+	return &determinism.Result{Deterministic: true}
+}
+
+// ---------------------------------------------------------------------------
+// Counter matching.
+
+// cfg is a run configuration: a position plus the counter values of its
+// open iterations (outermost first, aligned with iterChain[pos]).
+type cfg struct {
+	pos parsetree.NodeID
+	ctr []int32
+}
+
+func (c cfg) key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", c.pos)
+	for _, v := range c.ctr {
+		fmt.Fprintf(&b, ",%d", v)
+	}
+	return b.String()
+}
+
+// Match runs the counter simulation: configurations are (position,
+// counters), and a transition from p to q is legal when the iterations
+// being exited have reached Min, the looped iteration (if any) is below
+// Max, and entered iterations start at 1. Counter values of unbounded
+// iterations are capped at Min (the behaviour is constant beyond it), so
+// the configuration space is finite. For deterministic expressions the
+// configuration set describes a single run shape; the simulation works for
+// nondeterministic ones too.
+func (c *Counted) Match(word []ast.Symbol) bool {
+	t := c.Tree
+	cur := map[string]cfg{}
+	start := cfg{pos: t.BeginPos()}
+	cur[start.key()] = start
+	for _, a := range word {
+		next := map[string]cfg{}
+		for _, conf := range cur {
+			for _, q := range t.PosNode {
+				if t.Sym[q] != a {
+					continue
+				}
+				c.step(conf, q, next)
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = next
+	}
+	end := t.EndPos()
+	fin := map[string]cfg{}
+	for _, conf := range cur {
+		c.step(conf, end, fin)
+	}
+	return len(fin) > 0
+}
+
+// MatchNames is Match over symbol names.
+func (c *Counted) MatchNames(names []string) bool {
+	word := make([]ast.Symbol, len(names))
+	for i, n := range names {
+		s, ok := c.Alpha.Lookup(n)
+		if !ok || s == ast.Begin || s == ast.End {
+			return false
+		}
+		word[i] = s
+	}
+	return c.Match(word)
+}
+
+// step adds every legal successor configuration of conf at position q.
+func (c *Counted) step(conf cfg, q parsetree.NodeID, out map[string]cfg) {
+	t := c.Tree
+	p := conf.pos
+	pChain := c.iterChain[p]
+	qChain := c.iterChain[q]
+	n := c.Fol.LCA.Query(p, q)
+
+	counterOf := func(it parsetree.NodeID) int32 {
+		for i, x := range pChain {
+			if x == it {
+				return conf.ctr[i]
+			}
+		}
+		return 0
+	}
+	// exitsLegal: every iteration of p strictly below `limit` must have
+	// reached Min.
+	exitsLegal := func(limit parsetree.NodeID) bool {
+		for i, it := range pChain {
+			if t.IsAncestor(limit, it) && it != limit {
+				if i < len(conf.ctr) && conf.ctr[i] < t.Min[it] && !t.Nullable[t.LChild[it]] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	// build constructs the successor counters for q given the transition
+	// pivot (loop node or Null for concatenation at n) — counters of
+	// iterations above the pivot carry over, the pivot increments, and
+	// everything newly entered starts at 1.
+	emit := func(pivot parsetree.NodeID) {
+		ctr := make([]int32, len(qChain))
+		for i, it := range qChain {
+			switch {
+			case it == pivot:
+				v := counterOf(it) + 1
+				if t.Max[it] != parsetree.IterUnbounded && v > t.Max[it] {
+					return // loop beyond Max — illegal, checked here
+				}
+				if t.Max[it] == parsetree.IterUnbounded && v > t.Min[it] {
+					v = t.Min[it] // cap: behaviour is constant beyond Min
+				}
+				ctr[i] = v
+			case pivot != parsetree.Null && t.IsAncestor(pivot, it):
+				ctr[i] = 1 // entered below the loop pivot
+			case pivot == parsetree.Null && t.IsAncestor(n, it) && it != n:
+				ctr[i] = 1 // entered below the concatenation point
+			default:
+				// Carried over from p (iteration enclosing the pivot)…
+				if v := counterOf(it); v > 0 {
+					ctr[i] = v
+				} else {
+					ctr[i] = 1 // …or entered on a path not shared with p
+				}
+			}
+		}
+		nc := cfg{pos: q, ctr: ctr}
+		out[nc.key()] = nc
+	}
+
+	// Concatenation case of Lemma 2.2.
+	if t.Op[n] == parsetree.OpCat &&
+		t.InFirst(q, t.RChild[n]) && t.InLast(p, t.LChild[n]) &&
+		exitsLegal(n) {
+		emit(parsetree.Null)
+	}
+	// Loop case, at every loop ancestor of n (not only the lowest: with
+	// counters, different levels have different legality and effects).
+	for s := t.PLoop[n]; s != parsetree.Null; s = nextLoopUp(t, s) {
+		if !t.InFirst(q, s) || !t.InLast(p, s) {
+			continue
+		}
+		if !exitsLegal(s) {
+			continue
+		}
+		if t.Op[s] == parsetree.OpIter {
+			if cnt := counterOf(s); t.Max[s] != parsetree.IterUnbounded && cnt >= t.Max[s] {
+				continue // cannot loop past Max
+			}
+		}
+		// For a ∗ pivot no counter changes at s itself; emit handles both
+		// cases (an Iter pivot increments, everything below restarts at 1).
+		emit(s)
+	}
+}
+
+// nextLoopUp returns the next loop node strictly above s.
+func nextLoopUp(t *parsetree.Tree, s parsetree.NodeID) parsetree.NodeID {
+	if p := t.Parent[s]; p != parsetree.Null {
+		return t.PLoop[p]
+	}
+	return parsetree.Null
+}
+
+// Stats reports counter-specific structure.
+type Stats struct {
+	Iterations int
+	Flexible   int
+	MaxBound   int32
+	Unbounded  bool
+}
+
+// Stats summarizes the iteration structure.
+func (c *Counted) Stats() Stats {
+	t := c.Tree
+	var s Stats
+	for n := parsetree.NodeID(0); n < parsetree.NodeID(t.N()); n++ {
+		if t.Op[n] != parsetree.OpIter {
+			continue
+		}
+		s.Iterations++
+		if c.flexible(n) {
+			s.Flexible++
+		}
+		if t.Max[n] == parsetree.IterUnbounded {
+			s.Unbounded = true
+		} else if t.Max[n] > s.MaxBound {
+			s.MaxBound = t.Max[n]
+		}
+	}
+	return s
+}
+
+// SortedConfigs is a test helper: it renders the reachable configurations
+// after reading word, for golden assertions.
+func (c *Counted) SortedConfigs(word []ast.Symbol) []string {
+	t := c.Tree
+	cur := map[string]cfg{}
+	start := cfg{pos: t.BeginPos()}
+	cur[start.key()] = start
+	for _, a := range word {
+		next := map[string]cfg{}
+		for _, conf := range cur {
+			for _, q := range t.PosNode {
+				if t.Sym[q] == a {
+					c.step(conf, q, next)
+				}
+			}
+		}
+		cur = next
+	}
+	keys := make([]string, 0, len(cur))
+	for k := range cur {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,258 @@
+package parsetree
+
+import (
+	"testing"
+
+	"dregex/internal/ast"
+)
+
+// mustBuild compiles a math-notation expression for tests.
+func mustBuild(t *testing.T, expr string) *Tree {
+	t.Helper()
+	alpha := ast.NewAlphabet()
+	e := ast.Normalize(ast.MustParseMath(expr, alpha))
+	tr, err := Build(e, alpha)
+	if err != nil {
+		t.Fatalf("Build(%q): %v", expr, err)
+	}
+	return tr
+}
+
+// Figure 1 of the paper: e0 = (c?((ab*)(a?c)))*(ba).
+func fig1(t *testing.T) *Tree { return mustBuild(t, "(c?((ab*)(a?c)))*(ba)") }
+
+// fig1Nodes returns the named nodes n1..n5 of Figure 1.
+func fig1Nodes(t *Tree) (n1, n2, n3, n4, n5 NodeID) {
+	n1 = t.UserRoot     // ⊙ root of e0
+	n2 = t.LChild[n1]   // ∗
+	c23 := t.LChild[n2] // ⊙(c?, n3)
+	n3 = t.RChild[c23]  // ⊙((ab*), n4)
+	n4 = t.RChild[n3]   // ⊙(a?, c)
+	n5 = t.RChild[n1]   // ⊙(b, a)
+	return n1, n2, n3, n4, n5
+}
+
+func TestBuildShape(t *testing.T) {
+	tr := fig1(t)
+	if got := tr.NumPositions(); got != 9 { // p1..p7 plus # and $
+		t.Fatalf("NumPositions = %d, want 9", got)
+	}
+	if tr.Label(tr.BeginPos()) != "#" || tr.Label(tr.EndPos()) != "$" {
+		t.Fatal("phantom positions misplaced")
+	}
+	labels := ""
+	for i := 0; i < tr.NumPositions(); i++ {
+		labels += tr.Label(tr.PosNode[i])
+	}
+	if labels != "#cabacba$" {
+		t.Fatalf("position labels = %q, want %q", labels, "#cabacba$")
+	}
+	n1, n2, n3, n4, n5 := fig1Nodes(tr)
+	if tr.Op[n1] != OpCat || tr.Op[n2] != OpStar || tr.Op[n3] != OpCat ||
+		tr.Op[n4] != OpCat || tr.Op[n5] != OpCat {
+		t.Fatalf("figure nodes have wrong operators: %v %v %v %v %v",
+			tr.Op[n1], tr.Op[n2], tr.Op[n3], tr.Op[n4], tr.Op[n5])
+	}
+}
+
+func TestAncestorMatchesParentWalk(t *testing.T) {
+	exprs := []string{
+		"(c?((ab*)(a?c)))*(ba)",
+		"(ab+b(b?)a)*",
+		"(a*ba+bb)*",
+		"a",
+		"((a+b)?c)*d?",
+	}
+	for _, expr := range exprs {
+		tr := mustBuild(t, expr)
+		n := NodeID(tr.N())
+		isAnc := func(a, b NodeID) bool {
+			for x := b; x != Null; x = tr.Parent[x] {
+				if x == a {
+					return true
+				}
+			}
+			return false
+		}
+		for a := NodeID(0); a < n; a++ {
+			for b := NodeID(0); b < n; b++ {
+				if got, want := tr.IsAncestor(a, b), isAnc(a, b); got != want {
+					t.Fatalf("%s: IsAncestor(%d,%d) = %v, want %v", expr, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSupFirstSupLastFigure1(t *testing.T) {
+	tr := fig1(t)
+	_, n2, n3, n4, _ := fig1Nodes(tr)
+	// Paper §2: n4 is a SupFirst node (First changes at its parent n3).
+	if !tr.SupFirst[n4] {
+		t.Error("SupFirst(n4) = false, want true")
+	}
+	// First(n2) = {p1, p2}; Last(n2) = {p5} (paper, §2).
+	p := func(i int) NodeID { return tr.PosNode[i] } // p(1) = p1 ... (0 is #)
+	wantFirst := map[int]bool{1: true, 2: true}
+	for i := 1; i <= 7; i++ {
+		if got := tr.InFirst(p(i), n2); got != wantFirst[i] {
+			t.Errorf("InFirst(p%d, n2) = %v, want %v", i, got, wantFirst[i])
+		}
+	}
+	wantLast := map[int]bool{5: true}
+	for i := 1; i <= 7; i++ {
+		if got := tr.InLast(p(i), n2); got != wantLast[i] {
+			t.Errorf("InLast(p%d, n2) = %v, want %v", i, got, wantLast[i])
+		}
+	}
+	// The witness relationships quoted in §3.1: pSupFirst(p4) = pSupFirst(p5) = n4.
+	if tr.PSupFirst[p(4)] != n4 || tr.PSupFirst[p(5)] != n4 {
+		t.Errorf("pSupFirst(p4)=%d pSupFirst(p5)=%d, want both %d",
+			tr.PSupFirst[p(4)], tr.PSupFirst[p(5)], n4)
+	}
+	_ = n3
+}
+
+// brute-force First/Last via the syntax-directed definitions, used to
+// validate the Lemma 2.3 pointer characterization on whole trees.
+func bruteFirst(tr *Tree, n NodeID, out map[NodeID]bool) {
+	switch tr.Op[n] {
+	case OpSym:
+		out[n] = true
+	case OpCat:
+		bruteFirst(tr, tr.LChild[n], out)
+		if tr.Nullable[tr.LChild[n]] {
+			bruteFirst(tr, tr.RChild[n], out)
+		}
+	case OpUnion:
+		bruteFirst(tr, tr.LChild[n], out)
+		bruteFirst(tr, tr.RChild[n], out)
+	default:
+		bruteFirst(tr, tr.LChild[n], out)
+	}
+}
+
+func bruteLast(tr *Tree, n NodeID, out map[NodeID]bool) {
+	switch tr.Op[n] {
+	case OpSym:
+		out[n] = true
+	case OpCat:
+		bruteLast(tr, tr.RChild[n], out)
+		if tr.Nullable[tr.RChild[n]] {
+			bruteLast(tr, tr.LChild[n], out)
+		}
+	case OpUnion:
+		bruteLast(tr, tr.LChild[n], out)
+		bruteLast(tr, tr.RChild[n], out)
+	default:
+		bruteLast(tr, tr.LChild[n], out)
+	}
+}
+
+func TestLemma23AgainstBruteForce(t *testing.T) {
+	exprs := []string{
+		"(c?((ab*)(a?c)))*(ba)",
+		"(ab+b(b?)a)*",
+		"(a*ba+bb)*",
+		"((a+b)?c)*d?",
+		"a?b?c?",
+		"(a(b?c)*)+(d(e+f)?)*",
+	}
+	for _, expr := range exprs {
+		tr := mustBuild(t, expr)
+		for n := NodeID(0); n < NodeID(tr.N()); n++ {
+			first := map[NodeID]bool{}
+			last := map[NodeID]bool{}
+			bruteFirst(tr, n, first)
+			bruteLast(tr, n, last)
+			// Lemma 2.3 applies to positions of e′; the phantom # and $
+			// (whose pSupFirst/pSupLast may be Null) are excluded.
+			for i := 1; i < tr.NumPositions()-1; i++ {
+				p := tr.PosNode[i]
+				if got := tr.InFirst(p, n); got != first[p] {
+					t.Fatalf("%s: InFirst(pos %d, node %d) = %v, brute = %v",
+						expr, i, n, got, first[p])
+				}
+				if got := tr.InLast(p, n); got != last[p] {
+					t.Fatalf("%s: InLast(pos %d, node %d) = %v, brute = %v",
+						expr, i, n, got, last[p])
+				}
+			}
+			if !first[tr.FirstWitness(n)] {
+				t.Fatalf("%s: FirstWitness(%d) not in brute First", expr, n)
+			}
+			if !last[tr.LastWitness(n)] {
+				t.Fatalf("%s: LastWitness(%d) not in brute Last", expr, n)
+			}
+		}
+	}
+}
+
+func TestPStar(t *testing.T) {
+	tr := fig1(t)
+	_, n2, _, _, _ := fig1Nodes(tr)
+	for _, i := range []int{1, 2, 4, 5} {
+		if got := tr.PStar[tr.PosNode[i]]; got != n2 {
+			t.Errorf("PStar(p%d) = %d, want %d", i, got, n2)
+		}
+	}
+	// p3 sits under its own star b*, which is the lowest ∗ ancestor.
+	if got, want := tr.PStar[tr.PosNode[3]], tr.Parent[tr.PosNode[3]]; got != want {
+		t.Errorf("PStar(p3) = %d, want enclosing b* node %d", got, want)
+	}
+	for _, i := range []int{6, 7} {
+		if got := tr.PStar[tr.PosNode[i]]; got != Null {
+			t.Errorf("PStar(p%d) = %d, want Null", i, got)
+		}
+	}
+	// PLoop coincides with PStar on plain expressions.
+	for n := NodeID(0); n < NodeID(tr.N()); n++ {
+		if tr.PLoop[n] != tr.PStar[n] {
+			t.Errorf("PLoop(%d) = %d differs from PStar = %d", n, tr.PLoop[n], tr.PStar[n])
+		}
+	}
+}
+
+func TestBuildRejectsIter(t *testing.T) {
+	alpha := ast.NewAlphabet()
+	e := ast.MustParseMath("a{2,3}", alpha)
+	if _, err := Build(e, alpha); err != ErrIterUnsupported {
+		t.Fatalf("Build(a{2,3}) err = %v, want ErrIterUnsupported", err)
+	}
+	if _, err := BuildNumeric(e, alpha); err != nil {
+		t.Fatalf("BuildNumeric(a{2,3}): %v", err)
+	}
+	// Non-normalized bounds are rejected.
+	bad := ast.Iter(ast.Sym(alpha.Intern("a")), 0, 3)
+	if _, err := BuildNumeric(bad, alpha); err == nil {
+		t.Fatal("BuildNumeric accepted {0,3} without normalization")
+	}
+}
+
+func TestDepthAndChildren(t *testing.T) {
+	tr := mustBuild(t, "(a+b)c")
+	for n := NodeID(0); n < NodeID(tr.N()); n++ {
+		if p := tr.Parent[n]; p != Null {
+			if tr.Depth[n] != tr.Depth[p]+1 {
+				t.Fatalf("depth(%d) = %d, parent depth %d", n, tr.Depth[n], tr.Depth[p])
+			}
+			if tr.LChild[p] != n && tr.RChild[p] != n {
+				t.Fatalf("node %d not a child of its parent", n)
+			}
+		}
+	}
+	// Unary nodes have RChild Null.
+	tr2 := mustBuild(t, "a?b*")
+	for n := NodeID(0); n < NodeID(tr2.N()); n++ {
+		switch tr2.Op[n] {
+		case OpOpt, OpStar:
+			if tr2.RChild[n] != Null {
+				t.Fatalf("unary node %d has right child", n)
+			}
+		case OpSym:
+			if tr2.LChild[n] != Null || tr2.RChild[n] != Null {
+				t.Fatalf("leaf %d has children", n)
+			}
+		}
+	}
+}

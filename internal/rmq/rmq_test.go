@@ -1,0 +1,121 @@
+package rmq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func naiveMin(data []int32, i, j int) int {
+	best := i
+	for k := i + 1; k < j; k++ {
+		if data[k] < data[best] {
+			best = k
+		}
+	}
+	return best
+}
+
+func TestSparseAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(200)
+		data := make([]int32, n)
+		for i := range data {
+			data[i] = int32(r.Intn(20))
+		}
+		s := NewSparse(data)
+		for q := 0; q < 200; q++ {
+			i := r.Intn(n)
+			j := i + 1 + r.Intn(n-i)
+			got := s.MinIndex(i, j)
+			want := naiveMin(data, i, j)
+			if data[got] != data[want] || got < i || got >= j {
+				t.Fatalf("Sparse.MinIndex(%d,%d) = %d (val %d), want val %d",
+					i, j, got, data[got], data[want])
+			}
+		}
+	}
+}
+
+func randPM1(r *rand.Rand, n int) []int32 {
+	data := make([]int32, n)
+	data[0] = int32(r.Intn(5))
+	for i := 1; i < n; i++ {
+		if r.Intn(2) == 0 {
+			data[i] = data[i-1] + 1
+		} else {
+			data[i] = data[i-1] - 1
+		}
+	}
+	return data
+}
+
+func TestPM1AgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + r.Intn(300)
+		data := randPM1(r, n)
+		p := NewPM1(data)
+		for q := 0; q < 300; q++ {
+			i := r.Intn(n)
+			j := i + 1 + r.Intn(n-i)
+			got := p.MinIndex(i, j)
+			want := naiveMin(data, i, j)
+			if got < i || got >= j || data[got] != data[want] {
+				t.Fatalf("n=%d PM1.MinIndex(%d,%d) = %d (val %d), want val %d",
+					n, i, j, got, data[got], data[want])
+			}
+		}
+	}
+}
+
+func TestPM1Exhaustive(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(40)
+		data := randPM1(r, n)
+		p := NewPM1(data)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j <= n; j++ {
+				got := p.MinIndex(i, j)
+				want := naiveMin(data, i, j)
+				if got < i || got >= j || data[got] != data[want] {
+					t.Fatalf("n=%d MinIndex(%d,%d) = %d, want val %d", n, i, j, got, data[want])
+				}
+			}
+		}
+	}
+}
+
+func TestPM1RejectsNonUnitSteps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPM1 accepted a non-±1 sequence")
+		}
+	}()
+	NewPM1([]int32{0, 2, 1})
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	NewSparse(nil) // must not panic
+	NewPM1(nil)
+	s := NewSparse([]int32{7})
+	if s.MinIndex(0, 1) != 0 {
+		t.Fatal("singleton sparse query")
+	}
+	p := NewPM1([]int32{7})
+	if p.MinIndex(0, 1) != 0 {
+		t.Fatal("singleton pm1 query")
+	}
+}
+
+func TestQueryPanicsOnBadRange(t *testing.T) {
+	s := NewSparse([]int32{1, 2, 3})
+	for _, rng := range [][2]int{{1, 1}, {-1, 2}, {0, 4}, {2, 1}} {
+		func() {
+			defer func() { recover() }()
+			s.MinIndex(rng[0], rng[1])
+			t.Fatalf("Sparse.MinIndex(%d,%d) did not panic", rng[0], rng[1])
+		}()
+	}
+}

@@ -1,0 +1,282 @@
+package skeleton
+
+import (
+	"math/rand"
+	"testing"
+
+	"dregex/internal/ast"
+	"dregex/internal/follow"
+	"dregex/internal/glushkov"
+	"dregex/internal/parsetree"
+	"dregex/internal/wordgen"
+)
+
+func compile(t *testing.T, expr string) (*parsetree.Tree, *follow.Index) {
+	t.Helper()
+	alpha := ast.NewAlphabet()
+	e := ast.Normalize(ast.MustParseMath(expr, alpha))
+	tr, err := parsetree.Build(e, alpha)
+	if err != nil {
+		t.Fatalf("Build(%q): %v", expr, err)
+	}
+	return tr, follow.New(tr)
+}
+
+// naiveSkeletonSet computes the a-skeleton node set by the definitional
+// fixpoint: class a (positions, colored nodes, iterated LCAs) plus
+// pSupLast/pStar of class members.
+func naiveSkeletonSet(tr *parsetree.Tree, fol *follow.Index, sym ast.Symbol) map[parsetree.NodeID]bool {
+	class := map[parsetree.NodeID]bool{}
+	for _, p := range tr.PosNode {
+		if tr.Sym[p] != sym {
+			continue
+		}
+		class[p] = true
+		if psf := tr.PSupFirst[p]; psf != parsetree.Null {
+			class[tr.Parent[psf]] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		var nodes []parsetree.NodeID
+		for n := range class {
+			nodes = append(nodes, n)
+		}
+		for i := range nodes {
+			for j := i + 1; j < len(nodes); j++ {
+				l := fol.LCA.Query(nodes[i], nodes[j])
+				if !class[l] {
+					class[l] = true
+					changed = true
+				}
+			}
+		}
+	}
+	out := map[parsetree.NodeID]bool{}
+	for n := range class {
+		out[n] = true
+		if psl := tr.PSupLast[n]; psl != parsetree.Null {
+			out[psl] = true
+		}
+		if ps := tr.PStar[n]; ps != parsetree.Null {
+			out[ps] = true
+		}
+	}
+	return out
+}
+
+func TestSkeletonSetsMatchDefinition(t *testing.T) {
+	exprs := []string{
+		"(c?((ab*)(a?c)))*(ba)",
+		"(ab+b(b?)a)*",
+		"a?b?c?",
+		"((ab)*(ba)*)*",
+		"(a(b?c)*)+(d(e+f)?)*",
+	}
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 80; trial++ {
+		alpha := ast.NewAlphabet()
+		e := wordgen.RandomDeterministicExpr(r, alpha, 6, 40, trial%2 == 0)
+		exprs = append(exprs, ast.StringMath(e, alpha))
+	}
+	for _, expr := range exprs {
+		tr, fol := compile(t, expr)
+		sks := Build(tr, fol, Options{})
+		if sks.NonDet != nil {
+			continue // nondeterministic sample; sets not fully built
+		}
+		for sym := 0; sym < tr.Alpha.Size(); sym++ {
+			want := naiveSkeletonSet(tr, fol, ast.Symbol(sym))
+			lo, hi := sks.SymRange(ast.Symbol(sym))
+			got := map[parsetree.NodeID]bool{}
+			for i := lo; i < hi; i++ {
+				got[sks.ENode[i]] = true
+			}
+			// The implementation may add LCA-repair nodes, so got ⊇ want;
+			// the theory says they coincide — assert both directions to
+			// keep the theory honest.
+			for n := range want {
+				if !got[n] {
+					t.Fatalf("%s sym %s: node %d missing from skeleton",
+						expr, tr.Alpha.Name(ast.Symbol(sym)), n)
+				}
+			}
+			for n := range got {
+				if !want[n] {
+					t.Fatalf("%s sym %s: extra node %d in skeleton",
+						expr, tr.Alpha.Name(ast.Symbol(sym)), n)
+				}
+			}
+		}
+	}
+}
+
+func TestSkeletonTreeStructure(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 60; trial++ {
+		alpha := ast.NewAlphabet()
+		e := wordgen.RandomDeterministicExpr(r, alpha, 6, 50, true)
+		tr, err := parsetree.Build(e, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fol := follow.New(tr)
+		sks := Build(tr, fol, Options{})
+		if sks.NonDet != nil {
+			t.Fatalf("unexpected nondet: %v", sks.NonDet)
+		}
+		for i := range sks.ENode {
+			idx := int32(i)
+			if p := sks.Par[idx]; p != -1 {
+				if !tr.IsAncestor(sks.ENode[p], sks.ENode[idx]) || sks.ENode[p] == sks.ENode[idx] {
+					t.Fatal("skeleton parent is not a strict e-ancestor")
+				}
+				if sks.Lch[p] != idx && sks.Rch[p] != idx {
+					t.Fatal("skeleton child link broken")
+				}
+			}
+			if c := sks.Lch[idx]; c != -1 {
+				l := tr.LChild[sks.ENode[idx]]
+				if l == parsetree.Null || !tr.IsAncestor(l, sks.ENode[c]) {
+					t.Fatal("skeleton left child not in left e-subtree")
+				}
+			}
+			if c := sks.Rch[idx]; c != -1 {
+				rch := tr.RChild[sks.ENode[idx]]
+				if rch == parsetree.Null || !tr.IsAncestor(rch, sks.ENode[c]) {
+					t.Fatal("skeleton right child not in right e-subtree")
+				}
+			}
+		}
+	}
+}
+
+func TestFigure1Pointers(t *testing.T) {
+	// Example 4.1 of the paper, on e0 = (c?((ab*)(a?c)))*(ba):
+	//   Witness(n3, c) = p5, Next(n3, c) = p1, FirstPos(n3, c) = Null,
+	//   Witness(n3, a) = p4, FirstPos(n3, a) = p2.
+	tr, fol := compile(t, "(c?((ab*)(a?c)))*(ba)")
+	sks := Build(tr, fol, Options{})
+	if sks.NonDet != nil {
+		t.Fatalf("e0 reported nondeterministic: %v", sks.NonDet)
+	}
+	n1 := tr.UserRoot
+	n2 := tr.LChild[n1]
+	n3 := tr.RChild[tr.LChild[n2]]
+	p := func(i int) parsetree.NodeID { return tr.PosNode[i] }
+
+	find := func(sym string, node parsetree.NodeID) int32 {
+		a, ok := tr.Alpha.Lookup(sym)
+		if !ok {
+			t.Fatalf("symbol %q not interned", sym)
+		}
+		lo, hi := sks.SymRange(a)
+		for i := lo; i < hi; i++ {
+			if sks.ENode[i] == node {
+				return i
+			}
+		}
+		t.Fatalf("node %d not in %s-skeleton", node, sym)
+		return -1
+	}
+	cIdx := find("c", n3)
+	if sks.Wit[cIdx] != p(5) {
+		t.Errorf("Witness(n3,c) = %d, want p5=%d", sks.Wit[cIdx], p(5))
+	}
+	if sks.Next[cIdx] != p(1) {
+		t.Errorf("Next(n3,c) = %d, want p1=%d", sks.Next[cIdx], p(1))
+	}
+	if sks.First[cIdx] != parsetree.Null {
+		t.Errorf("FirstPos(n3,c) = %d, want Null", sks.First[cIdx])
+	}
+	aIdx := find("a", n3)
+	if sks.Wit[aIdx] != p(4) {
+		t.Errorf("Witness(n3,a) = %d, want p4=%d", sks.Wit[aIdx], p(4))
+	}
+	if sks.First[aIdx] != p(2) {
+		t.Errorf("FirstPos(n3,a) = %d, want p2=%d", sks.First[aIdx], p(2))
+	}
+}
+
+// TestNextMatchesFollowAfter validates Lemma 3.2: on deterministic
+// expressions Next(n,a) equals the a-labeled portion of FollowAfter(n).
+func TestNextMatchesFollowAfter(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	samples := 0
+	for trial := 0; trial < 400; trial++ {
+		alpha := ast.NewAlphabet()
+		var e *ast.Node
+		if trial%3 == 0 {
+			e = wordgen.RandomDeterministicExpr(r, alpha, 5, 40, true)
+		} else {
+			e = ast.Normalize(wordgen.RandomExpr(r, alpha, wordgen.ExprConfig{Symbols: 3, MaxNodes: 30}))
+		}
+		tr, err := parsetree.Build(e, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if glushkov.CheckBK(tr) != nil {
+			continue // Lemma 3.2 exactness only promised for deterministic e
+		}
+		fol := follow.New(tr)
+		sks := Build(tr, fol, Options{})
+		if sks.NonDet != nil {
+			t.Fatalf("linear test disagrees with BK on %s: %v",
+				ast.StringMath(e, alpha), sks.NonDet)
+		}
+		b := follow.Brute(tr)
+		samples++
+		for sym := 0; sym < tr.Alpha.Size(); sym++ {
+			lo, hi := sks.SymRange(ast.Symbol(sym))
+			for i := lo; i < hi; i++ {
+				n := sks.ENode[i]
+				want := followAfterSym(tr, b, n, ast.Symbol(sym))
+				switch {
+				case len(want) == 0:
+					if sks.Next[i] != parsetree.Null {
+						t.Fatalf("%s: Next(%d,%s) = %d, want Null",
+							ast.StringMath(e, alpha), n, alpha.Name(ast.Symbol(sym)), sks.Next[i])
+					}
+				case len(want) == 1:
+					if sks.Next[i] != want[0] {
+						t.Fatalf("%s: Next(%d,%s) = %d, want %d",
+							ast.StringMath(e, alpha), n, alpha.Name(ast.Symbol(sym)), sks.Next[i], want[0])
+					}
+				default:
+					t.Fatalf("%s: FollowAfter has two a-positions on a deterministic expression",
+						ast.StringMath(e, alpha))
+				}
+			}
+		}
+	}
+	if samples < 100 {
+		t.Fatalf("only %d deterministic samples", samples)
+	}
+}
+
+// followAfterSym computes FollowAfter(n) ∩ positions labeled sym by
+// definition: q not below n such that some p ∈ Last(n) has q ∈ Follow(p).
+func followAfterSym(tr *parsetree.Tree, b *follow.BruteSets, n parsetree.NodeID, sym ast.Symbol) []parsetree.NodeID {
+	seen := map[parsetree.NodeID]bool{}
+	var out []parsetree.NodeID
+	for _, p := range b.Last[n] {
+		for q := range b.Follow[p] {
+			if tr.Sym[q] == sym && !tr.IsAncestor(n, q) && !seen[q] {
+				seen[q] = true
+				out = append(out, q)
+			}
+		}
+	}
+	return out
+}
+
+func TestP1Violation(t *testing.T) {
+	tr, fol := compile(t, "a?a")
+	sks := Build(tr, fol, Options{})
+	if sks.NonDet == nil || sks.NonDet.Rule != "P1" {
+		t.Fatalf("a?a: expected P1 violation, got %v", sks.NonDet)
+	}
+	if tr.Sym[sks.NonDet.Q1] != tr.Sym[sks.NonDet.Q2] || sks.NonDet.Q1 == sks.NonDet.Q2 {
+		t.Fatal("P1 witness pair invalid")
+	}
+}

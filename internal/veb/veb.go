@@ -1,0 +1,176 @@
+// Package veb implements van Emde Boas trees: predecessor/successor queries
+// over a bounded integer universe in O(log log u) time. The paper's
+// Theorem 4.2 matcher uses them (via reference [23]) to answer lowest
+// colored ancestor queries over preorder numbers.
+//
+// The implementation is the classical recursive structure with the min/max
+// shortcut (min is not stored in clusters, making Insert O(log log u)) and
+// hash-addressed lazy clusters (RS-vEB), so space is O(n) for n inserted
+// keys rather than O(u).
+package veb
+
+// Tree is a van Emde Boas tree over the universe [0, U). The zero value is
+// not usable; call New.
+type Tree struct {
+	bits     uint  // universe is 1 << bits
+	lowBits  uint  // cluster universe is 1 << lowBits
+	min      int32 // -1 when empty
+	max      int32
+	summary  *Tree
+	clusters map[int32]*Tree
+}
+
+// New returns an empty tree whose universe is the smallest power of two
+// ≥ max(2, universe).
+func New(universe int) *Tree {
+	bits := uint(1)
+	for 1<<bits < universe {
+		bits++
+	}
+	return newBits(bits)
+}
+
+func newBits(bits uint) *Tree {
+	return &Tree{bits: bits, lowBits: (bits + 1) / 2, min: -1, max: -1}
+}
+
+func (t *Tree) high(x int32) int32 { return x >> t.lowBits }
+func (t *Tree) low(x int32) int32  { return x & (1<<t.lowBits - 1) }
+func (t *Tree) index(h, l int32) int32 {
+	return h<<t.lowBits | l
+}
+
+// Empty reports whether the tree contains no keys.
+func (t *Tree) Empty() bool { return t.min < 0 }
+
+// Min returns the smallest key, or -1 if empty.
+func (t *Tree) Min() int { return int(t.min) }
+
+// Max returns the largest key, or -1 if empty.
+func (t *Tree) Max() int { return int(t.max) }
+
+// Insert adds x to the set; inserting an existing key is a no-op.
+// x must lie in [0, U).
+func (t *Tree) Insert(x int) { t.insert(int32(x)) }
+
+func (t *Tree) insert(x int32) {
+	if t.min < 0 {
+		t.min, t.max = x, x
+		return
+	}
+	if x == t.min || x == t.max {
+		return
+	}
+	if x < t.min {
+		x, t.min = t.min, x
+	}
+	if x > t.max {
+		t.max = x
+	}
+	if t.bits == 1 {
+		return // min/max cover the two-element universe
+	}
+	h, l := t.high(x), t.low(x)
+	if t.clusters == nil {
+		t.clusters = make(map[int32]*Tree)
+	}
+	c := t.clusters[h]
+	if c == nil {
+		c = newBits(t.lowBits)
+		t.clusters[h] = c
+	}
+	if c.Empty() {
+		if t.summary == nil {
+			t.summary = newBits(t.bits - t.lowBits)
+		}
+		t.summary.insert(h)
+	}
+	c.insert(l)
+}
+
+// Member reports whether x is in the set.
+func (t *Tree) Member(x int) bool { return t.member(int32(x)) }
+
+func (t *Tree) member(x int32) bool {
+	if t.min < 0 || x < t.min || x > t.max {
+		return false
+	}
+	if x == t.min || x == t.max {
+		return true
+	}
+	if t.bits == 1 {
+		return false
+	}
+	c := t.clusters[t.high(x)]
+	return c != nil && c.member(t.low(x))
+}
+
+// Succ returns the smallest key strictly greater than x, or -1.
+func (t *Tree) Succ(x int) int { return int(t.succ(int32(x))) }
+
+func (t *Tree) succ(x int32) int32 {
+	if t.min < 0 || x >= t.max {
+		return -1
+	}
+	if x < t.min {
+		return t.min
+	}
+	if t.bits == 1 {
+		return t.max // x ≥ min, x < max ⇒ max is the successor
+	}
+	h, l := t.high(x), t.low(x)
+	if c := t.clusters[h]; c != nil && !c.Empty() && l < c.max {
+		return t.index(h, c.succ(l))
+	}
+	if t.summary == nil {
+		return t.max
+	}
+	nh := t.summary.succ(h)
+	if nh < 0 {
+		return t.max
+	}
+	return t.index(nh, t.clusters[nh].min)
+}
+
+// Pred returns the largest key strictly smaller than x, or -1.
+func (t *Tree) Pred(x int) int { return int(t.pred(int32(x))) }
+
+func (t *Tree) pred(x int32) int32 {
+	if t.min < 0 || x <= t.min {
+		return -1
+	}
+	if x > t.max {
+		return t.max
+	}
+	if t.bits == 1 {
+		return t.min // x ≤ max, x > min ⇒ min is the predecessor
+	}
+	h, l := t.high(x), t.low(x)
+	if c := t.clusters[h]; c != nil && !c.Empty() && l > c.min {
+		return t.index(h, c.pred(l))
+	}
+	var ph int32 = -1
+	if t.summary != nil {
+		ph = t.summary.pred(h)
+	}
+	if ph < 0 {
+		return t.min // only min remains below cluster h
+	}
+	return t.index(ph, t.clusters[ph].max)
+}
+
+// PredLE returns the largest key ≤ x, or -1.
+func (t *Tree) PredLE(x int) int {
+	if t.Member(x) {
+		return x
+	}
+	return t.Pred(x)
+}
+
+// SuccGE returns the smallest key ≥ x, or -1.
+func (t *Tree) SuccGE(x int) int {
+	if t.Member(x) {
+		return x
+	}
+	return t.Succ(x)
+}

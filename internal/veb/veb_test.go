@@ -1,0 +1,148 @@
+package veb
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// refSet is the obvious reference implementation over a sorted slice.
+type refSet struct{ keys []int }
+
+func (r *refSet) insert(x int) {
+	i := sort.SearchInts(r.keys, x)
+	if i < len(r.keys) && r.keys[i] == x {
+		return
+	}
+	r.keys = append(r.keys, 0)
+	copy(r.keys[i+1:], r.keys[i:])
+	r.keys[i] = x
+}
+func (r *refSet) member(x int) bool {
+	i := sort.SearchInts(r.keys, x)
+	return i < len(r.keys) && r.keys[i] == x
+}
+func (r *refSet) pred(x int) int {
+	i := sort.SearchInts(r.keys, x)
+	if i == 0 {
+		return -1
+	}
+	return r.keys[i-1]
+}
+func (r *refSet) succ(x int) int {
+	i := sort.SearchInts(r.keys, x+1)
+	if i == len(r.keys) {
+		return -1
+	}
+	return r.keys[i]
+}
+
+func TestAgainstReference(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 60; trial++ {
+		u := 2 + r.Intn(3000)
+		v := New(u)
+		ref := &refSet{}
+		n := r.Intn(200)
+		for i := 0; i < n; i++ {
+			x := r.Intn(u)
+			v.Insert(x)
+			ref.insert(x)
+		}
+		for q := 0; q < 400; q++ {
+			x := r.Intn(u)
+			if got, want := v.Member(x), ref.member(x); got != want {
+				t.Fatalf("u=%d Member(%d) = %v, want %v", u, x, got, want)
+			}
+			if got, want := v.Pred(x), ref.pred(x); got != want {
+				t.Fatalf("u=%d Pred(%d) = %d, want %d", u, x, got, want)
+			}
+			if got, want := v.Succ(x), ref.succ(x); got != want {
+				t.Fatalf("u=%d Succ(%d) = %d, want %d", u, x, got, want)
+			}
+			le := v.PredLE(x)
+			wantLE := ref.pred(x + 1)
+			if le != wantLE {
+				t.Fatalf("u=%d PredLE(%d) = %d, want %d", u, x, le, wantLE)
+			}
+			ge := v.SuccGE(x)
+			wantGE := ref.succ(x - 1)
+			if ge != wantGE {
+				t.Fatalf("u=%d SuccGE(%d) = %d, want %d", u, x, ge, wantGE)
+			}
+		}
+		if len(ref.keys) > 0 {
+			if v.Min() != ref.keys[0] || v.Max() != ref.keys[len(ref.keys)-1] {
+				t.Fatalf("Min/Max mismatch")
+			}
+		} else if !v.Empty() {
+			t.Fatal("empty tree reports non-empty")
+		}
+	}
+}
+
+func TestQuickProperty(t *testing.T) {
+	// Property: for any key set and any query point, Pred < x ≤ Succ-of-Pred
+	// chain is consistent.
+	f := func(keys []uint16, x uint16) bool {
+		v := New(1 << 16)
+		ref := &refSet{}
+		for _, k := range keys {
+			v.Insert(int(k))
+			ref.insert(int(k))
+		}
+		return v.Pred(int(x)) == ref.pred(int(x)) &&
+			v.Succ(int(x)) == ref.succ(int(x)) &&
+			v.Member(int(x)) == ref.member(int(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeUniverses(t *testing.T) {
+	for _, u := range []int{1, 2, 3, 4, 5, 7, 8, 9} {
+		v := New(u)
+		if !v.Empty() || v.Min() != -1 || v.Max() != -1 {
+			t.Fatalf("u=%d: fresh tree not empty", u)
+		}
+		if v.Pred(u-1) != -1 || v.Succ(0) != -1 {
+			t.Fatalf("u=%d: queries on empty tree", u)
+		}
+		v.Insert(0)
+		v.Insert(0) // duplicate insert is a no-op
+		if v.Min() != 0 || v.Max() != 0 || !v.Member(0) {
+			t.Fatalf("u=%d: singleton broken", u)
+		}
+		if u > 1 {
+			v.Insert(u - 1)
+			if v.Max() != u-1 || v.Pred(u-1) != 0 || v.Succ(0) != u-1 {
+				t.Fatalf("u=%d: two-element set broken", u)
+			}
+		}
+	}
+}
+
+func TestDenseUniverse(t *testing.T) {
+	const u = 256
+	v := New(u)
+	for i := 0; i < u; i++ {
+		v.Insert(i)
+	}
+	for i := 0; i < u; i++ {
+		if !v.Member(i) {
+			t.Fatalf("Member(%d) = false in dense set", i)
+		}
+		if want := i - 1; v.Pred(i) != want {
+			t.Fatalf("Pred(%d) = %d, want %d", i, v.Pred(i), want)
+		}
+		want := i + 1
+		if want == u {
+			want = -1
+		}
+		if v.Succ(i) != want {
+			t.Fatalf("Succ(%d) = %d, want %d", i, v.Succ(i), want)
+		}
+	}
+}

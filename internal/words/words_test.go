@@ -1,0 +1,84 @@
+package words
+
+import (
+	"math/rand"
+	"testing"
+
+	"dregex/internal/ast"
+	"dregex/internal/follow"
+	"dregex/internal/glushkov"
+	"dregex/internal/parsetree"
+	"dregex/internal/wordgen"
+)
+
+// RandomWord must always produce members of L(e) — it drives every matcher
+// fuzz test, so its own correctness is checked against the NFA oracle.
+func TestRandomWordIsInLanguage(t *testing.T) {
+	r := rand.New(rand.NewSource(801))
+	produced := 0
+	for trial := 0; trial < 200; trial++ {
+		alpha := ast.NewAlphabet()
+		e := ast.Normalize(wordgen.RandomExpr(r, alpha, wordgen.ExprConfig{Symbols: 4, MaxNodes: 40}))
+		tr, err := parsetree.Build(e, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fol := follow.New(tr)
+		oracle := glushkov.Build(tr)
+		for i := 0; i < 10; i++ {
+			w, ok := RandomWord(r, fol, 25, 0.3)
+			if !ok {
+				continue
+			}
+			produced++
+			if !oracle.Match(w) {
+				t.Fatalf("RandomWord produced non-member %v of %s", w, ast.StringMath(e, alpha))
+			}
+		}
+	}
+	if produced < 800 {
+		t.Fatalf("only %d positive samples produced", produced)
+	}
+}
+
+func TestNoiseWordUsesExpressionAlphabet(t *testing.T) {
+	r := rand.New(rand.NewSource(809))
+	alpha := ast.NewAlphabet()
+	tr, err := parsetree.Build(ast.Normalize(ast.MustParseMath("(ab+c)*", alpha)), alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := map[ast.Symbol]bool{}
+	for i := 1; i < tr.NumPositions()-1; i++ {
+		syms[tr.Sym[tr.PosNode[i]]] = true
+	}
+	w := NoiseWord(r, tr, 200)
+	if len(w) != 200 {
+		t.Fatalf("len = %d", len(w))
+	}
+	for _, s := range w {
+		if !syms[s] {
+			t.Fatalf("noise symbol %d outside expression alphabet", s)
+		}
+	}
+}
+
+func TestMutateStaysOverAlphabet(t *testing.T) {
+	r := rand.New(rand.NewSource(811))
+	alpha := ast.NewAlphabet()
+	tr, err := parsetree.Build(ast.Normalize(ast.MustParseMath("(ab)*c?", alpha)), alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fol := follow.New(tr)
+	w, ok := RandomWord(r, fol, 12, 0.3)
+	if !ok {
+		t.Fatal("no word")
+	}
+	for i := 0; i < 50; i++ {
+		m := Mutate(r, tr, w, 1+r.Intn(3))
+		if len(m) > len(w)+3 {
+			t.Fatalf("mutation grew too much: %d vs %d", len(m), len(w))
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package xpath
+
+import (
+	"math/rand"
+	"testing"
+
+	"dregex/internal/ast"
+	"dregex/internal/determinism"
+	"dregex/internal/follow"
+	"dregex/internal/parsetree"
+	"dregex/internal/wordgen"
+)
+
+func compile(t *testing.T, expr string) *parsetree.Tree {
+	t.Helper()
+	alpha := ast.NewAlphabet()
+	tr, err := parsetree.Build(ast.Normalize(ast.MustParseMath(expr, alpha)), alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestPaperExamples(t *testing.T) {
+	cases := []struct {
+		expr string
+		det  bool
+	}{
+		{"(ab+b(b?)a)*", true},
+		{"(a*ba+bb)*", false},
+		{"ab*b", false},
+		{"(a+b)*", true},
+		{"(a+a)*", false},
+		{"(c(b?a?))a", false},
+		{"(c(b?a))a", true},
+		{"(a(b?a))*", true},
+		{"(a(b?a?))*", false},
+		{"(c?((ab*)(a?c)))*(ba)", true},
+		{"a?a", false},
+		{"a*a", false},
+	}
+	for _, c := range cases {
+		tr := compile(t, c.expr)
+		if got := IsDeterministic(tr); got != c.det {
+			t.Errorf("φdet(%s) = %v, want %v (violations %v)",
+				c.expr, got, c.det, Violations(tr))
+		}
+	}
+}
+
+// The Theorem 3.6 query must agree with the Theorem 3.5 linear test.
+func TestAgainstLinearChecker(t *testing.T) {
+	r := rand.New(rand.NewSource(501))
+	total, nondet := 0, 0
+	for trial := 0; trial < 1500; trial++ {
+		alpha := ast.NewAlphabet()
+		e := ast.Normalize(wordgen.RandomExpr(r, alpha, wordgen.ExprConfig{
+			Symbols:  1 + r.Intn(4),
+			MaxNodes: 5 + r.Intn(40),
+		}))
+		tr, err := parsetree.Build(e, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := determinism.Check(tr, follow.New(tr)).Deterministic
+		if got := IsDeterministic(tr); got != want {
+			t.Fatalf("φdet disagrees on %s: xpath=%v linear=%v (violations %v)",
+				ast.StringMath(e, alpha), got, want, Violations(tr))
+		}
+		total++
+		if !want {
+			nondet++
+		}
+	}
+	if nondet < total/10 || nondet > total*9/10 {
+		t.Fatalf("unbalanced corpus: %d/%d", nondet, total)
+	}
+}
+
+func TestViolationAttribution(t *testing.T) {
+	// a?a violates (P1); the first query must fire.
+	if v := Violations(compile(t, "a?a")); !v[0] {
+		t.Errorf("a?a: expected ϕP1, got %v", v)
+	}
+	// (a(b?a?))* is the §3.2 star combination.
+	v := Violations(compile(t, "(a(b?a?))*"))
+	if !v[1] && !v[2] && !v[3] {
+		t.Errorf("(a(b?a?))*: expected a follow-combination query, got %v", v)
+	}
+	// Deterministic expressions fire nothing.
+	if v := Violations(compile(t, "(ab+b(b?)a)*")); v != [4]bool{} {
+		t.Errorf("e1: unexpected violations %v", v)
+	}
+}

@@ -1,0 +1,203 @@
+package dregex
+
+import (
+	"fmt"
+	"io"
+
+	"dregex/internal/glushkov"
+	"dregex/internal/match"
+	"dregex/internal/match/colored"
+	"dregex/internal/match/kore"
+	"dregex/internal/match/pathdecomp"
+	"dregex/internal/match/starfree"
+)
+
+// Algorithm selects a transition-simulation engine (§4 of the paper).
+type Algorithm int
+
+// Matching algorithms. Auto picks per the paper's guidance: the k-ORE
+// simulator when every symbol occurs at most twice, the path-decomposition
+// simulator while the alternation depth stays small (it never exceeds 4 in
+// real DTD corpora), and the colored-ancestor simulator otherwise.
+const (
+	Auto Algorithm = iota
+	// KORE is Theorem 4.3: O(k) per symbol.
+	KORE
+	// Colored is Theorem 4.2: O(log log |e|) per symbol via van Emde
+	// Boas lowest-colored-ancestor queries.
+	Colored
+	// ColoredBinary is Colored with a binary-search predecessor backend
+	// (ablation baseline, O(log |e|) per symbol).
+	ColoredBinary
+	// PathDecomp is Theorem 4.10: amortized O(c_e) per symbol.
+	PathDecomp
+	// StarFreeScan is the §4.4 single-word scan; requires a star-free
+	// expression, total O(|e| + |w|) per word.
+	StarFreeScan
+	// Climbing is the naive O(depth(e)) per-symbol baseline of §4.3.
+	Climbing
+	// NFA is position-set simulation on the Glushkov relation; the only
+	// engine that accepts nondeterministic expressions (O(k²) per symbol).
+	NFA
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "auto"
+	case KORE:
+		return "kore"
+	case Colored:
+		return "colored"
+	case ColoredBinary:
+		return "colored-binary"
+	case PathDecomp:
+		return "pathdecomp"
+	case StarFreeScan:
+		return "starfree-scan"
+	case Climbing:
+		return "climbing"
+	case NFA:
+		return "nfa"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Matcher matches words against one compiled expression with a fixed
+// algorithm. Matchers are safe for concurrent use; per-word state lives in
+// Stream values.
+type Matcher struct {
+	expr *Expr
+	algo Algorithm
+	sim  match.TransitionSim
+	nfa  *kore.NFA
+}
+
+// Matcher builds a matcher. All algorithms except NFA require a
+// deterministic expression.
+func (e *Expr) Matcher(algo Algorithm) (*Matcher, error) {
+	m := &Matcher{expr: e, algo: algo}
+	if algo == Auto {
+		st := e.Stats()
+		switch {
+		case st.K <= 2:
+			algo = KORE
+		case st.AlternationDepth <= 8:
+			algo = PathDecomp
+		default:
+			algo = Colored
+		}
+		m.algo = algo
+	}
+	if algo != NFA && !e.det.Deterministic {
+		return nil, fmt.Errorf("dregex: %w", errNondet(e))
+	}
+	var err error
+	switch algo {
+	case KORE:
+		m.sim = kore.New(e.tree, e.fol)
+	case Colored:
+		m.sim, err = colored.New(e.tree, e.fol, colored.Options{})
+	case ColoredBinary:
+		m.sim, err = colored.New(e.tree, e.fol, colored.Options{BinarySearch: true})
+	case PathDecomp:
+		m.sim, err = pathdecomp.New(e.tree, e.fol)
+	case StarFreeScan:
+		m.sim, err = starfree.NewScan(e.tree, e.fol)
+	case Climbing:
+		m.sim, err = colored.NewClimbing(e.tree, e.fol)
+	case NFA:
+		m.nfa = kore.NewNFA(e.tree, e.fol)
+	default:
+		return nil, fmt.Errorf("dregex: unknown algorithm %v", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func errNondet(e *Expr) error {
+	return fmt.Errorf("expression %q is not deterministic (%s)", e.source, e.det.Rule)
+}
+
+// Algorithm returns the engine actually selected (resolving Auto).
+func (m *Matcher) Algorithm() Algorithm { return m.algo }
+
+// MatchSymbols matches a word given as symbol names.
+func (m *Matcher) MatchSymbols(names []string) bool {
+	if m.nfa != nil {
+		return m.nfa.MatchNames(names)
+	}
+	return match.Names(m.sim, names)
+}
+
+// MatchText matches a word written in math notation: each rune is one
+// symbol.
+func (m *Matcher) MatchText(w string) bool {
+	if m.nfa != nil {
+		names := make([]string, 0, len(w))
+		for _, r := range w {
+			names = append(names, string(r))
+		}
+		return m.nfa.MatchNames(names)
+	}
+	return match.Chars(m.sim, w)
+}
+
+// Stream starts an incremental match (one-pass, O(1) state beyond the
+// preprocessed expression). The NFA engine has no single-position state and
+// returns nil.
+func (m *Matcher) Stream() *match.Stream {
+	if m.sim == nil {
+		return nil
+	}
+	return match.NewStream(m.sim)
+}
+
+// MatchReaderRunes streams single-rune symbols from r (newlines skipped).
+func (m *Matcher) MatchReaderRunes(r io.Reader) (bool, error) {
+	if m.sim == nil {
+		return false, fmt.Errorf("dregex: streaming requires a deterministic engine")
+	}
+	return match.ReaderRunes(m.sim, r)
+}
+
+// MatchReaderTokens streams whitespace-separated symbol names from r.
+func (m *Matcher) MatchReaderTokens(r io.Reader) (bool, error) {
+	if m.sim == nil {
+		return false, fmt.Errorf("dregex: streaming requires a deterministic engine")
+	}
+	return match.ReaderTokens(m.sim, r)
+}
+
+// MatchAll matches many words at once. For star-free expressions it runs
+// the Theorem 4.12 batch algorithm in combined linear time; otherwise each
+// word is matched independently.
+func (e *Expr) MatchAll(wordsNames [][]string, algo Algorithm) ([]bool, error) {
+	if !e.det.Deterministic {
+		return nil, errNondet(e)
+	}
+	st := e.Stats()
+	if st.StarFree {
+		b, err := starfree.NewBatch(e.tree, e.fol)
+		if err == nil {
+			return b.MatchAllNames(wordsNames), nil
+		}
+	}
+	m, err := e.Matcher(algo)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(wordsNames))
+	for i, w := range wordsNames {
+		out[i] = m.MatchSymbols(w)
+	}
+	return out, nil
+}
+
+// Glushkov exposes the baseline position automaton (primarily for
+// benchmarks and cross-validation); its construction is O(σ|e|) for
+// deterministic expressions and quadratic in general — the cost the
+// paper's algorithms avoid.
+func (e *Expr) Glushkov() *glushkov.Automaton { return glushkov.Build(e.tree) }

@@ -1,0 +1,67 @@
+package dregex
+
+import (
+	"fmt"
+
+	"dregex/internal/ast"
+	"dregex/internal/numeric"
+)
+
+// NumericExpr is a compiled expression with XML-Schema numeric occurrence
+// indicators e{m,n} (paper §3.3). Its determinism test runs in O(|e|)
+// regardless of the magnitudes of the bounds — maxOccurs="1000000000"
+// costs the same as maxOccurs="2" — improving the O(σ|e|) bound of
+// Kilpeläinen's checker.
+type NumericExpr struct {
+	source string
+	c      *numeric.Counted
+}
+
+// CompileNumeric parses and preprocesses an expression that may use
+// numeric occurrence indicators.
+func CompileNumeric(source string, syntax Syntax) (*NumericExpr, error) {
+	alpha := ast.NewAlphabet()
+	var root *ast.Node
+	var err error
+	switch syntax {
+	case Math:
+		root, err = ast.ParseMath(source, alpha)
+	case DTD:
+		root, err = ast.ParseDTD(source, alpha)
+	default:
+		return nil, fmt.Errorf("dregex: unknown syntax %d", syntax)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c, err := numeric.Compile(root, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return &NumericExpr{source: source, c: c}, nil
+}
+
+// Source returns the original expression text.
+func (e *NumericExpr) Source() string { return e.source }
+
+// IsDeterministic reports the linear §3.3 verdict.
+func (e *NumericExpr) IsDeterministic() bool { return e.c.IsDeterministic() }
+
+// Rule names the condition that proved nondeterminism ("" when
+// deterministic).
+func (e *NumericExpr) Rule() string { return e.c.Result().Rule }
+
+// MatchSymbols matches a word of symbol names by counter simulation.
+func (e *NumericExpr) MatchSymbols(names []string) bool { return e.c.MatchNames(names) }
+
+// MatchText matches a math-notation word (one rune per symbol).
+func (e *NumericExpr) MatchText(w string) bool {
+	names := make([]string, 0, len(w))
+	for _, r := range w {
+		names = append(names, string(r))
+	}
+	return e.c.MatchNames(names)
+}
+
+// IterationStats summarizes the counter structure.
+func (e *NumericExpr) IterationStats() numeric.Stats { return e.c.Stats() }
