@@ -1,0 +1,37 @@
+GO ?= go
+BENCH_PATTERN ?= .
+BENCH_TIME ?= 1s
+DATE := $(shell date +%Y%m%d)
+
+.PHONY: all build test bench lint vet fmt
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# bench runs the Go benchmark sweep and the benchtab experiment tables,
+# snapshotting both into BENCH_<date>.json for cross-PR comparison.
+bench:
+	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -benchmem . \
+		| tee /tmp/dregex_bench.txt
+	$(GO) run ./cmd/benchtab -exp e1,e5,e7,e9 | tee /tmp/dregex_benchtab.txt
+	@printf '{\n  "date": "%s",\n  "go": "%s",\n  "bench": %s,\n  "benchtab": %s\n}\n' \
+		"$(DATE)" \
+		"$$($(GO) version | cut -d' ' -f3)" \
+		"$$(python3 -c 'import json,sys;print(json.dumps(open("/tmp/dregex_bench.txt").read()))' 2>/dev/null || echo '""')" \
+		"$$(python3 -c 'import json,sys;print(json.dumps(open("/tmp/dregex_benchtab.txt").read()))' 2>/dev/null || echo '""')" \
+		> BENCH_$(DATE).json
+	@echo "wrote BENCH_$(DATE).json"
+
+lint: fmt vet
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...

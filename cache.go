@@ -1,0 +1,192 @@
+package dregex
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a sharded, concurrency-safe LRU over compiled expressions,
+// keyed by (syntax, source, plain/numeric). It amortizes the O(|e|)
+// compile-time preprocessing across calls, which — together with the
+// per-Expr engine cache — is what makes validator-style traffic cheap:
+// real schema corpora reuse a small set of content models at enormous
+// rates, so steady state is a hash probe, not a compile.
+//
+// Concurrent Gets of the same key are deduplicated: exactly one goroutine
+// compiles while the others wait for its result, and all receive the same
+// *Expr (so they also share its lazily built engines). Compilation runs
+// outside the shard lock; an entry mid-compile can be evicted without
+// affecting callers already holding it.
+type Cache struct {
+	shards []cacheShard
+	seed   maphash.Seed
+	// perShard is the entry capacity of each shard; total capacity is
+	// perShard * len(shards).
+	perShard int
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+}
+
+const cacheShards = 16
+
+// CacheStats reports cache effectiveness counters.
+type CacheStats struct {
+	Hits    uint64 // Gets served from the cache
+	Misses  uint64 // Gets that had to compile
+	Entries int    // entries currently resident
+}
+
+type cacheKey struct {
+	syntax  Syntax
+	numeric bool
+	source  string
+}
+
+// cacheEntry is one compiled expression. The once field makes the compile
+// single-flight: the entry is published in the shard map before anything
+// is compiled, and every Get for its key funnels through once.Do.
+type cacheEntry struct {
+	key  cacheKey
+	once sync.Once
+	expr *Expr        // plain pipeline result
+	nexp *NumericExpr // numeric pipeline result
+	err  error
+
+	// Intrusive LRU list links, guarded by the shard mutex.
+	prev, next *cacheEntry
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[cacheKey]*cacheEntry
+	// Doubly linked LRU list with sentinel head: head.next is
+	// most-recently used, head.prev is the eviction candidate.
+	head cacheEntry
+}
+
+// NewCache returns a cache holding up to capacity compiled expressions
+// (rounded up to a multiple of the shard count; capacity ≤ 0 selects a
+// default of 1024). It is ready for concurrent use.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	perShard := (capacity + cacheShards - 1) / cacheShards
+	c := &Cache{
+		shards:   make([]cacheShard, cacheShards),
+		seed:     maphash.MakeSeed(),
+		perShard: perShard,
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.m = make(map[cacheKey]*cacheEntry)
+		s.head.prev = &s.head
+		s.head.next = &s.head
+	}
+	return c
+}
+
+// Get returns the compiled form of source, compiling at most once per
+// resident key. The returned *Expr is shared between all callers (Expr is
+// immutable and its engine cache is concurrency-safe). Compile errors are
+// cached too, so a hot malformed input does not recompile per request.
+func (c *Cache) Get(source string, syntax Syntax) (*Expr, error) {
+	e := c.entry(cacheKey{syntax: syntax, source: source})
+	e.once.Do(func() {
+		e.expr, e.err = Compile(source, syntax)
+	})
+	return e.expr, e.err
+}
+
+// GetNumeric is Get through the numeric pipeline (CompileNumeric). Plain
+// and numeric compilations of the same source are distinct cache entries.
+func (c *Cache) GetNumeric(source string, syntax Syntax) (*NumericExpr, error) {
+	e := c.entry(cacheKey{syntax: syntax, source: source, numeric: true})
+	e.once.Do(func() {
+		e.nexp, e.err = CompileNumeric(source, syntax)
+	})
+	return e.nexp, e.err
+}
+
+// entry finds or creates the entry for key, updating LRU order and
+// counters. Only map/list manipulation happens under the shard lock.
+func (c *Cache) entry(key cacheKey) *cacheEntry {
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	h.WriteString(key.source)
+	b := byte(key.syntax) << 1
+	if key.numeric {
+		b |= 1
+	}
+	h.WriteByte(b)
+	s := &c.shards[h.Sum64()%cacheShards]
+
+	s.mu.Lock()
+	e, ok := s.m[key]
+	if ok {
+		s.unlink(e)
+		s.pushFront(e)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return e
+	}
+	e = &cacheEntry{key: key}
+	s.m[key] = e
+	s.pushFront(e)
+	if len(s.m) > c.perShard {
+		victim := s.head.prev
+		s.unlink(victim)
+		delete(s.m, victim.key)
+	}
+	s.mu.Unlock()
+	c.misses.Add(1)
+	return e
+}
+
+func (s *cacheShard) unlink(e *cacheEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (s *cacheShard) pushFront(e *cacheEntry) {
+	e.prev = &s.head
+	e.next = s.head.next
+	s.head.next.prev = e
+	s.head.next = e
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the hit/miss counters and residency.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Entries: c.Len(),
+	}
+}
+
+// Purge empties the cache (counters are kept). Expressions already handed
+// out remain valid; only future Gets recompile.
+func (c *Cache) Purge() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = make(map[cacheKey]*cacheEntry)
+		s.head.prev = &s.head
+		s.head.next = &s.head
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,134 @@
+package dregex
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheReturnsSharedExpr(t *testing.T) {
+	c := NewCache(64)
+	e1, err := c.Get("(a|b)*, c", DTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c.Get("(a|b)*, c", DTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Error("second Get must return the cached *Expr")
+	}
+	// Same source under the other syntax is a distinct key.
+	if e3, err := c.Get("ab", Math); err != nil || e3 == e1 {
+		t.Errorf("Math/DTD keys must be distinct (%v)", err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Errorf("Stats = %+v, want 1 hit / 2 misses", st)
+	}
+}
+
+func TestCacheCachesErrors(t *testing.T) {
+	c := NewCache(8)
+	if _, err := c.Get("(((", Math); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := c.Get("(((", Math); err == nil {
+		t.Fatal("expected cached parse error")
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Errorf("error entry not cached: %+v", st)
+	}
+}
+
+func TestCacheNumericSeparateKeyspace(t *testing.T) {
+	c := NewCache(64)
+	if _, err := c.Get("a{2,3}", Math); err != ErrNumericIndicator {
+		t.Fatalf("plain pipeline: err = %v, want ErrNumericIndicator", err)
+	}
+	n, err := c.GetNumeric("a{2,3}", Math)
+	if err != nil {
+		t.Fatalf("numeric pipeline: %v", err)
+	}
+	if !n.IsDeterministic() || !n.MatchText("aa") || n.MatchText("a") {
+		t.Error("numeric semantics wrong through cache")
+	}
+	n2, _ := c.GetNumeric("a{2,3}", Math)
+	if n2 != n {
+		t.Error("GetNumeric must return the cached *NumericExpr")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	// Capacity rounds to one entry per shard; overflowing a shard must
+	// evict its least-recently-used entry, and Len must never exceed
+	// the configured capacity.
+	c := NewCache(16)
+	for i := 0; i < 200; i++ {
+		src := fmt.Sprintf("(a, b%d*)", i)
+		if _, err := c.Get(src, DTD); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Len(); n > 16 {
+		t.Errorf("Len = %d after overflow, want ≤ 16", n)
+	}
+	c.Purge()
+	if n := c.Len(); n != 0 {
+		t.Errorf("Len = %d after Purge", n)
+	}
+}
+
+func TestCacheConcurrentOverlappingKeys(t *testing.T) {
+	// Many goroutines hammer a small key set concurrently; -race must be
+	// quiet, verdicts must be correct, and each key must compile once
+	// (entries stay resident: per-shard capacity exceeds the key count, so
+	// no shard can evict however the seeded hash distributes the keys).
+	c := NewCache(256)
+	sources := []string{
+		"(title, author+, (section | appendix)*)",
+		"(a|b)*, c",
+		"para*",
+		"(login, (query, page*)*, logout)",
+		"(((", // error entries participate too
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				src := sources[(g+i)%len(sources)]
+				e, err := c.Get(src, DTD)
+				if src == "(((" {
+					if err == nil {
+						t.Error("malformed source compiled")
+					}
+					continue
+				}
+				if err != nil {
+					t.Errorf("Get(%q): %v", src, err)
+					return
+				}
+				m, err := e.Matcher(Auto)
+				if err != nil {
+					t.Errorf("Matcher(%q): %v", src, err)
+					return
+				}
+				m.MatchSymbols([]string{"a", "c"})
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries != len(sources) {
+		t.Errorf("Entries = %d, want %d", st.Entries, len(sources))
+	}
+	if want := uint64(16 * 300); st.Hits+st.Misses != want {
+		t.Errorf("Hits+Misses = %d, want %d", st.Hits+st.Misses, want)
+	}
+	if st.Misses != uint64(len(sources)) {
+		t.Errorf("Misses = %d, want one per key (%d)", st.Misses, len(sources))
+	}
+}

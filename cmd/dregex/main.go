@@ -51,12 +51,17 @@ func main() {
 		syntax = dregex.DTD
 	}
 
+	// Compilation goes through a Cache for parity with how library
+	// consumers are expected to compile (a one-shot CLI run sees no
+	// reuse; long-lived embedders of the same code path do).
+	cache := dregex.NewCache(256)
+
 	if *numericOn {
-		runNumeric(src, syntax, flag.Args()[1:], *dtdSyntax)
+		runNumeric(cache, src, syntax, flag.Args()[1:], *dtdSyntax)
 		return
 	}
 
-	e, err := dregex.Compile(src, syntax)
+	e, err := cache.Get(src, syntax)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
@@ -109,8 +114,8 @@ func main() {
 	}
 }
 
-func runNumeric(src string, syntax dregex.Syntax, words []string, dtdSyntax bool) {
-	e, err := dregex.CompileNumeric(src, syntax)
+func runNumeric(cache *dregex.Cache, src string, syntax dregex.Syntax, words []string, dtdSyntax bool) {
+	e, err := cache.GetNumeric(src, syntax)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)

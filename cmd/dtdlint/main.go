@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"os"
 
-	"dregex/internal/ast"
 	"dregex/internal/dtd"
 )
 
@@ -36,8 +35,9 @@ func main() {
 		el := d.Elements[name]
 		k, ce := "-", "-"
 		if el.Kind == dtd.Children {
-			k = fmt.Sprint(ast.MaxOccurrence(el.Expr))
-			ce = fmt.Sprint(ast.AlternationDepth(el.Expr))
+			st := el.Stats() // memoized at compile time
+			k = fmt.Sprint(st.K)
+			ce = fmt.Sprint(st.AlternationDepth)
 		}
 		det := "yes"
 		if !el.Deterministic {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"dregex"
 	"dregex/internal/dtd"
 )
 
@@ -27,7 +28,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
-	d, err := dtd.Parse(string(data))
+	// An explicit cache: every content model compiles once, however many
+	// declarations or documents reuse it.
+	d, err := dtd.ParseWithCache(string(data), dregex.NewCache(1024))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)

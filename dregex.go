@@ -19,15 +19,29 @@
 // ("(ab+b(b?)a)*", one rune per symbol) and DTD content-model notation
 // ("(title, author+, (section | appendix)*)"). All matchers are streaming:
 // input is consumed symbol by symbol in one pass.
+//
+// The library is shaped for amortized use, the workload of real schema
+// validators (a small set of content models matched at enormous rates):
+//
+//   - Compile runs every O(|e|) preprocessing step once, including Stats;
+//   - Expr lazily builds and permanently caches one engine per Algorithm,
+//     so repeated Matcher and MatchAll calls never rebuild a simulator;
+//   - Cache is a sharded, concurrency-safe LRU over compiled expressions
+//     keyed by (syntax, source), deduplicating concurrent compiles;
+//   - Expr.Intern plus Matcher.MatchWord (or a value match.Stream reused
+//     via Matcher.InitStream) give a steady-state match path with zero
+//     allocations and no per-symbol map lookups.
 package dregex
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"dregex/internal/ast"
 	"dregex/internal/determinism"
 	"dregex/internal/follow"
+	"dregex/internal/match/starfree"
 	"dregex/internal/parsetree"
 	"dregex/internal/skeleton"
 )
@@ -46,7 +60,8 @@ const (
 )
 
 // Expr is a compiled expression. It is immutable and safe for concurrent
-// use once compiled.
+// use once compiled; the per-algorithm engine cache is filled lazily under
+// sync.Once, so sharing one Expr across goroutines shares its engines.
 type Expr struct {
 	source string
 	syntax Syntax
@@ -56,6 +71,26 @@ type Expr struct {
 	fol    *follow.Index
 	sks    *skeleton.Skeletons
 	det    *determinism.Result
+	stats  Stats     // memoized at compile time
+	auto   Algorithm // Auto resolved against stats, once, at compile time
+
+	// engines[a] caches the Algorithm(a) simulator; batch caches the
+	// Theorem 4.12 star-free multi-word engine. Both build on first use
+	// and are then reused for the lifetime of the Expr.
+	engines [numAlgorithms]engineSlot
+	batch   batchSlot
+}
+
+type engineSlot struct {
+	once sync.Once
+	m    *Matcher
+	err  error
+}
+
+type batchSlot struct {
+	once sync.Once
+	b    *starfree.Batch
+	err  error
 }
 
 // ErrNumericIndicator is returned by Compile for expressions with numeric
@@ -69,6 +104,16 @@ var ErrNumericIndicator = errors.New("dregex: numeric occurrence indicators requ
 // postfix of DTD syntax is desugared to e·e* (determinism-preserving);
 // other numeric bounds are rejected — see CompileNumeric.
 func Compile(source string, syntax Syntax) (*Expr, error) {
+	root, alpha, err := parseSource(source, syntax)
+	if err != nil {
+		return nil, err
+	}
+	return compileAST(source, syntax, root, alpha)
+}
+
+// parseSource is the single parse front end shared by Compile and
+// CompileNumeric (and, through them, by Cache).
+func parseSource(source string, syntax Syntax) (*ast.Node, *ast.Alphabet, error) {
 	alpha := ast.NewAlphabet()
 	var root *ast.Node
 	var err error
@@ -78,12 +123,12 @@ func Compile(source string, syntax Syntax) (*Expr, error) {
 	case DTD:
 		root, err = ast.ParseDTD(source, alpha)
 	default:
-		return nil, fmt.Errorf("dregex: unknown syntax %d", syntax)
+		return nil, nil, fmt.Errorf("dregex: unknown syntax %d", syntax)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return compileAST(source, syntax, root, alpha)
+	return root, alpha, nil
 }
 
 func compileAST(source string, syntax Syntax, root *ast.Node, alpha *ast.Alphabet) (*Expr, error) {
@@ -98,7 +143,7 @@ func compileAST(source string, syntax Syntax, root *ast.Node, alpha *ast.Alphabe
 	fol := follow.New(tree)
 	sks := skeleton.Build(tree, fol, skeleton.Options{})
 	det := determinism.CheckSkeletons(tree, sks, false)
-	return &Expr{
+	e := &Expr{
 		source: source,
 		syntax: syntax,
 		alpha:  alpha,
@@ -107,7 +152,10 @@ func compileAST(source string, syntax Syntax, root *ast.Node, alpha *ast.Alphabe
 		fol:    fol,
 		sks:    sks,
 		det:    det,
-	}, nil
+	}
+	e.stats = computeStats(e)
+	e.auto = autoSelect(e.stats)
+	return e, nil
 }
 
 // MustCompile is Compile that panics on error, for tests and constants.
@@ -133,6 +181,11 @@ func (e *Expr) String() string {
 // IsDeterministic reports whether the expression is deterministic
 // (one-unambiguous); the verdict was computed at compile time in O(|e|).
 func (e *Expr) IsDeterministic() bool { return e.det.Deterministic }
+
+// Rule names the internal condition that proved nondeterminism ("P1",
+// "P2", "W-N", …); it is "" for deterministic expressions. Unlike Explain
+// it costs nothing beyond the compile-time verdict.
+func (e *Expr) Rule() string { return e.det.Rule }
 
 // Ambiguity describes why an expression is nondeterministic: a word w and
 // the two distinct positions of symbol Symbol that can both consume its
@@ -189,8 +242,10 @@ type Stats struct {
 	Deterministic bool
 }
 
-// Stats computes the structural summary.
-func (e *Expr) Stats() Stats {
+// Stats returns the structural summary, computed once at compile time.
+func (e *Expr) Stats() Stats { return e.stats }
+
+func computeStats(e *Expr) Stats {
 	s := Stats{
 		Size:             e.tree.N(),
 		Positions:        e.tree.NumPositions() - 2,
@@ -210,3 +265,24 @@ func (e *Expr) Stats() Stats {
 
 // Symbols returns the distinct symbol names of the expression.
 func (e *Expr) Symbols() []string { return e.alpha.Names() }
+
+// Symbol is an interned symbol id (dense, expression-local). It aliases
+// the internal representation so interned words flow between Intern,
+// MatchWord and Stream.Feed without conversion.
+type Symbol = ast.Symbol
+
+// Intern translates a word of symbol names to the expression's interned
+// symbols: the input format of Matcher.MatchWord, Stream.Feed and
+// Expr.MatchAllWords. Names outside the alphabet map to a sentinel every
+// engine rejects, so interning never mutates the (shared, concurrently
+// read) alphabet. Interning once and matching many times removes all
+// per-symbol map lookups from the hot path.
+func (e *Expr) Intern(names []string) []ast.Symbol {
+	return e.alpha.LookupWord(make([]ast.Symbol, 0, len(names)), names)
+}
+
+// InternInto is Intern appending into a caller-provided buffer, for
+// allocation-free reuse across calls.
+func (e *Expr) InternInto(dst []ast.Symbol, names []string) []ast.Symbol {
+	return e.alpha.LookupWord(dst, names)
+}

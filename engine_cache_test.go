@@ -1,0 +1,244 @@
+package dregex
+
+import (
+	"sync"
+	"testing"
+
+	"dregex/internal/match"
+)
+
+func TestMatcherIsCachedPerAlgorithm(t *testing.T) {
+	e := MustCompile("(ab+b(b?)a)*", Math)
+	m1, err := e.Matcher(KORE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := e.Matcher(KORE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Error("Matcher(KORE) must return the same cached simulator")
+	}
+	// Auto resolves at compile time and shares the explicit-algo slot.
+	ma, err := e.Matcher(Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	me, err := e.Matcher(ma.Algorithm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma != me {
+		t.Errorf("Matcher(Auto)=%p must share the %v slot (%p)", ma, ma.Algorithm(), me)
+	}
+	// Distinct algorithms get distinct engines.
+	mc, err := e.Matcher(Colored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc == m1 {
+		t.Error("Colored and KORE must not share an engine")
+	}
+}
+
+func TestMatcherCacheConcurrent(t *testing.T) {
+	e := MustCompile("(a|b)*, c", DTD)
+	var wg sync.WaitGroup
+	got := make([]*Matcher, 32)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := e.Matcher(PathDecomp)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = m
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatal("concurrent Matcher calls built more than one engine")
+		}
+	}
+}
+
+func TestMatchAllReusesBatchEngine(t *testing.T) {
+	e := MustCompile("(title, author, abstract?)", DTD)
+	words := [][]string{{"title", "author"}, {"title"}}
+	if _, err := e.MatchAll(words, Auto); err != nil {
+		t.Fatal(err)
+	}
+	b1 := e.batch.b
+	if b1 == nil {
+		t.Fatal("star-free Auto MatchAll must use the batch engine")
+	}
+	if _, err := e.MatchAll(words, Auto); err != nil {
+		t.Fatal(err)
+	}
+	if e.batch.b != b1 {
+		t.Error("batch engine must be reused across MatchAll calls")
+	}
+}
+
+func TestMatchAllHonorsExplicitAlgorithm(t *testing.T) {
+	e := MustCompile("(title, author, abstract?)", DTD)
+	words := [][]string{{"title", "author"}, {"title"}}
+
+	// An explicit engine request must be honored (not silently replaced
+	// by the batch path): an invalid algorithm now fails even though the
+	// expression is star-free.
+	if _, err := e.MatchAll(words, Algorithm(99)); err == nil {
+		t.Error("MatchAll ignored an invalid explicit algorithm")
+	}
+	// And a valid explicit engine must not touch the batch engine.
+	e2 := MustCompile("(title, author, abstract?)", DTD)
+	got, err := e2.MatchAll(words, Climbing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.batch.b != nil {
+		t.Error("explicit algorithm must bypass the batch engine")
+	}
+	if !got[0] || got[1] {
+		t.Errorf("MatchAll(Climbing) = %v, want [true false]", got)
+	}
+}
+
+func TestMatchAllNFAOnNondeterministic(t *testing.T) {
+	// NFA is the one engine that accepts nondeterministic expressions;
+	// an explicit NFA request must work through MatchAll too.
+	e := MustCompile("(a*ba+bb)*", Math)
+	if e.IsDeterministic() {
+		t.Fatal("test expression must be nondeterministic")
+	}
+	got, err := e.MatchAll([][]string{{"b", "b"}, {"a", "b"}}, NFA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0] || got[1] {
+		t.Errorf("MatchAll(NFA) = %v, want [true false]", got)
+	}
+	// Every other explicit engine — and Auto — still rejects.
+	for _, algo := range []Algorithm{Auto, KORE, Colored, PathDecomp} {
+		if _, err := e.MatchAll([][]string{{"b"}}, algo); err == nil {
+			t.Errorf("MatchAll(%v) accepted a nondeterministic expression", algo)
+		}
+	}
+	iv, err := e.MatchAllWords([][]Symbol{e.Intern([]string{"b", "b"})}, NFA)
+	if err != nil || !iv[0] {
+		t.Errorf("MatchAllWords(NFA) = %v, %v", iv, err)
+	}
+}
+
+func TestInternAndMatchWord(t *testing.T) {
+	e := MustCompile("(title, author+, (section | appendix)*)", DTD)
+	m, err := e.Matcher(Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		names []string
+		want  bool
+	}{
+		{[]string{"title", "author", "section"}, true},
+		{[]string{"title", "author", "author", "appendix"}, true},
+		{[]string{"title"}, false},
+		{[]string{"title", "author", "unknown"}, false}, // None sentinel rejects
+		{[]string{"#", "$"}, false},                     // reserved markers reject
+	}
+	for _, c := range cases {
+		word := e.Intern(c.names)
+		if got := m.MatchWord(word); got != c.want {
+			t.Errorf("MatchWord(%v) = %v, want %v", c.names, got, c.want)
+		}
+		if got := m.MatchSymbols(c.names); got != c.want {
+			t.Errorf("MatchSymbols(%v) = %v, want %v", c.names, got, c.want)
+		}
+	}
+	// MatchAllWords agrees, through the batch path of a star-free model.
+	sf := MustCompile("(title, author, abstract?)", DTD)
+	ws := [][]Symbol{sf.Intern([]string{"title", "author"}), sf.Intern([]string{"title"})}
+	got, err := sf.MatchAllWords(ws, Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0] || got[1] {
+		t.Errorf("MatchAllWords = %v, want [true false]", got)
+	}
+}
+
+// TestSteadyStateZeroAllocs pins the allocation-free hot path: cached
+// engine lookup, interned-word matching, and stream reuse must not
+// allocate in steady state.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	e := MustCompile("(login, (query, page*)*, logout)", DTD)
+	word := e.Intern([]string{"login", "query", "page", "page", "query", "logout"})
+
+	for _, algo := range []Algorithm{KORE, Colored, ColoredBinary, PathDecomp, Climbing} {
+		m, err := e.Matcher(algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.MatchWord(word) {
+			t.Fatalf("%v rejects the session word", algo)
+		}
+		if n := testing.AllocsPerRun(200, func() { m.MatchWord(word) }); n != 0 {
+			t.Errorf("%v MatchWord allocates %v/op, want 0", algo, n)
+		}
+	}
+
+	// Engine lookup after first build is allocation-free too.
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := e.Matcher(Auto); err != nil {
+			t.Error(err)
+		}
+	}); n != 0 {
+		t.Errorf("cached Matcher lookup allocates %v/op, want 0", n)
+	}
+
+	// Value-stream reuse: one Stream, Reset per word, zero allocations.
+	m, err := e.Matcher(Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s match.Stream
+	if !m.InitStream(&s) {
+		t.Fatal("InitStream failed for a deterministic engine")
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		s.Reset()
+		for _, a := range word {
+			s.Feed(a)
+		}
+		if !s.Accepts() {
+			t.Error("stream rejects the session word")
+		}
+	}); n != 0 {
+		t.Errorf("stream reuse allocates %v/op, want 0", n)
+	}
+
+	// Math-notation text matching interns runes without allocating.
+	em := MustCompile("(ab+b(b?)a)*", Math)
+	mm, err := em.Matcher(KORE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() { mm.MatchText("abbbaab") }); n != 0 {
+		t.Errorf("MatchText allocates %v/op, want 0", n)
+	}
+
+	// InternInto with a recycled buffer completes the zero-alloc loop.
+	names := []string{"login", "logout"}
+	buf := make([]Symbol, 0, 8)
+	if n := testing.AllocsPerRun(200, func() {
+		buf = buf[:0]
+		buf = e.InternInto(buf, names)
+		m.MatchWord(buf)
+	}); n != 0 {
+		t.Errorf("InternInto+MatchWord allocates %v/op, want 0", n)
+	}
+}

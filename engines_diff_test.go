@@ -1,0 +1,141 @@
+// Cross-engine differential test: every engine of §4 — and the Theorem
+// 4.12 batch matcher where legal — must agree on every word. Expressions
+// come from the internal/wordgen families; words are sampled from the
+// language (positives) and perturbed or random (negatives).
+package dregex_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dregex"
+	"dregex/internal/ast"
+	"dregex/internal/follow"
+	"dregex/internal/parsetree"
+	"dregex/internal/wordgen"
+	"dregex/internal/words"
+)
+
+// diffCase is one compiled expression plus a word corpus in name form.
+type diffCase struct {
+	source string
+	corpus [][]string
+}
+
+// buildDiffCase renders a generated AST to DTD source and samples a mixed
+// positive/negative corpus for it. The generator's parse tree is used only
+// for sampling; the engines under test recompile from source through the
+// public API, so the two alphabets are decoupled deliberately.
+func buildDiffCase(t *testing.T, r *rand.Rand, root *ast.Node, alpha *ast.Alphabet) diffCase {
+	t.Helper()
+	tr, err := parsetree.Build(ast.Normalize(root), alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fol := follow.New(tr)
+	toNames := func(w []ast.Symbol) []string {
+		names := make([]string, len(w))
+		for i, s := range w {
+			names[i] = alpha.Name(s)
+		}
+		return names
+	}
+	var corpus [][]string
+	corpus = append(corpus, []string{}) // empty word
+	for i := 0; i < 6; i++ {
+		if w, ok := words.RandomWord(r, fol, 24, 0.15); ok {
+			corpus = append(corpus, toNames(w))
+			corpus = append(corpus, toNames(words.Mutate(r, tr, w, 1+r.Intn(3))))
+		}
+	}
+	for i := 0; i < 4; i++ {
+		corpus = append(corpus, toNames(words.NoiseWord(r, tr, 1+r.Intn(12))))
+	}
+	corpus = append(corpus, []string{"never-declared-name"})
+	return diffCase{source: ast.StringDTD(root, alpha), corpus: corpus}
+}
+
+func TestEnginesUnanimous(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	var cases []diffCase
+	for i := 0; i < 30; i++ {
+		alpha := ast.NewAlphabet()
+		root := wordgen.RandomDeterministicExpr(r, alpha, 8+r.Intn(8), 30+r.Intn(30), i%3 == 0)
+		cases = append(cases, buildDiffCase(t, r, root, alpha))
+	}
+	for i := 0; i < 20; i++ {
+		// Star-free family: exercises StarFreeScan and the batch engine.
+		alpha := ast.NewAlphabet()
+		root := wordgen.StarFree(r, alpha, 10+r.Intn(10), 30+r.Intn(30))
+		cases = append(cases, buildDiffCase(t, r, root, alpha))
+	}
+	for i := 0; i < 10; i++ {
+		// CHARE family: the shape of real-world DTD content models.
+		alpha := ast.NewAlphabet()
+		root := ast.DesugarPlus(wordgen.CHARE(r, alpha, 2+r.Intn(5), 4))
+		cases = append(cases, buildDiffCase(t, r, root, alpha))
+	}
+
+	for ci, c := range cases {
+		c := c
+		t.Run(fmt.Sprintf("case%02d", ci), func(t *testing.T) {
+			e, err := dregex.Compile(c.source, dregex.DTD)
+			if err != nil {
+				t.Fatalf("Compile(%q): %v", c.source, err)
+			}
+			if !e.IsDeterministic() {
+				t.Fatalf("generator emitted nondeterministic %q (%s)", c.source, e.Rule())
+			}
+			algos := []dregex.Algorithm{
+				dregex.KORE, dregex.Colored, dregex.ColoredBinary,
+				dregex.PathDecomp, dregex.Climbing, dregex.NFA,
+			}
+			if e.Stats().StarFree {
+				algos = append(algos, dregex.StarFreeScan)
+			}
+
+			// Reference verdicts from the k-ORE engine.
+			ref := make([]bool, len(c.corpus))
+			refM, err := e.Matcher(dregex.KORE)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for wi, names := range c.corpus {
+				ref[wi] = refM.MatchSymbols(names)
+			}
+
+			for _, algo := range algos {
+				m, err := e.Matcher(algo)
+				if err != nil {
+					t.Fatalf("Matcher(%v): %v", algo, err)
+				}
+				for wi, names := range c.corpus {
+					if got := m.MatchSymbols(names); got != ref[wi] {
+						t.Errorf("%v disagrees on %q / word %v: got %v, want %v",
+							algo, c.source, names, got, ref[wi])
+					}
+					if got := m.MatchWord(e.Intern(names)); got != ref[wi] {
+						t.Errorf("%v interned path disagrees on %q / word %v",
+							algo, c.source, names)
+					}
+				}
+			}
+
+			// MatchAll under Auto (batch engine for the star-free cases)
+			// and under an explicit engine must both agree.
+			for _, algo := range []dregex.Algorithm{dregex.Auto, dregex.Colored} {
+				all, err := e.MatchAll(c.corpus, algo)
+				if err != nil {
+					t.Fatalf("MatchAll(%v): %v", algo, err)
+				}
+				for wi := range c.corpus {
+					if all[wi] != ref[wi] {
+						t.Errorf("MatchAll(%v) disagrees on %q / word %v: got %v, want %v",
+							algo, c.source, c.corpus[wi], all[wi], ref[wi])
+					}
+				}
+			}
+		})
+	}
+}

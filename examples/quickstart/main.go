@@ -58,4 +58,21 @@ func main() {
 	}
 	fmt.Printf("(a{2,10^9}b)* deterministic: %v (decided without unrolling)\n",
 		big.IsDeterministic())
+
+	// Server-shaped usage: a Cache amortizes compilation across requests
+	// (same source → same *Expr → same cached engines), and pre-interned
+	// words make the per-match hot path allocation- and map-lookup-free.
+	cache := dregex.NewCache(1024)
+	for i := 0; i < 3; i++ {
+		e, err := cache.Get("(title, author+, (section | appendix)*)", dregex.DTD)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := e.Matcher(dregex.Auto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		word := e.Intern([]string{"title", "author", "appendix"})
+		fmt.Printf("request %d (cache %+v): %v\n", i, cache.Stats(), m.MatchWord(word))
+	}
 }

@@ -45,4 +45,21 @@ func main() {
 		s.FeedName(ev)
 		fmt.Printf("after %-7s alive=%v accepts=%v\n", ev, s.Alive(), s.Accepts())
 	}
+
+	// Steady state: one interned event vocabulary, one stream value,
+	// Reset per session — no allocation per event or per session.
+	events := e.Intern([]string{"login", "query", "page", "logout"})
+	login, query, page, logout := events[0], events[1], events[2], events[3]
+	sessions := [][]dregex.Symbol{
+		{login, logout},
+		{login, query, page, page, logout},
+		{login, page, logout}, // invalid: page before query
+	}
+	for i, sess := range sessions {
+		s.Reset()
+		for _, ev := range sess {
+			s.Feed(ev)
+		}
+		fmt.Printf("session %d valid: %v\n", i, s.Accepts())
+	}
 }

@@ -1,0 +1,3 @@
+module dregex
+
+go 1.24

@@ -15,6 +15,9 @@ const (
 	End   Symbol = 1
 	// FirstUser is the first id handed out for a user symbol.
 	FirstUser Symbol = 2
+	// None marks a name outside the alphabet. Every matcher rejects it, so
+	// words can be interned against a sealed alphabet without mutating it.
+	None Symbol = -1
 )
 
 // BeginName and EndName are the display names of the phantom markers.
@@ -24,10 +27,15 @@ const (
 )
 
 // Alphabet interns symbol names to dense Symbol ids. The zero value is not
-// usable; call NewAlphabet.
+// usable; call NewAlphabet. Interning mutates the alphabet and must finish
+// before it is shared; Lookup* methods are read-only and safe for
+// concurrent use afterwards.
 type Alphabet struct {
 	names []string
 	ids   map[string]Symbol
+	// ascii caches single-ASCII-rune names so math-notation matching needs
+	// neither a string conversion nor a map probe per symbol.
+	ascii [128]Symbol
 }
 
 // NewAlphabet returns an empty alphabet with the phantom markers # and $
@@ -37,6 +45,11 @@ func NewAlphabet() *Alphabet {
 		names: []string{BeginName, EndName},
 		ids:   map[string]Symbol{BeginName: Begin, EndName: End},
 	}
+	for i := range a.ascii {
+		a.ascii[i] = None
+	}
+	a.ascii['#'] = Begin
+	a.ascii['$'] = End
 	return a
 }
 
@@ -48,13 +61,52 @@ func (a *Alphabet) Intern(name string) Symbol {
 	id := Symbol(len(a.names))
 	a.names = append(a.names, name)
 	a.ids[name] = id
+	if len(name) == 1 && name[0] < 128 {
+		a.ascii[name[0]] = id
+	}
 	return id
+}
+
+// InternWord interns every name of a word, in order. It is the setup-time
+// counterpart of LookupWord: use it while building an alphabet, not on the
+// sealed alphabet of a compiled expression.
+func (a *Alphabet) InternWord(names []string) []Symbol {
+	word := make([]Symbol, len(names))
+	for i, n := range names {
+		word[i] = a.Intern(n)
+	}
+	return word
 }
 
 // Lookup returns the id for name and whether it has been interned.
 func (a *Alphabet) Lookup(name string) (Symbol, bool) {
 	id, ok := a.ids[name]
 	return id, ok
+}
+
+// LookupRune returns the id of a single-rune name without allocating.
+func (a *Alphabet) LookupRune(r rune) (Symbol, bool) {
+	if r >= 0 && r < 128 {
+		id := a.ascii[r]
+		return id, id != None
+	}
+	id, ok := a.ids[string(r)]
+	return id, ok
+}
+
+// LookupWord appends the ids of a word of names to dst and returns the
+// extended slice; names outside the alphabet map to None (which every
+// matcher rejects). It never interns, so it is safe on shared alphabets,
+// and it performs no allocation when dst has sufficient capacity.
+func (a *Alphabet) LookupWord(dst []Symbol, names []string) []Symbol {
+	for _, n := range names {
+		id, ok := a.ids[n]
+		if !ok {
+			id = None
+		}
+		dst = append(dst, id)
+	}
+	return dst
 }
 
 // Name returns the display name of s. It panics if s was never interned.

@@ -301,3 +301,41 @@ func TestCloneAndEqual(t *testing.T) {
 		t.Fatal("mutated clone still equal")
 	}
 }
+
+func TestAlphabetWordHelpers(t *testing.T) {
+	a := NewAlphabet()
+	word := a.InternWord([]string{"title", "author", "title", "x"})
+	if len(word) != 4 || word[0] != word[2] || word[0] == word[1] {
+		t.Fatalf("InternWord ids wrong: %v", word)
+	}
+	if word[0] < FirstUser {
+		t.Fatalf("user symbol below FirstUser: %v", word[0])
+	}
+	// LookupWord resolves known names to the same ids and unknown names
+	// to None, without interning them.
+	size := a.Size()
+	got := a.LookupWord(nil, []string{"author", "ghost", "x"})
+	if got[0] != word[1] || got[1] != None || got[2] != word[3] {
+		t.Fatalf("LookupWord = %v, want [%v None %v]", got, word[1], word[3])
+	}
+	if a.Size() != size {
+		t.Fatal("LookupWord mutated the alphabet")
+	}
+	// LookupWord appends into the provided buffer.
+	buf := make([]Symbol, 0, 8)
+	buf = a.LookupWord(buf, []string{"title"})
+	buf = a.LookupWord(buf, []string{"x"})
+	if len(buf) != 2 || buf[0] != word[0] || buf[1] != word[3] {
+		t.Fatalf("LookupWord append = %v", buf)
+	}
+	// LookupRune agrees with Lookup on single-rune names (ASCII fast
+	// path and the map path), including the reserved markers.
+	a.Intern("π")
+	for _, r := range []rune{'x', 'π', '#', '$', 'q'} {
+		id1, ok1 := a.LookupRune(r)
+		id2, ok2 := a.Lookup(string(r))
+		if ok1 != ok2 || (ok1 && id1 != id2) {
+			t.Errorf("LookupRune(%q) = (%v,%v), Lookup = (%v,%v)", r, id1, ok1, id2, ok2)
+		}
+	}
+}

@@ -9,22 +9,24 @@
 // linear-time procedure the paper attributes to Xerces: determinism of a
 // mixed model is just distinctness of the listed names, and validation is
 // set membership.
+//
+// Content models compile through a dregex.Cache (a shared package default,
+// or one supplied to ParseWithCache), so the heavy O(|e|) preprocessing
+// and engine construction are amortized across declarations, documents and
+// DTDs: validating a corpus against schemas that reuse content models —
+// the common case in the wild — compiles each distinct model exactly once.
 package dtd
 
 import (
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 
-	"dregex/internal/ast"
-	"dregex/internal/determinism"
-	"dregex/internal/follow"
+	"dregex"
 	"dregex/internal/match"
-	"dregex/internal/match/kore"
-	"dregex/internal/match/pathdecomp"
-	"dregex/internal/parsetree"
 )
 
 // ContentKind classifies an element declaration.
@@ -63,15 +65,16 @@ type Element struct {
 	Kind  ContentKind
 	Model string // the raw content model text
 
-	// Children models:
-	Expr *ast.Node
-	Tree *parsetree.Tree
-	Fol  *follow.Index
-	// Deterministic reports the §3 linear test verdict; Ambiguous holds
-	// the diagnosis for nondeterministic models.
+	// Children models: CM is the compiled content model, shared through
+	// the DTD's expression cache (identical models across declarations —
+	// or across DTDs parsed with the same cache — compile once and share
+	// their lazily built engines).
+	CM *dregex.Expr
+	// Deterministic reports the §3 linear test verdict; Rule names the
+	// violated condition for nondeterministic models.
 	Deterministic bool
 	Rule          string
-	sim           match.TransitionSim
+	matcher       *dregex.Matcher
 
 	// Mixed models:
 	allowed map[string]bool
@@ -84,12 +87,27 @@ type DTD struct {
 	Elements map[string]*Element
 	// Order preserves declaration order for deterministic reporting.
 	Order []string
+
+	cache *dregex.Cache
 }
 
-// Parse reads <!ELEMENT …> declarations from DTD text. ATTLIST, ENTITY and
-// NOTATION declarations, comments and processing instructions are skipped.
+// defaultCache backs Parse: content models repeat heavily across schema
+// corpora, so even unrelated Parse calls amortize compilation.
+var defaultCache = dregex.NewCache(4096)
+
+// Parse reads <!ELEMENT …> declarations from DTD text, compiling content
+// models through a shared package-level expression cache. ATTLIST, ENTITY
+// and NOTATION declarations, comments and processing instructions are
+// skipped.
 func Parse(src string) (*DTD, error) {
+	return ParseWithCache(src, defaultCache)
+}
+
+// ParseWithCache is Parse compiling content models through an explicit
+// cache (one per validator pool, say, to bound memory independently).
+func ParseWithCache(src string, cache *dregex.Cache) (*DTD, error) {
 	d := &DTD{Elements: map[string]*Element{}}
+	d.cache = cache
 	rest := src
 	for {
 		i := strings.Index(rest, "<!")
@@ -138,7 +156,7 @@ func (d *DTD) addElement(decl string) error {
 	if _, dup := d.Elements[name]; dup {
 		return fmt.Errorf("dtd: element %q declared twice", name)
 	}
-	el, err := compileElement(name, model)
+	el, err := compileElement(name, model, d.cache)
 	if err != nil {
 		return err
 	}
@@ -147,7 +165,7 @@ func (d *DTD) addElement(decl string) error {
 	return nil
 }
 
-func compileElement(name, model string) (*Element, error) {
+func compileElement(name, model string, cache *dregex.Cache) (*Element, error) {
 	el := &Element{Name: name, Model: model}
 	switch {
 	case model == "EMPTY":
@@ -161,7 +179,7 @@ func compileElement(name, model string) (*Element, error) {
 	case strings.Contains(model, "#PCDATA"):
 		return compileMixed(el, model)
 	default:
-		return compileChildren(el, model)
+		return compileChildren(el, model, cache)
 	}
 }
 
@@ -201,48 +219,36 @@ func compileMixed(el *Element, model string) (*Element, error) {
 	return el, nil
 }
 
-func compileChildren(el *Element, model string) (*Element, error) {
+func compileChildren(el *Element, model string, cache *dregex.Cache) (*Element, error) {
 	el.Kind = Children
-	alpha := ast.NewAlphabet()
-	e, err := ast.ParseDTD(model, alpha)
+	cm, err := cache.Get(model, dregex.DTD)
 	if err != nil {
-		return nil, fmt.Errorf("dtd: element %s: %w", el.Name, err)
-	}
-	e = ast.Normalize(ast.DesugarPlus(ast.Normalize(e)))
-	if hasFiniteIter(e) {
-		return nil, fmt.Errorf("dtd: element %s: numeric bounds are XML-Schema only; use package numeric", el.Name)
-	}
-	tree, err := parsetree.Build(e, alpha)
-	if err != nil {
-		return nil, fmt.Errorf("dtd: element %s: %w", el.Name, err)
-	}
-	el.Expr = e
-	el.Tree = tree
-	el.Fol = follow.New(tree)
-	res := determinism.Check(tree, el.Fol)
-	el.Deterministic = res.Deterministic
-	el.Rule = res.Rule
-	if el.Deterministic {
-		// Content models are shallow; the path-decomposition simulator is
-		// the paper's recommendation for them (c_e ≤ 4 in real DTDs).
-		sim, err := pathdecomp.New(tree, el.Fol)
-		if err == nil {
-			el.sim = sim
-		} else {
-			el.sim = kore.New(tree, el.Fol)
+		if errors.Is(err, dregex.ErrNumericIndicator) {
+			return nil, fmt.Errorf("dtd: element %s: numeric bounds are XML-Schema only; use package numeric", el.Name)
 		}
+		return nil, fmt.Errorf("dtd: element %s: %w", el.Name, err)
+	}
+	el.CM = cm
+	el.Deterministic = cm.IsDeterministic()
+	el.Rule = cm.Rule()
+	if el.Deterministic {
+		// Content models are shallow, so Auto resolves to the cheap
+		// engines the paper recommends for them (k ≤ 2 → k-ORE, small
+		// c_e → path decomposition). The matcher is shared: every
+		// element — in any DTD compiled through the same cache — with
+		// this model reuses one simulator.
+		m, err := cm.Matcher(dregex.Auto)
+		if err != nil {
+			// k-ORE construction cannot fail on a deterministic model;
+			// keep validating even if the preferred engine cannot build.
+			m, err = cm.Matcher(dregex.KORE)
+			if err != nil {
+				return nil, fmt.Errorf("dtd: element %s: %w", el.Name, err)
+			}
+		}
+		el.matcher = m
 	}
 	return el, nil
-}
-
-func hasFiniteIter(e *ast.Node) bool {
-	found := false
-	ast.Walk(e, func(n *ast.Node) {
-		if n.Kind == ast.KIter {
-			found = true
-		}
-	})
-	return found
 }
 
 // Issue is a lint finding about a declaration.
@@ -279,25 +285,27 @@ func (d *DTD) Check() []Issue {
 
 // References returns the element names used by this declaration.
 func (el *Element) References() []string {
-	set := map[string]bool{}
+	var out []string
 	switch el.Kind {
 	case Mixed:
+		out = make([]string, 0, len(el.allowed))
 		for n := range el.allowed {
-			set[n] = true
+			out = append(out, n)
 		}
 	case Children:
-		ast.Walk(el.Expr, func(n *ast.Node) {
-			if n.Kind == ast.KSym {
-				set[el.Tree.Alpha.Name(n.Sym)] = true
-			}
-		})
-	}
-	out := make([]string, 0, len(set))
-	for n := range set {
-		out = append(out, n)
+		out = el.CM.Symbols()
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Stats exposes the content model's structural parameters (k, c_e, …);
+// the zero Stats for non-Children kinds.
+func (el *Element) Stats() dregex.Stats {
+	if el.Kind != Children {
+		return dregex.Stats{}
+	}
+	return el.CM.Stats()
 }
 
 // ValidationError describes one violation found while validating a
@@ -322,7 +330,7 @@ func (d *DTD) Validate(r io.Reader) ([]ValidationError, error) {
 	type frame struct {
 		el     *Element
 		name   string
-		stream *match.Stream
+		stream match.Stream // value: per-frame, no allocation
 		failed bool
 	}
 	var stack []frame
@@ -380,7 +388,7 @@ func (d *DTD) Validate(r io.Reader) ([]ValidationError, error) {
 						"content model is nondeterministic; cannot validate"})
 					f.failed = true
 				} else {
-					f.stream = match.NewStream(el.sim)
+					el.matcher.InitStream(&f.stream)
 				}
 			}
 			stack = append(stack, f)

@@ -49,7 +49,7 @@ func (m *Matcher) Start() parsetree.NodeID { return m.t.BeginPos() }
 
 // Next returns the a-labeled follower of p in O(k).
 func (m *Matcher) Next(p parsetree.NodeID, a ast.Symbol) parsetree.NodeID {
-	if int(a) >= len(m.occ) {
+	if a < 0 || int(a) >= len(m.occ) {
 		return parsetree.Null
 	}
 	for _, q := range m.occ[a] {
@@ -86,7 +86,7 @@ func (n *NFA) Match(word []ast.Symbol) bool {
 	var next []parsetree.NodeID
 	for _, a := range word {
 		next = next[:0]
-		if int(a) < len(n.m.occ) {
+		if a >= ast.FirstUser && int(a) < len(n.m.occ) {
 			for _, q := range n.m.occ[a] {
 				for _, p := range cur {
 					if n.m.fol.CheckIfFollow(p, q) {

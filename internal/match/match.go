@@ -34,10 +34,16 @@ type TransitionSim interface {
 	Accept(p parsetree.NodeID) bool
 }
 
-// Word matches a word of interned symbols.
+// Word matches a word of interned symbols. Symbols outside the user
+// alphabet — ast.None from a failed lookup, or the reserved markers —
+// reject, so words interned against a different (or extended) alphabet are
+// handled gracefully. Word performs no allocation.
 func Word(sim TransitionSim, word []ast.Symbol) bool {
 	p := sim.Start()
 	for _, a := range word {
+		if a < ast.FirstUser {
+			return false
+		}
 		p = sim.Next(p, a)
 		if p == parsetree.Null {
 			return false
@@ -65,12 +71,12 @@ func Names(sim TransitionSim, names []string) bool {
 }
 
 // Chars matches a word of single-rune symbols (the paper's mathematical
-// notation).
+// notation) without allocating per rune.
 func Chars(sim TransitionSim, w string) bool {
 	alpha := sim.Tree().Alpha
 	p := sim.Start()
 	for _, r := range w {
-		a, ok := alpha.Lookup(string(r))
+		a, ok := alpha.LookupRune(r)
 		if !ok || a == ast.Begin || a == ast.End {
 			return false
 		}
@@ -96,10 +102,21 @@ func NewStream(sim TransitionSim) *Stream {
 	return &Stream{sim: sim, cur: sim.Start()}
 }
 
+// Init (re)binds a stream to a simulator and rewinds it to the empty
+// prefix. It lets callers embed Stream by value — one per stack frame or
+// per worker — and restart matches with zero allocation.
+func (s *Stream) Init(sim TransitionSim) {
+	s.sim = sim
+	s.cur = sim.Start()
+	s.dead = false
+	s.fed = 0
+}
+
 // Feed consumes one symbol; it reports whether the prefix read so far is
 // still a viable prefix of some word in L(e).
 func (s *Stream) Feed(a ast.Symbol) bool {
-	if s.dead {
+	if s.dead || a < ast.FirstUser {
+		s.dead = true
 		return false
 	}
 	s.fed++

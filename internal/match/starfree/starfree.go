@@ -211,7 +211,7 @@ func (b *Batch) MatchAll(ws [][]ast.Symbol) []bool {
 				res[w] = fol.CheckIfFollow(p, end)
 			} else {
 				a := word[idx[w]]
-				if int(a) < sigma && a != ast.Begin && a != ast.End {
+				if a >= ast.FirstUser && int(a) < sigma {
 					bk := touched[a]
 					if bk == nil {
 						bk = &bucket{head: -1, tail: -1}
@@ -244,7 +244,7 @@ func (b *Batch) MatchAll(ws [][]ast.Symbol) []bool {
 				continue
 			}
 			a := ws[w][0]
-			if int(a) >= sigma || a == ast.Begin || a == ast.End {
+			if a < ast.FirstUser || int(a) >= sigma {
 				continue
 			}
 			bk := heads[a]

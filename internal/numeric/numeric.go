@@ -285,6 +285,9 @@ func (c *Counted) Match(word []ast.Symbol) bool {
 	start := cfg{pos: t.BeginPos()}
 	cur[start.key()] = start
 	for _, a := range word {
+		if a < ast.FirstUser {
+			return false
+		}
 		next := map[string]cfg{}
 		for _, conf := range cur {
 			for _, q := range t.PosNode {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"dregex/internal/ast"
 	"dregex/internal/glushkov"
 	"dregex/internal/match"
 	"dregex/internal/match/colored"
@@ -39,7 +40,23 @@ const (
 	// NFA is position-set simulation on the Glushkov relation; the only
 	// engine that accepts nondeterministic expressions (O(k²) per symbol).
 	NFA
+
+	// numAlgorithms sizes the per-Expr engine cache.
+	numAlgorithms = int(NFA) + 1
 )
+
+// autoSelect resolves Auto from the compile-time stats, per the paper's
+// guidance (see the Algorithm constants).
+func autoSelect(st Stats) Algorithm {
+	switch {
+	case st.K <= 2:
+		return KORE
+	case st.AlternationDepth <= 8:
+		return PathDecomp
+	default:
+		return Colored
+	}
+}
 
 func (a Algorithm) String() string {
 	switch a {
@@ -73,25 +90,32 @@ type Matcher struct {
 	nfa  *kore.NFA
 }
 
-// Matcher builds a matcher. All algorithms except NFA require a
-// deterministic expression.
+// Matcher returns the engine for algo, building it on first use and
+// returning the same cached *Matcher on every subsequent call (Auto
+// resolves to a concrete algorithm first, so Matcher(Auto) and an explicit
+// request for the same algorithm share one engine). All algorithms except
+// NFA require a deterministic expression.
 func (e *Expr) Matcher(algo Algorithm) (*Matcher, error) {
-	m := &Matcher{expr: e, algo: algo}
 	if algo == Auto {
-		st := e.Stats()
-		switch {
-		case st.K <= 2:
-			algo = KORE
-		case st.AlternationDepth <= 8:
-			algo = PathDecomp
-		default:
-			algo = Colored
-		}
-		m.algo = algo
+		algo = e.auto
+	}
+	if int(algo) < 0 || int(algo) >= numAlgorithms {
+		return nil, fmt.Errorf("dregex: unknown algorithm %v", algo)
 	}
 	if algo != NFA && !e.det.Deterministic {
 		return nil, fmt.Errorf("dregex: %w", errNondet(e))
 	}
+	slot := &e.engines[algo]
+	slot.once.Do(func() {
+		slot.m, slot.err = e.buildMatcher(algo)
+	})
+	return slot.m, slot.err
+}
+
+// buildMatcher constructs one engine; it runs at most once per algorithm
+// per Expr, under the engine slot's sync.Once.
+func (e *Expr) buildMatcher(algo Algorithm) (*Matcher, error) {
+	m := &Matcher{expr: e, algo: algo}
 	var err error
 	switch algo {
 	case KORE:
@@ -108,13 +132,19 @@ func (e *Expr) Matcher(algo Algorithm) (*Matcher, error) {
 		m.sim, err = colored.NewClimbing(e.tree, e.fol)
 	case NFA:
 		m.nfa = kore.NewNFA(e.tree, e.fol)
-	default:
-		return nil, fmt.Errorf("dregex: unknown algorithm %v", algo)
 	}
 	if err != nil {
 		return nil, err
 	}
 	return m, nil
+}
+
+// batchEngine returns the cached Theorem 4.12 star-free batch engine.
+func (e *Expr) batchEngine() (*starfree.Batch, error) {
+	e.batch.once.Do(func() {
+		e.batch.b, e.batch.err = starfree.NewBatch(e.tree, e.fol)
+	})
+	return e.batch.b, e.batch.err
 }
 
 func errNondet(e *Expr) error {
@@ -132,15 +162,30 @@ func (m *Matcher) MatchSymbols(names []string) bool {
 	return match.Names(m.sim, names)
 }
 
+// MatchWord matches a word of interned symbols (see Expr.Intern). For the
+// deterministic engines this is the zero-allocation hot path: no map
+// lookups, no per-symbol conversions, O(1) state.
+func (m *Matcher) MatchWord(word []ast.Symbol) bool {
+	if m.nfa != nil {
+		return m.nfa.Match(word)
+	}
+	return match.Word(m.sim, word)
+}
+
 // MatchText matches a word written in math notation: each rune is one
-// symbol.
+// symbol, interned directly (no per-rune string allocation).
 func (m *Matcher) MatchText(w string) bool {
 	if m.nfa != nil {
-		names := make([]string, 0, len(w))
+		alpha := m.expr.alpha
+		word := make([]ast.Symbol, 0, len(w))
 		for _, r := range w {
-			names = append(names, string(r))
+			s, ok := alpha.LookupRune(r)
+			if !ok {
+				return false
+			}
+			word = append(word, s)
 		}
-		return m.nfa.MatchNames(names)
+		return m.nfa.Match(word)
 	}
 	return match.Chars(m.sim, w)
 }
@@ -153,6 +198,18 @@ func (m *Matcher) Stream() *match.Stream {
 		return nil
 	}
 	return match.NewStream(m.sim)
+}
+
+// InitStream rewinds a caller-owned stream onto this matcher's engine, for
+// allocation-free reuse (one Stream value per goroutine or stack frame,
+// reset per word). It reports false for the NFA engine, which has no
+// single-position stream state.
+func (m *Matcher) InitStream(s *match.Stream) bool {
+	if m.sim == nil {
+		return false
+	}
+	s.Init(m.sim)
+	return true
 }
 
 // MatchReaderRunes streams single-rune symbols from r (newlines skipped).
@@ -171,20 +228,21 @@ func (m *Matcher) MatchReaderTokens(r io.Reader) (bool, error) {
 	return match.ReaderTokens(m.sim, r)
 }
 
-// MatchAll matches many words at once. For star-free expressions it runs
-// the Theorem 4.12 batch algorithm in combined linear time; otherwise each
-// word is matched independently.
+// MatchAll matches many words at once. Under Auto, star-free expressions
+// take the Theorem 4.12 batch algorithm (combined linear time); an
+// explicitly requested Algorithm is honored and matches each word
+// independently (including NFA on nondeterministic expressions, exactly
+// as through Matcher). The batch engine, like the per-algorithm
+// simulators, is built once and reused across calls.
 func (e *Expr) MatchAll(wordsNames [][]string, algo Algorithm) ([]bool, error) {
-	if !e.det.Deterministic {
-		return nil, errNondet(e)
-	}
-	st := e.Stats()
-	if st.StarFree {
-		b, err := starfree.NewBatch(e.tree, e.fol)
-		if err == nil {
+	if algo == Auto && e.det.Deterministic && e.stats.StarFree {
+		if b, err := e.batchEngine(); err == nil {
 			return b.MatchAllNames(wordsNames), nil
 		}
 	}
+	// Matcher enforces determinism for every engine except NFA, so an
+	// explicit NFA request works on nondeterministic expressions here
+	// just as it does through Matcher directly.
 	m, err := e.Matcher(algo)
 	if err != nil {
 		return nil, err
@@ -192,6 +250,24 @@ func (e *Expr) MatchAll(wordsNames [][]string, algo Algorithm) ([]bool, error) {
 	out := make([]bool, len(wordsNames))
 	for i, w := range wordsNames {
 		out[i] = m.MatchSymbols(w)
+	}
+	return out, nil
+}
+
+// MatchAllWords is MatchAll over pre-interned words (see Expr.Intern).
+func (e *Expr) MatchAllWords(words [][]ast.Symbol, algo Algorithm) ([]bool, error) {
+	if algo == Auto && e.det.Deterministic && e.stats.StarFree {
+		if b, err := e.batchEngine(); err == nil {
+			return b.MatchAll(words), nil
+		}
+	}
+	m, err := e.Matcher(algo)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(words))
+	for i, w := range words {
+		out[i] = m.MatchWord(w)
 	}
 	return out, nil
 }

@@ -1,8 +1,6 @@
 package dregex
 
 import (
-	"fmt"
-
 	"dregex/internal/ast"
 	"dregex/internal/numeric"
 )
@@ -17,20 +15,10 @@ type NumericExpr struct {
 	c      *numeric.Counted
 }
 
-// CompileNumeric parses and preprocesses an expression that may use
-// numeric occurrence indicators.
+// CompileNumeric parses (through the same front end as Compile) and
+// preprocesses an expression that may use numeric occurrence indicators.
 func CompileNumeric(source string, syntax Syntax) (*NumericExpr, error) {
-	alpha := ast.NewAlphabet()
-	var root *ast.Node
-	var err error
-	switch syntax {
-	case Math:
-		root, err = ast.ParseMath(source, alpha)
-	case DTD:
-		root, err = ast.ParseDTD(source, alpha)
-	default:
-		return nil, fmt.Errorf("dregex: unknown syntax %d", syntax)
-	}
+	root, alpha, err := parseSource(source, syntax)
 	if err != nil {
 		return nil, err
 	}
@@ -54,13 +42,27 @@ func (e *NumericExpr) Rule() string { return e.c.Result().Rule }
 // MatchSymbols matches a word of symbol names by counter simulation.
 func (e *NumericExpr) MatchSymbols(names []string) bool { return e.c.MatchNames(names) }
 
-// MatchText matches a math-notation word (one rune per symbol).
+// MatchWord matches a word of interned symbols (see NumericExpr.Intern).
+func (e *NumericExpr) MatchWord(word []ast.Symbol) bool { return e.c.Match(word) }
+
+// Intern translates symbol names to interned symbols without mutating the
+// alphabet; unknown names map to a sentinel the simulation rejects.
+func (e *NumericExpr) Intern(names []string) []ast.Symbol {
+	return e.c.Alpha.LookupWord(make([]ast.Symbol, 0, len(names)), names)
+}
+
+// MatchText matches a math-notation word (one rune per symbol), interning
+// runes directly instead of materializing a per-rune string slice.
 func (e *NumericExpr) MatchText(w string) bool {
-	names := make([]string, 0, len(w))
+	word := make([]ast.Symbol, 0, len(w))
 	for _, r := range w {
-		names = append(names, string(r))
+		s, ok := e.c.Alpha.LookupRune(r)
+		if !ok {
+			return false
+		}
+		word = append(word, s)
 	}
-	return e.c.MatchNames(names)
+	return e.c.Match(word)
 }
 
 // IterationStats summarizes the counter structure.

@@ -1,0 +1,133 @@
+// Benchmarks for the amortized pipeline: engine reuse across Matcher and
+// MatchAll calls, cache-served compilation, and the zero-allocation
+// interned-symbol hot path. The */fresh variants measure what every call
+// paid before compilation and engines were cached; the */cached variants
+// are the steady state.
+package dregex_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dregex"
+)
+
+const benchModel = "(login, (query, page*)*, logout)"
+
+var benchSession = []string{"login", "query", "page", "page", "query", "page", "logout"}
+
+func BenchmarkMatcherFresh(b *testing.B) {
+	// Pre-refactor shape: compile + build an engine for every request.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e, err := dregex.Compile(benchModel, dregex.DTD)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := e.Matcher(dregex.Auto)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !m.MatchSymbols(benchSession) {
+			b.Fatal("session must match")
+		}
+	}
+}
+
+func BenchmarkMatcherCached(b *testing.B) {
+	// Steady state: cached engine, names still resolved per symbol.
+	e := dregex.MustCompile(benchModel, dregex.DTD)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := e.Matcher(dregex.Auto)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !m.MatchSymbols(benchSession) {
+			b.Fatal("session must match")
+		}
+	}
+}
+
+func BenchmarkMatchWordInterned(b *testing.B) {
+	// The full hot path: cached engine + pre-interned word. This is the
+	// benchmark pinned at 0 allocs/op.
+	e := dregex.MustCompile(benchModel, dregex.DTD)
+	m, err := e.Matcher(dregex.Auto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	word := e.Intern(benchSession)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !m.MatchWord(word) {
+			b.Fatal("session must match")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(word)), "ns/sym")
+}
+
+func benchWords(e *dregex.Expr, n int) [][]string {
+	ws := make([][]string, n)
+	for i := range ws {
+		switch i % 3 {
+		case 0:
+			ws[i] = []string{"title", "author", "section"}
+		case 1:
+			ws[i] = []string{"title", "author", "appendix"}
+		default:
+			ws[i] = []string{"title", "section"} // invalid
+		}
+	}
+	return ws
+}
+
+func BenchmarkMatchAllFresh(b *testing.B) {
+	// Pre-refactor shape: the batch engine was rebuilt per MatchAll call
+	// (and the expression recompiled per request).
+	ws := benchWords(nil, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e, err := dregex.Compile("(title, author, (section | appendix)?)", dregex.DTD)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.MatchAll(ws, dregex.Auto); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatchAllCached(b *testing.B) {
+	e := dregex.MustCompile("(title, author, (section | appendix)?)", dregex.DTD)
+	ws := benchWords(e, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.MatchAll(ws, dregex.Auto); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCacheGet(b *testing.B) {
+	// Validator traffic: a hot key set served from the sharded LRU.
+	c := dregex.NewCache(1024)
+	keys := make([]string, 32)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("(a%d, (b%d | c%d)*, d%d?)", i, i, i, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := c.Get(keys[i%len(keys)], dregex.DTD); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
