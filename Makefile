@@ -3,7 +3,7 @@ BENCH_PATTERN ?= .
 BENCH_TIME ?= 1s
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build test bench lint vet fmt
+.PHONY: all build test bench lint vet fmt fuzz-smoke
 
 all: build
 
@@ -13,6 +13,12 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# fuzz-smoke runs the DTD scanner fuzz target briefly (seed corpus plus a
+# short random exploration); CI invokes this on every push.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzScanDecls -fuzztime $(FUZZTIME) ./internal/dtd
 
 # bench runs the Go benchmark sweep and the benchtab experiment tables,
 # snapshotting both into BENCH_<date>.json for cross-PR comparison.

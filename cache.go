@@ -18,14 +18,21 @@ import (
 // *Expr (so they also share its lazily built engines). Compilation runs
 // outside the shard lock; an entry mid-compile can be evicted without
 // affecting callers already holding it.
+//
+// Failed compiles are cached too (a hot malformed input does not recompile
+// per request), but negatively cached errors are segregated into their own
+// small per-shard LRU: a stream of distinct bad sources can only evict
+// other bad sources, never a hot compiled expression.
 type Cache struct {
 	shards []cacheShard
 	seed   maphash.Seed
-	// perShard is the entry capacity of each shard; total capacity is
-	// perShard * len(shards).
-	perShard int
-	hits     atomic.Uint64
-	misses   atomic.Uint64
+	// perShard is the compiled-entry capacity of each shard; total
+	// capacity is perShard * len(shards). negPerShard bounds each shard's
+	// segregated negative (compile-error) entries.
+	perShard    int
+	negPerShard int
+	hits        atomic.Uint64
+	misses      atomic.Uint64
 }
 
 const cacheShards = 16
@@ -34,7 +41,10 @@ const cacheShards = 16
 type CacheStats struct {
 	Hits    uint64 // Gets served from the cache
 	Misses  uint64 // Gets that had to compile
-	Entries int    // entries currently resident
+	Entries int    // entries currently resident (compiled + negative)
+	// Negative is how many of the resident entries are cached compile
+	// errors; they live in a segregated, separately bounded LRU.
+	Negative int
 }
 
 type cacheKey struct {
@@ -45,7 +55,10 @@ type cacheKey struct {
 
 // cacheEntry is one compiled expression. The once field makes the compile
 // single-flight: the entry is published in the shard map before anything
-// is compiled, and every Get for its key funnels through once.Do.
+// is compiled, and every Get for its key funnels through once.Do. Entries
+// join an LRU list only once their compile has resolved (finish), so the
+// positive/negative verdict decides which list — and which capacity bound
+// — they fall under.
 type cacheEntry struct {
 	key  cacheKey
 	once sync.Once
@@ -53,65 +66,97 @@ type cacheEntry struct {
 	nexp *NumericExpr // numeric pipeline result
 	err  error
 
-	// Intrusive LRU list links, guarded by the shard mutex.
+	// Intrusive LRU list links and placement, guarded by the shard mutex.
 	prev, next *cacheEntry
+	linked     bool
+	neg        bool
 }
 
 type cacheShard struct {
 	mu sync.Mutex
 	m  map[cacheKey]*cacheEntry
-	// Doubly linked LRU list with sentinel head: head.next is
-	// most-recently used, head.prev is the eviction candidate.
+	// Doubly linked LRU lists with sentinel heads: head for compiled
+	// entries, neg for cached compile errors. head.next is most-recently
+	// used, head.prev is the eviction candidate.
 	head cacheEntry
+	neg  cacheEntry
+	// nPos/nNeg count linked entries per list (map entries mid-compile are
+	// on neither list and uncounted; they are transient, bounded by the
+	// number of concurrently compiling goroutines).
+	nPos, nNeg int
 }
 
 // NewCache returns a cache holding up to capacity compiled expressions
 // (rounded up to a multiple of the shard count; capacity ≤ 0 selects a
-// default of 1024). It is ready for concurrent use.
+// default of 1024), plus a segregated allowance — a quarter of capacity,
+// at least one per shard — for negatively cached compile errors. It is
+// ready for concurrent use.
 func NewCache(capacity int) *Cache {
 	if capacity <= 0 {
 		capacity = 1024
 	}
 	perShard := (capacity + cacheShards - 1) / cacheShards
+	negPerShard := perShard / 4
+	if negPerShard < 1 {
+		negPerShard = 1
+	}
 	c := &Cache{
-		shards:   make([]cacheShard, cacheShards),
-		seed:     maphash.MakeSeed(),
-		perShard: perShard,
+		shards:      make([]cacheShard, cacheShards),
+		seed:        maphash.MakeSeed(),
+		perShard:    perShard,
+		negPerShard: negPerShard,
 	}
 	for i := range c.shards {
-		s := &c.shards[i]
-		s.m = make(map[cacheKey]*cacheEntry)
-		s.head.prev = &s.head
-		s.head.next = &s.head
+		c.shards[i].init()
 	}
 	return c
+}
+
+func (s *cacheShard) init() {
+	s.m = make(map[cacheKey]*cacheEntry)
+	s.head.prev = &s.head
+	s.head.next = &s.head
+	s.neg.prev = &s.neg
+	s.neg.next = &s.neg
+	s.nPos, s.nNeg = 0, 0
 }
 
 // Get returns the compiled form of source, compiling at most once per
 // resident key. The returned *Expr is shared between all callers (Expr is
 // immutable and its engine cache is concurrency-safe). Compile errors are
-// cached too, so a hot malformed input does not recompile per request.
+// cached in the segregated negative LRU.
 func (c *Cache) Get(source string, syntax Syntax) (*Expr, error) {
-	e := c.entry(cacheKey{syntax: syntax, source: source})
+	s, e, place := c.entry(cacheKey{syntax: syntax, source: source})
 	e.once.Do(func() {
 		e.expr, e.err = Compile(source, syntax)
 	})
+	if place {
+		c.finish(s, e)
+	}
 	return e.expr, e.err
 }
 
 // GetNumeric is Get through the numeric pipeline (CompileNumeric). Plain
 // and numeric compilations of the same source are distinct cache entries.
 func (c *Cache) GetNumeric(source string, syntax Syntax) (*NumericExpr, error) {
-	e := c.entry(cacheKey{syntax: syntax, source: source, numeric: true})
+	s, e, place := c.entry(cacheKey{syntax: syntax, source: source, numeric: true})
 	e.once.Do(func() {
 		e.nexp, e.err = CompileNumeric(source, syntax)
 	})
+	if place {
+		c.finish(s, e)
+	}
 	return e.nexp, e.err
 }
 
 // entry finds or creates the entry for key, updating LRU order and
-// counters. Only map/list manipulation happens under the shard lock.
-func (c *Cache) entry(key cacheKey) *cacheEntry {
+// counters. Only map/list manipulation happens under the shard lock. A
+// newly created entry is in the map (so concurrent Gets deduplicate) but
+// on no list until finish places it by compile outcome; place reports
+// whether the caller must run finish (false for linked hits — linked is
+// never cleared while an entry is in the map, so the hot hit path takes
+// the shard lock exactly once).
+func (c *Cache) entry(key cacheKey) (s *cacheShard, e *cacheEntry, place bool) {
 	var h maphash.Hash
 	h.SetSeed(c.seed)
 	h.WriteString(key.source)
@@ -120,44 +165,82 @@ func (c *Cache) entry(key cacheKey) *cacheEntry {
 		b |= 1
 	}
 	h.WriteByte(b)
-	s := &c.shards[h.Sum64()%cacheShards]
+	s = &c.shards[h.Sum64()%cacheShards]
 
 	s.mu.Lock()
 	e, ok := s.m[key]
 	if ok {
-		s.unlink(e)
-		s.pushFront(e)
+		linked := e.linked
+		if linked {
+			unlink(e)
+			s.pushFront(e)
+		}
 		s.mu.Unlock()
 		c.hits.Add(1)
-		return e
+		return s, e, !linked
 	}
 	e = &cacheEntry{key: key}
 	s.m[key] = e
-	s.pushFront(e)
-	if len(s.m) > c.perShard {
-		victim := s.head.prev
-		s.unlink(victim)
-		delete(s.m, victim.key)
-	}
 	s.mu.Unlock()
 	c.misses.Add(1)
-	return e
+	return s, e, true
 }
 
-func (s *cacheShard) unlink(e *cacheEntry) {
+// finish places a resolved entry on the list its compile outcome selects
+// and enforces that list's capacity — so bad sources can only ever evict
+// other bad sources. It is a no-op for entries already placed, or evicted
+// or purged mid-compile.
+func (c *Cache) finish(s *cacheShard, e *cacheEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.linked || s.m[e.key] != e {
+		return
+	}
+	e.neg = e.err != nil
+	e.linked = true
+	s.pushFront(e)
+	if e.neg {
+		s.nNeg++
+		if s.nNeg > c.negPerShard {
+			s.evict(s.neg.prev)
+		}
+	} else {
+		s.nPos++
+		if s.nPos > c.perShard {
+			s.evict(s.head.prev)
+		}
+	}
+}
+
+func (s *cacheShard) evict(victim *cacheEntry) {
+	unlink(victim)
+	if victim.neg {
+		s.nNeg--
+	} else {
+		s.nPos--
+	}
+	delete(s.m, victim.key)
+}
+
+func unlink(e *cacheEntry) {
 	e.prev.next = e.next
 	e.next.prev = e.prev
 	e.prev, e.next = nil, nil
 }
 
+// pushFront links e at the MRU end of the list matching its placement.
 func (s *cacheShard) pushFront(e *cacheEntry) {
-	e.prev = &s.head
-	e.next = s.head.next
-	s.head.next.prev = e
-	s.head.next = e
+	h := &s.head
+	if e.neg {
+		h = &s.neg
+	}
+	e.prev = h
+	e.next = h.next
+	h.next.prev = e
+	h.next = e
 }
 
-// Len returns the number of resident entries.
+// Len returns the number of resident entries (compiled plus negative).
 func (c *Cache) Len() int {
 	n := 0
 	for i := range c.shards {
@@ -171,11 +254,18 @@ func (c *Cache) Len() int {
 
 // Stats returns a snapshot of the hit/miss counters and residency.
 func (c *Cache) Stats() CacheStats {
-	return CacheStats{
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Entries: c.Len(),
+	st := CacheStats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
 	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += len(s.m)
+		st.Negative += s.nNeg
+		s.mu.Unlock()
+	}
+	return st
 }
 
 // Purge empties the cache (counters are kept). Expressions already handed
@@ -184,9 +274,7 @@ func (c *Cache) Purge() {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		s.m = make(map[cacheKey]*cacheEntry)
-		s.head.prev = &s.head
-		s.head.next = &s.head
+		s.init()
 		s.mu.Unlock()
 	}
 }

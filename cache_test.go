@@ -80,6 +80,49 @@ func TestCacheEviction(t *testing.T) {
 	}
 }
 
+func TestCacheNegativeEntriesCannotEvictHot(t *testing.T) {
+	// Failed compiles are cached in a segregated, separately bounded LRU:
+	// however many distinct bad sources arrive, they evict only each
+	// other, never a hot compiled expression.
+	c := NewCache(16) // one compiled entry per shard — maximally evictable
+	hot, err := c.Get("(a, b)", DTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bad = 300
+	for i := 0; i < bad; i++ {
+		if _, err := c.Get(fmt.Sprintf("(((bad%d", i), Math); err == nil {
+			t.Fatal("malformed source compiled")
+		}
+	}
+	again, err := c.Get("(a, b)", DTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != hot {
+		t.Fatal("bad sources evicted the hot compiled expression")
+	}
+	st := c.Stats()
+	if st.Misses != bad+1 {
+		t.Errorf("Misses = %d, want %d (hot entry compiled once)", st.Misses, bad+1)
+	}
+	// Residency stays bounded: 16 compiled slots + 16 negative slots.
+	if st.Entries > 32 {
+		t.Errorf("Entries = %d after negative churn, want ≤ 32", st.Entries)
+	}
+	if st.Negative == 0 || st.Negative > 16 {
+		t.Errorf("Negative = %d, want in (0, 16]", st.Negative)
+	}
+	// A repeated bad source is still served from the negative cache.
+	before := c.Stats().Misses
+	if _, err := c.Get(fmt.Sprintf("(((bad%d", bad-1), Math); err == nil {
+		t.Fatal("expected cached error")
+	}
+	if c.Stats().Misses != before {
+		t.Error("recent bad source recompiled instead of hitting the negative cache")
+	}
+}
+
 func TestCacheConcurrentOverlappingKeys(t *testing.T) {
 	// Many goroutines hammer a small key set concurrently; -race must be
 	// quiet, verdicts must be correct, and each key must compile once

@@ -6,9 +6,10 @@
 //	dregex [flags] EXPR [WORD...]
 //
 // With math syntax (default) each WORD is a string of single-rune symbols;
-// with -dtd each WORD is a comma-separated list of names. With no WORD
-// arguments and -stdin, whitespace-separated symbol names are matched from
-// standard input in one streaming pass.
+// with -dtd each WORD is a comma-separated list of names. With -stdin,
+// standard input is matched in one streaming pass: as single-rune symbols
+// (whitespace skipped, no per-rune allocation) under math syntax, or as
+// whitespace-separated symbol names under -dtd.
 //
 // Flags:
 //
@@ -105,7 +106,14 @@ func main() {
 		fmt.Printf("%-30q %v\n", w, verdict)
 	}
 	if *stdin {
-		okStream, err := m.MatchReaderTokens(os.Stdin)
+		// Math notation streams runes (Stream.FeedRune: no per-symbol
+		// allocation); DTD notation streams whitespace-separated names.
+		var okStream bool
+		if *dtdSyntax {
+			okStream, err = m.MatchReaderTokens(os.Stdin)
+		} else {
+			okStream, err = m.MatchReaderRunes(os.Stdin)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)

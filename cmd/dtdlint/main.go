@@ -1,58 +1,185 @@
-// Command dtdlint checks every content model of a DTD for determinism —
-// the XML well-formedness requirement the paper's Theorem 3.5 decides in
-// linear time — and reports the structural parameters (occurrence bound k,
-// alternation depth c_e) that govern matching complexity.
+// Command dtdlint checks every content model of one or many DTDs for
+// determinism — the XML well-formedness requirement the paper's Theorem
+// 3.5 decides in linear time — and reports the structural parameters
+// (occurrence bound k, alternation depth c_e) that govern matching
+// complexity. DTD files are parsed concurrently through one shared
+// expression cache, so content models repeated across a schema corpus
+// compile once.
 //
 // Usage:
 //
-//	dtdlint FILE.dtd
+//	dtdlint [-workers N] [-json] PATH...
+//
+// Each PATH is a DTD file or a directory walked recursively for *.dtd
+// files. Exit status: 0 no issues, 1 any issue or parse error, 2 usage.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
+	"dregex"
+	"dregex/internal/cli"
 	"dregex/internal/dtd"
+	"dregex/internal/pool"
 )
 
+type elementReport struct {
+	Name          string `json:"name"`
+	Kind          string `json:"kind"`
+	Deterministic bool   `json:"deterministic"`
+	Rule          string `json:"rule,omitempty"`
+	// K and Ce are set for children models only (a children model can
+	// legitimately have ce=0, so absence — not zero — marks "not
+	// applicable").
+	K     *int   `json:"k,omitempty"`
+	Ce    *int   `json:"ce,omitempty"`
+	Model string `json:"model"`
+	Line  int    `json:"line"`
+}
+
+type issueReport struct {
+	Element string `json:"element"`
+	Msg     string `json:"msg"`
+}
+
+type fileReport struct {
+	Path     string          `json:"path"`
+	Elements []elementReport `json:"elements,omitempty"`
+	Issues   []issueReport   `json:"issues,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: dtdlint FILE.dtd")
+	var (
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		jsonOut = flag.Bool("json", false, "emit a JSON report")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dtdlint [-workers N] [-json] PATH...")
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(os.Args[1])
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
+	paths := cli.CollectFiles(flag.Args(), ".dtd")
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "error: no DTD files found")
 		os.Exit(1)
 	}
-	d, err := dtd.Parse(string(data))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
+
+	cache := dregex.NewCache(4096)
+	reports := lintAll(paths, cache, *workers)
+
+	bad := 0
+	for _, r := range reports {
+		if r.Error != "" || len(r.Issues) > 0 {
+			bad++
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	} else {
+		for i, r := range reports {
+			if i > 0 {
+				fmt.Println()
+			}
+			printText(r, len(reports) > 1)
+		}
+	}
+	if bad > 0 {
 		os.Exit(1)
 	}
-	fmt.Printf("%-16s %-9s %-14s %3s %3s  %s\n", "ELEMENT", "KIND", "DETERMINISTIC", "k", "ce", "MODEL")
+}
+
+// lintAll parses and checks each DTD on a worker pool; reports[i]
+// corresponds to paths[i].
+func lintAll(paths []string, cache *dregex.Cache, workers int) []fileReport {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	reports := make([]fileReport, len(paths))
+	pool.Run(len(paths), workers, func(_, i int) {
+		reports[i] = lintOne(paths[i], cache)
+	})
+	return reports
+}
+
+func lintOne(path string, cache *dregex.Cache) fileReport {
+	r := fileReport{Path: path}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		r.Error = err.Error()
+		return r
+	}
+	src := string(data)
+	d, err := dtd.ParseWithCache(src, cache)
+	if err != nil {
+		r.Error = err.Error()
+		return r
+	}
+	// Declarations are emitted in document order, so one cursor suffices to
+	// compute line numbers in a single pass over the source.
+	lastOff, lastLine := 0, 1
 	for _, name := range d.Order {
 		el := d.Elements[name]
-		k, ce := "-", "-"
+		er := elementReport{
+			Name:          name,
+			Kind:          el.Kind.String(),
+			Deterministic: el.Deterministic,
+			Rule:          el.Rule,
+			Model:         el.Model,
+		}
+		lastLine += strings.Count(src[lastOff:el.Offset], "\n")
+		lastOff = el.Offset
+		er.Line = lastLine
 		if el.Kind == dtd.Children {
 			st := el.Stats() // memoized at compile time
-			k = fmt.Sprint(st.K)
-			ce = fmt.Sprint(st.AlternationDepth)
+			k, ce := st.K, st.AlternationDepth
+			er.K, er.Ce = &k, &ce
+		}
+		r.Elements = append(r.Elements, er)
+	}
+	for _, is := range d.Check() {
+		r.Issues = append(r.Issues, issueReport{Element: is.Element, Msg: is.Msg})
+	}
+	return r
+}
+
+func printText(r fileReport, withHeader bool) {
+	if withHeader {
+		fmt.Printf("== %s\n", r.Path)
+	}
+	if r.Error != "" {
+		fmt.Printf("error: %s\n", r.Error)
+		return
+	}
+	fmt.Printf("%-16s %-9s %-14s %3s %3s  %s\n", "ELEMENT", "KIND", "DETERMINISTIC", "k", "ce", "MODEL")
+	for _, el := range r.Elements {
+		k, ce := "-", "-"
+		if el.K != nil {
+			k = fmt.Sprint(*el.K)
+			ce = fmt.Sprint(*el.Ce)
 		}
 		det := "yes"
 		if !el.Deterministic {
 			det = "NO (" + el.Rule + ")"
 		}
-		fmt.Printf("%-16s %-9s %-14s %3s %3s  %s\n", name, el.Kind, det, k, ce, el.Model)
+		fmt.Printf("%-16s %-9s %-14s %3s %3s  %s\n", el.Name, el.Kind, det, k, ce, el.Model)
 	}
-	issues := d.Check()
-	if len(issues) == 0 {
-		fmt.Println("\nno issues")
+	if len(r.Issues) == 0 {
+		fmt.Println("no issues")
 		return
 	}
-	fmt.Printf("\n%d issue(s):\n", len(issues))
-	for _, is := range issues {
+	fmt.Printf("%d issue(s):\n", len(r.Issues))
+	for _, is := range r.Issues {
 		fmt.Printf("  %s: %s\n", is.Element, is.Msg)
 	}
-	os.Exit(1)
 }

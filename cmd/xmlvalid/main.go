@@ -1,64 +1,123 @@
-// Command xmlvalid validates XML documents against a DTD's content models,
+// Command xmlvalid validates XML documents against DTD content models,
 // using the paper's streaming transition simulators (each element's child
 // sequence is checked in one pass with O(1) state per open element).
+// Documents are validated concurrently by a worker pool sharing one set of
+// compiled models, so corpus runs amortize every compile.
 //
 // Usage:
 //
-//	xmlvalid -dtd FILE.dtd DOC.xml [DOC.xml...]
+//	xmlvalid [-dtd FILE.dtd] [-workers N] [-json] [-q] PATH...
+//
+// Each PATH is an XML file or a directory walked recursively for *.xml
+// files. With -dtd, every document validates against that DTD; without it,
+// each document must carry its own internal subset (<!DOCTYPE root [ … ]>),
+// which is parsed per document through a shared expression cache — content
+// models repeated across the corpus compile once.
+//
+// Exit status: 0 all documents valid, 1 any invalid or unreadable,
+// 2 usage error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"dregex"
+	"dregex/internal/cli"
 	"dregex/internal/dtd"
 )
 
+type report struct {
+	Path   string                `json:"path"`
+	Valid  bool                  `json:"valid"`
+	Errors []dtd.ValidationError `json:"errors,omitempty"`
+	Error  string                `json:"error,omitempty"`
+}
+
 func main() {
-	dtdPath := flag.String("dtd", "", "DTD file with <!ELEMENT> declarations")
+	var (
+		dtdPath = flag.String("dtd", "", "DTD file; omit to use each document's internal subset")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		jsonOut = flag.Bool("json", false, "emit a JSON report")
+		quiet   = flag.Bool("q", false, "text mode: only report invalid documents and the summary")
+	)
 	flag.Parse()
-	if *dtdPath == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: xmlvalid -dtd FILE.dtd DOC.xml...")
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: xmlvalid [-dtd FILE.dtd] [-workers N] [-json] [-q] PATH...")
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(*dtdPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
+	paths := cli.CollectFiles(flag.Args(), ".xml")
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "error: no XML documents found")
 		os.Exit(1)
 	}
-	// An explicit cache: every content model compiles once, however many
-	// declarations or documents reuse it.
-	d, err := dtd.ParseWithCache(string(data), dregex.NewCache(1024))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
-	}
-	exit := 0
-	for _, doc := range flag.Args() {
-		f, err := os.Open(doc)
+
+	// One cache for the whole run: every distinct content model — whether
+	// from the -dtd file or from per-document internal subsets — compiles
+	// exactly once however many declarations or documents reuse it.
+	cache := dregex.NewCache(4096)
+	var v *dtd.Validator
+	if *dtdPath != "" {
+		data, err := os.ReadFile(*dtdPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			exit = 1
-			continue
+			os.Exit(1)
 		}
-		errs, err := d.Validate(f)
-		f.Close()
+		d, err := dtd.ParseWithCache(string(data), cache)
 		if err != nil {
-			fmt.Printf("%s: %v\n", doc, err)
-			exit = 1
-			continue
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
 		}
-		if len(errs) == 0 {
-			fmt.Printf("%s: valid\n", doc)
-			continue
+		v = dtd.NewValidator(d, *workers)
+	} else {
+		v = dtd.NewStandaloneValidator(cache, *workers)
+	}
+
+	results := v.ValidateFiles(paths)
+	reports := make([]report, len(results))
+	invalid := 0
+	for i, r := range results {
+		reports[i] = report{Path: r.Name, Valid: r.Valid(), Errors: r.Errors}
+		if r.Err != nil {
+			reports[i].Error = r.Err.Error()
 		}
-		exit = 1
-		fmt.Printf("%s: %d error(s)\n", doc, len(errs))
-		for _, e := range errs {
-			fmt.Printf("  %s\n", e)
+		if !r.Valid() {
+			invalid++
 		}
 	}
-	os.Exit(exit)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, r := range reports {
+			if r.Valid {
+				if !*quiet {
+					fmt.Printf("%s: valid\n", r.Path)
+				}
+				continue
+			}
+			// A document-level error (malformed XML, say) can coexist with
+			// violations found before it; report both, like JSON mode.
+			if r.Error != "" {
+				fmt.Printf("%s: error: %s\n", r.Path, r.Error)
+			} else {
+				fmt.Printf("%s: %d error(s)\n", r.Path, len(r.Errors))
+			}
+			for _, e := range r.Errors {
+				fmt.Printf("  %s\n", e)
+			}
+		}
+		fmt.Printf("%d document(s), %d valid, %d invalid\n",
+			len(reports), len(reports)-invalid, invalid)
+	}
+	if invalid > 0 {
+		os.Exit(1)
+	}
 }

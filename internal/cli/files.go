@@ -1,0 +1,42 @@
+// Package cli holds small helpers shared by the command-line tools.
+package cli
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CollectFiles expands command-line args into a file list: files are taken
+// as-is, directories are walked recursively for names with ext
+// (case-insensitive, e.g. ".xml"). One bad path never prevents the rest of
+// a corpus from being processed: an unstattable arg or unreadable file is
+// kept in the list so the per-file stage reports it as a per-file error,
+// and an unreadable directory is skipped with a warning on stderr.
+func CollectFiles(args []string, ext string) []string {
+	var out []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil || !info.IsDir() {
+			out = append(out, arg)
+			continue
+		}
+		filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				if d != nil && d.IsDir() {
+					fmt.Fprintf(os.Stderr, "warning: skipping %s: %v\n", path, err)
+				} else {
+					out = append(out, path)
+				}
+				return nil
+			}
+			if !d.IsDir() && strings.EqualFold(filepath.Ext(path), ext) {
+				out = append(out, path)
+			}
+			return nil
+		})
+	}
+	return out
+}

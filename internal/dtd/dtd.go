@@ -3,7 +3,19 @@
 // content model for determinism (the well-formedness requirement that XML
 // inherits from SGML, §1 of the paper), and validates documents by matching
 // each element's child sequence against its content model with a streaming
-// transition simulator.
+// transition simulator. Validator runs that pipeline over whole corpora
+// concurrently.
+//
+// The front end is a real declaration tokenizer (ScanDecls): quoted
+// literals, comments, processing instructions and INCLUDE/IGNORE
+// conditional sections (nested ones too) are handled structurally, so a
+// '>' or '<!' inside an attribute default or entity value can never
+// terminate or fabricate a declaration. Supported DTD subset: ELEMENT
+// declarations are compiled; ATTLIST, ENTITY and NOTATION declarations are
+// tokenized and skipped; INCLUDE sections are processed, IGNORE sections
+// skipped whole. Parameter entities are not expanded — declarations hidden
+// behind PE references are invisible, and a PE conditional-section keyword
+// is an error.
 //
 // Mixed content (#PCDATA | a | b)* is handled by the specialized
 // linear-time procedure the paper attributes to Xerces: determinism of a
@@ -18,6 +30,7 @@
 package dtd
 
 import (
+	"bytes"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -64,6 +77,9 @@ type Element struct {
 	Name  string
 	Kind  ContentKind
 	Model string // the raw content model text
+	// Offset is the byte offset of the declaration's "<!" in the parsed
+	// source (see LineCol).
+	Offset int
 
 	// Children models: CM is the compiled content model, shared through
 	// the DTD's expression cache (identical models across declarations —
@@ -97,8 +113,9 @@ var defaultCache = dregex.NewCache(4096)
 
 // Parse reads <!ELEMENT …> declarations from DTD text, compiling content
 // models through a shared package-level expression cache. ATTLIST, ENTITY
-// and NOTATION declarations, comments and processing instructions are
-// skipped.
+// and NOTATION declarations, comments, processing instructions and
+// IGNORE'd conditional sections are skipped (structurally — see ScanDecls);
+// INCLUDE sections are processed. Errors carry line:column positions.
 func Parse(src string) (*DTD, error) {
 	return ParseWithCache(src, defaultCache)
 }
@@ -108,37 +125,14 @@ func Parse(src string) (*DTD, error) {
 func ParseWithCache(src string, cache *dregex.Cache) (*DTD, error) {
 	d := &DTD{Elements: map[string]*Element{}}
 	d.cache = cache
-	rest := src
-	for {
-		i := strings.Index(rest, "<!")
-		if i < 0 {
-			break
+	err := scanDecls(src, func(decl Decl) error {
+		if decl.Kind != DeclElement {
+			return nil
 		}
-		rest = rest[i:]
-		switch {
-		case strings.HasPrefix(rest, "<!--"):
-			end := strings.Index(rest, "-->")
-			if end < 0 {
-				return nil, fmt.Errorf("dtd: unterminated comment")
-			}
-			rest = rest[end+3:]
-		case strings.HasPrefix(rest, "<!ELEMENT"):
-			end := strings.IndexByte(rest, '>')
-			if end < 0 {
-				return nil, fmt.Errorf("dtd: unterminated <!ELEMENT")
-			}
-			decl := strings.TrimSpace(rest[len("<!ELEMENT"):end])
-			rest = rest[end+1:]
-			if err := d.addElement(decl); err != nil {
-				return nil, err
-			}
-		default:
-			end := strings.IndexByte(rest, '>')
-			if end < 0 {
-				return nil, fmt.Errorf("dtd: unterminated declaration")
-			}
-			rest = rest[end+1:]
-		}
+		return d.addElement(src, decl)
+	})
+	if err != nil {
+		return nil, err
 	}
 	if len(d.Elements) == 0 {
 		return nil, fmt.Errorf("dtd: no <!ELEMENT> declarations found")
@@ -146,22 +140,20 @@ func ParseWithCache(src string, cache *dregex.Cache) (*DTD, error) {
 	return d, nil
 }
 
-func (d *DTD) addElement(decl string) error {
-	fields := strings.Fields(decl)
-	if len(fields) < 2 {
-		return fmt.Errorf("dtd: malformed element declaration %q", decl)
+func (d *DTD) addElement(src string, decl Decl) error {
+	if decl.Name == "" || decl.Body == "" {
+		return posErr(src, decl.Offset, "malformed element declaration <!ELEMENT %s", decl.Name)
 	}
-	name := fields[0]
-	model := strings.TrimSpace(decl[len(name):])
-	if _, dup := d.Elements[name]; dup {
-		return fmt.Errorf("dtd: element %q declared twice", name)
+	if _, dup := d.Elements[decl.Name]; dup {
+		return posErr(src, decl.Offset, "element %q declared twice", decl.Name)
 	}
-	el, err := compileElement(name, model, d.cache)
+	el, err := compileElement(decl.Name, decl.Body, d.cache)
 	if err != nil {
-		return err
+		return posErr(src, decl.Offset, "%s", strings.TrimPrefix(err.Error(), "dtd: "))
 	}
-	d.Elements[name] = el
-	d.Order = append(d.Order, name)
+	el.Offset = decl.Offset
+	d.Elements[decl.Name] = el
+	d.Order = append(d.Order, decl.Name)
 	return nil
 }
 
@@ -311,29 +303,56 @@ func (el *Element) Stats() dregex.Stats {
 // ValidationError describes one violation found while validating a
 // document.
 type ValidationError struct {
-	Path    string // slash-separated element path
-	Element string
-	Msg     string
+	Path    string `json:"path"` // slash-separated element path
+	Element string `json:"element"`
+	Msg     string `json:"msg"`
 }
 
 func (e ValidationError) Error() string {
 	return fmt.Sprintf("%s: <%s>: %s", e.Path, e.Element, e.Msg)
 }
 
+// frame is the per-open-element state of a validation pass.
+type frame struct {
+	el     *Element
+	name   string
+	stream match.Stream // value: per-frame, no allocation
+	failed bool
+}
+
+// docState is the reusable scratch of one validation pass. A zero value is
+// ready; reusing one across documents (one per Validator worker) keeps the
+// element stack's capacity, so steady-state validation allocates nothing
+// beyond the XML decoder itself.
+type docState struct {
+	stack []frame
+}
+
 // Validate checks an XML document against the DTD: every element must be
 // declared, its children sequence must match its content model (evaluated
 // with a streaming simulator — one pass, no buffering of child lists), and
-// text content must be allowed. It returns all violations found, or nil.
+// text content must be allowed. When the document carries a <!DOCTYPE>
+// declaration, the root element must match its name. It returns all
+// violations found, or nil.
 func (d *DTD) Validate(r io.Reader) ([]ValidationError, error) {
+	var st docState
+	return d.validate(r, &st)
+}
+
+func (d *DTD) validate(r io.Reader, st *docState) ([]ValidationError, error) {
 	dec := xml.NewDecoder(r)
 	var errs []ValidationError
-	type frame struct {
-		el     *Element
-		name   string
-		stream match.Stream // value: per-frame, no allocation
-		failed bool
-	}
-	var stack []frame
+	stack := st.stack[:0]
+	defer func() {
+		// Zero the whole backing array, not just the live prefix: popped
+		// frames past len would otherwise pin the previous document's DTD
+		// (and its engines) for the worker's lifetime in standalone mode.
+		stack = stack[:cap(stack)]
+		clear(stack)
+		st.stack = stack[:0]
+	}()
+	doctype := ""
+	sawRoot := false
 	path := func() string {
 		parts := make([]string, 0, len(stack))
 		for _, f := range stack {
@@ -350,8 +369,19 @@ func (d *DTD) Validate(r io.Reader) ([]ValidationError, error) {
 			return errs, fmt.Errorf("dtd: malformed XML: %w", err)
 		}
 		switch t := tok.(type) {
+		case xml.Directive:
+			if name, ok := doctypeName(string(t)); ok && !sawRoot {
+				doctype = name
+			}
 		case xml.StartElement:
 			name := t.Name.Local
+			if !sawRoot {
+				sawRoot = true
+				if doctype != "" && name != doctype {
+					errs = append(errs, ValidationError{"/" + name, name,
+						fmt.Sprintf("root element <%s> does not match DOCTYPE %s", name, doctype)})
+				}
+			}
 			// Record the child in the parent's model.
 			if len(stack) > 0 {
 				p := &stack[len(stack)-1]
@@ -420,4 +450,120 @@ func (d *DTD) Validate(r io.Reader) ([]ValidationError, error) {
 		}
 	}
 	return errs, nil
+}
+
+// doctypeName extracts the root element name from a "DOCTYPE …" directive
+// (the text between "<!" and ">", as encoding/xml delivers it).
+func doctypeName(directive string) (string, bool) {
+	name, _, ok := doctypeSplit(directive)
+	return name, ok
+}
+
+// doctypeSplit is the single DOCTYPE-directive scan shared by the
+// validator's root check and InternalSubset: it returns the root name —
+// reduced to its local part, since the validator keys elements on
+// xml.Name.Local — and the remainder of the directive after it.
+func doctypeSplit(directive string) (name, rest string, ok bool) {
+	s := strings.TrimSpace(directive)
+	const kw = "DOCTYPE"
+	if !strings.HasPrefix(s, kw) {
+		return "", "", false
+	}
+	s = s[len(kw):]
+	if s == "" || !isSpace(s[0]) {
+		return "", "", false
+	}
+	s = strings.TrimLeft(s, " \t\n\r")
+	i := 0
+	for i < len(s) && !isSpace(s[i]) && s[i] != '[' {
+		i++
+	}
+	name = s[:i]
+	if j := strings.LastIndexByte(name, ':'); j >= 0 {
+		name = name[j+1:]
+	}
+	return name, s[i:], name != ""
+}
+
+// InternalSubset extracts the DOCTYPE name and the internal DTD subset
+// (the text between '[' and ']') from an XML document's prolog. A missing
+// DOCTYPE is an error; a DOCTYPE without an internal subset returns the
+// root name and an empty subset.
+func InternalSubset(doc []byte) (root, subset string, err error) {
+	dec := xml.NewDecoder(bytes.NewReader(doc))
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return "", "", errors.New("dtd: document has no DOCTYPE")
+		}
+		if err != nil {
+			return "", "", fmt.Errorf("dtd: malformed XML: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.Directive:
+			s := strings.TrimSpace(string(t))
+			if !strings.HasPrefix(s, "DOCTYPE") {
+				continue
+			}
+			return splitDoctype(s)
+		case xml.StartElement:
+			return "", "", errors.New("dtd: document has no DOCTYPE")
+		}
+	}
+}
+
+// splitDoctype splits a DOCTYPE directive into root name and internal
+// subset. The bracket scan is quote-aware, so a ']' inside an entity value
+// or system literal cannot end the subset early. (encoding/xml already
+// strips comments and handles quoted '>' when it delimits the directive.)
+func splitDoctype(directive string) (root, subset string, err error) {
+	root, rest, ok := doctypeSplit(directive)
+	if !ok {
+		return "", "", errors.New("dtd: DOCTYPE without a name")
+	}
+	open, close_ := -1, -1
+	quote := byte(0)
+	for j := 0; j < len(rest); j++ {
+		c := rest[j]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '[':
+			if open < 0 {
+				open = j
+			}
+		case c == ']':
+			close_ = j
+		}
+	}
+	if open < 0 {
+		return root, "", nil
+	}
+	if close_ <= open {
+		return "", "", errors.New("dtd: unterminated internal subset in DOCTYPE")
+	}
+	return root, rest[open+1 : close_], nil
+}
+
+// DocumentDTD parses the internal DTD subset carried by an XML document
+// itself, so standalone files (DOCTYPE with inline declarations) validate
+// without an external DTD. Content models compile through cache (nil
+// selects the shared package cache), so models repeated across a corpus of
+// documents compile once.
+func DocumentDTD(doc []byte, cache *dregex.Cache) (*DTD, error) {
+	_, subset, err := InternalSubset(doc)
+	if err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(subset) == "" {
+		return nil, errors.New("dtd: DOCTYPE has no internal subset")
+	}
+	if cache == nil {
+		cache = defaultCache
+	}
+	return ParseWithCache(subset, cache)
 }

@@ -3,6 +3,8 @@ package dtd
 import (
 	"strings"
 	"testing"
+
+	"dregex/internal/match"
 )
 
 const bookDTD = `
@@ -153,6 +155,157 @@ func TestValidateMalformedXML(t *testing.T) {
 	}
 	if _, err := d.Validate(strings.NewReader("<a><unclosed></a>")); err == nil {
 		t.Error("malformed XML not reported")
+	}
+}
+
+func TestParseNoPhantomDeclarations(t *testing.T) {
+	// Regression: with the old quote-blind scanner this parsed as
+	// [a evil b] — the '>' inside "a>b" ended the ATTLIST early and the
+	// <!ELEMENT text inside the second default value became a declaration.
+	d, err := Parse(`<!ELEMENT a (b)>
+<!ATTLIST a x CDATA "a>b" y CDATA "<!ELEMENT evil (b)>">
+<!ELEMENT b EMPTY>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(d.Order, " "); got != "a b" {
+		t.Fatalf("Order = [%s], want [a b]", got)
+	}
+	if _, ok := d.Elements["evil"]; ok {
+		t.Fatal("phantom element 'evil' fabricated from quoted text")
+	}
+}
+
+func TestParseIgnoreSection(t *testing.T) {
+	// Regression: <!ELEMENT ghost …> inside <![IGNORE[ … ]]> must not be
+	// declared; nested sections are skipped whole, and INCLUDE contents
+	// are processed as if written at top level.
+	d, err := Parse(`<!ELEMENT a (b?)>
+<![IGNORE[
+  <!ELEMENT ghost (b, c)>
+  <![INCLUDE[ <!ELEMENT ghost2 EMPTY> ]]>
+]]>
+<![INCLUDE[ <!ELEMENT b EMPTY> ]]>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(d.Order, " "); got != "a b" {
+		t.Fatalf("Order = [%s], want [a b]", got)
+	}
+	if _, ok := d.Elements["ghost"]; ok {
+		t.Fatal("IGNORE'd element 'ghost' declared")
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("<!ELEMENT a (b)>\n<!ELEMENT bad (c | )>\n<!ELEMENT b EMPTY>")
+	if err == nil || !strings.Contains(err.Error(), "2:1") {
+		t.Errorf("compile error lacks declaration position: %v", err)
+	}
+	_, err = Parse("<!ELEMENT a EMPTY>\n\n<!ELEMENT a EMPTY>")
+	if err == nil || !strings.Contains(err.Error(), "3:1") {
+		t.Errorf("duplicate error lacks position: %v", err)
+	}
+}
+
+func TestElementOffsets(t *testing.T) {
+	src := "<!-- c -->\n<!ELEMENT a (b*)>\n<!ELEMENT b EMPTY>"
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range d.Order {
+		off := d.Elements[name].Offset
+		if !strings.HasPrefix(src[off:], "<!ELEMENT") {
+			t.Errorf("element %q Offset %d does not point at its declaration", name, off)
+		}
+	}
+}
+
+func TestValidateDoctypeRootMismatch(t *testing.T) {
+	d, err := Parse(`<!ELEMENT a EMPTY><!ELEMENT b EMPTY>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := validateString(t, d, `<!DOCTYPE a><b/>`)
+	if len(errs) != 1 || !strings.Contains(errs[0].Msg, "does not match DOCTYPE a") {
+		t.Fatalf("errs = %v, want DOCTYPE mismatch", errs)
+	}
+	if errs := validateString(t, d, `<!DOCTYPE a><a/>`); len(errs) != 0 {
+		t.Fatalf("matching DOCTYPE rejected: %v", errs)
+	}
+	if errs := validateString(t, d, `<a/>`); len(errs) != 0 {
+		t.Fatalf("document without DOCTYPE rejected: %v", errs)
+	}
+	// A prefixed DOCTYPE name compares by its local part, like every other
+	// element name in the validator.
+	if errs := validateString(t, d, `<!DOCTYPE x:a><x:a xmlns:x="u"/>`); len(errs) != 0 {
+		t.Fatalf("prefixed DOCTYPE root rejected: %v", errs)
+	}
+}
+
+func TestInternalSubset(t *testing.T) {
+	doc := []byte(`<?xml version="1.0"?>
+<!DOCTYPE note [
+  <!ELEMENT note (to, body?)>
+  <!ELEMENT to (#PCDATA)>
+  <!ELEMENT body (#PCDATA)>
+  <!ATTLIST note id CDATA "x]y">
+]>
+<note><to>T</to></note>`)
+	root, subset, err := InternalSubset(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != "note" {
+		t.Errorf("root = %q, want note", root)
+	}
+	if !strings.Contains(subset, "<!ELEMENT note") || !strings.Contains(subset, `"x]y"`) {
+		t.Errorf("subset truncated: %q", subset)
+	}
+
+	d, err := DocumentDTD(doc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(d.Order, " "); got != "note to body" {
+		t.Fatalf("Order = [%s]", got)
+	}
+	if errs := validateString(t, d, string(doc)); len(errs) != 0 {
+		t.Fatalf("standalone document invalid against its own subset: %v", errs)
+	}
+
+	if _, _, err := InternalSubset([]byte(`<a/>`)); err == nil {
+		t.Error("missing DOCTYPE not reported")
+	}
+	if _, err := DocumentDTD([]byte(`<!DOCTYPE a SYSTEM "a.dtd"><a/>`), nil); err == nil {
+		t.Error("DOCTYPE without internal subset not reported")
+	}
+}
+
+// TestChildrenPathZeroAlloc pins the acceptance criterion: in steady state
+// the children-model matching path — stream init, one feed per child,
+// acceptance check — allocates nothing, so corpus validation cost is XML
+// decoding plus O(1)-state transitions.
+func TestChildrenPathZeroAlloc(t *testing.T) {
+	d, err := Parse(bookDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	book := d.Elements["book"]
+	children := []string{"title", "author", "author", "chapter", "appendix"}
+	var s match.Stream
+	allocs := testing.AllocsPerRun(1000, func() {
+		book.matcher.InitStream(&s)
+		for _, c := range children {
+			s.FeedName(c)
+		}
+		if !s.Accepts() {
+			t.Fatal("valid children rejected")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("children-model path allocates %.1f/doc, want 0", allocs)
 	}
 }
 

@@ -1,0 +1,78 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzScanDecls checks the scanner's two safety invariants on arbitrary
+// input: it never panics, and every declaration it returns is real — its
+// offset points at literal "<!KEYWORD" text and its name is exactly the
+// token following the keyword, so no element can be fabricated out of
+// thin air. (Quote- and conditional-section semantics are locked in by the
+// directed regression tests.)
+func FuzzScanDecls(f *testing.F) {
+	seeds := []string{
+		bookDTD,
+		`<!ELEMENT a (b)>
+<!ATTLIST a x CDATA "a>b" y CDATA "<!ELEMENT evil (b)>">
+<!ELEMENT b EMPTY>`,
+		`<![IGNORE[ <!ELEMENT ghost (a)> ]]><!ELEMENT a EMPTY>`,
+		`<![INCLUDE[ <!ELEMENT a EMPTY> <![IGNORE[ x ]]> ]]>`,
+		`<!ENTITY % pe '<!ATTLIST y z CDATA "v">'>`,
+		`<!-- <!ELEMENT fake (x)> --><?pi > ?><!NOTATION n SYSTEM "u">`,
+		`<!ELEMENT m (#PCDATA | x | y)*>`,
+		`<![IGNORE[`,
+		`<!ELEMENT a "unclosed`,
+		`<!DOCTYPE d [ <!ELEMENT d EMPTY> ]>`,
+		"]]> <![ %pe; [ x ]]>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		decls, err := ScanDecls(src)
+		if err != nil {
+			return
+		}
+		for _, d := range decls {
+			if d.Offset < 0 || d.Offset+2 > len(src) || !strings.HasPrefix(src[d.Offset:], "<!") {
+				t.Fatalf("decl %+v: offset does not point at a declaration", d)
+			}
+			rest := src[d.Offset+len("<!"):]
+			if d.Kind != DeclOther {
+				kw := d.Kind.String()
+				if !strings.HasPrefix(rest, kw) {
+					t.Fatalf("decl %+v: input at offset reads %.20q, not <!%s", d, rest, kw)
+				}
+				rest = rest[len(kw):]
+			} else {
+				rest = strings.TrimLeft(rest, "ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+			}
+			// The declared name must be the literal first token of the
+			// declaration body — a name plucked from inside a quoted
+			// literal or an ignored section cannot satisfy this.
+			if name, _ := splitName(beforeDeclEnd(rest)); name != d.Name {
+				t.Fatalf("decl %+v: first body token is %q", d, name)
+			}
+		}
+	})
+}
+
+// beforeDeclEnd cuts a declaration body at its terminating '>' the same
+// quote-aware way the scanner does, so splitName sees the same text.
+func beforeDeclEnd(s string) string {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\'', '"':
+			j := strings.IndexByte(s[i+1:], c)
+			if j < 0 {
+				return s
+			}
+			i += 1 + j
+		case '>':
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,167 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+func scanNames(t *testing.T, src string) (elements []string, all []Decl) {
+	t.Helper()
+	decls, err := ScanDecls(src)
+	if err != nil {
+		t.Fatalf("ScanDecls: %v", err)
+	}
+	for _, d := range decls {
+		if d.Kind == DeclElement {
+			elements = append(elements, d.Name)
+		}
+	}
+	return elements, decls
+}
+
+func TestScanQuotedGtInAttlistDefault(t *testing.T) {
+	// The confirmed phantom-declaration repro: the old string scanner cut
+	// the ATTLIST at the '>' inside "a>b" and then fabricated an element
+	// from the <!ELEMENT text inside the second default value.
+	src := `<!ELEMENT a (b)>
+<!ATTLIST a x CDATA "a>b" y CDATA "<!ELEMENT evil (b)>">
+<!ELEMENT b EMPTY>`
+	elements, decls := scanNames(t, src)
+	if got := strings.Join(elements, " "); got != "a b" {
+		t.Fatalf("elements = [%s], want [a b] (phantom declaration injected)", got)
+	}
+	var attlist *Decl
+	for i := range decls {
+		if decls[i].Kind == DeclAttlist {
+			attlist = &decls[i]
+		}
+	}
+	if attlist == nil || attlist.Name != "a" {
+		t.Fatalf("ATTLIST not tokenized as one declaration: %+v", decls)
+	}
+	if !strings.Contains(attlist.Body, "evil") {
+		t.Errorf("ATTLIST body lost its quoted text: %q", attlist.Body)
+	}
+}
+
+func TestScanQuotedMarkupInEntityValue(t *testing.T) {
+	src := `<!ENTITY chunk "<!ELEMENT fake (x)> and a > sign">
+<!ELEMENT real EMPTY>`
+	elements, decls := scanNames(t, src)
+	if got := strings.Join(elements, " "); got != "real" {
+		t.Fatalf("elements = [%s], want [real]", got)
+	}
+	if decls[0].Kind != DeclEntity || decls[0].Name != "chunk" {
+		t.Errorf("entity decl = %+v", decls[0])
+	}
+	// Single-quoted literals and parameter entities too.
+	src2 := `<!ENTITY % pe '<!ATTLIST y z CDATA "v">'>
+<!ELEMENT y EMPTY>`
+	elements2, decls2 := scanNames(t, src2)
+	if got := strings.Join(elements2, " "); got != "y" {
+		t.Fatalf("elements = [%s], want [y]", got)
+	}
+	if decls2[0].Name != "%pe" {
+		t.Errorf("parameter entity name = %q, want %%pe", decls2[0].Name)
+	}
+}
+
+func TestScanIgnoreSection(t *testing.T) {
+	// The confirmed IGNORE repro: <!ELEMENT ghost …> inside an IGNORE'd
+	// section must be skipped structurally, not by luck of the first '>'.
+	src := `<!ELEMENT a (b?)>
+<![IGNORE[
+  <!ELEMENT ghost (b, c, d)>
+  <!ATTLIST ghost x CDATA "]]" y CDATA #IMPLIED>
+]]>
+<!ELEMENT b EMPTY>`
+	elements, _ := scanNames(t, src)
+	if got := strings.Join(elements, " "); got != "a b" {
+		t.Fatalf("elements = [%s], want [a b] (IGNORE leaked)", got)
+	}
+}
+
+func TestScanNestedConditionalSections(t *testing.T) {
+	// Per the XML spec, an ignored section skips over nested <![ … ]]>
+	// pairs whole, whatever their keywords.
+	src := `<![IGNORE[
+  <![INCLUDE[ <!ELEMENT ghost1 (a)> ]]>
+  <![IGNORE[ <!ELEMENT ghost2 (a)> ]]>
+  <!ELEMENT ghost3 (a)>
+]]>
+<!ELEMENT real (sub?)>
+<![INCLUDE[
+  <!ELEMENT sub EMPTY>
+  <![IGNORE[ <!ELEMENT ghost4 (a)> ]]>
+  <![INCLUDE[ <!ELEMENT deep EMPTY> ]]>
+]]>`
+	elements, _ := scanNames(t, src)
+	if got := strings.Join(elements, " "); got != "real sub deep" {
+		t.Fatalf("elements = [%s], want [real sub deep]", got)
+	}
+}
+
+func TestScanCommentsAndPIs(t *testing.T) {
+	src := `<!-- a comment with <!ELEMENT fake1 (x)> and > and "quotes -->
+<?pi with <!ELEMENT fake2 (x)> inside ?>
+<!ELEMENT real EMPTY>`
+	elements, _ := scanNames(t, src)
+	if got := strings.Join(elements, " "); got != "real" {
+		t.Fatalf("elements = [%s], want [real]", got)
+	}
+}
+
+func TestScanOffsets(t *testing.T) {
+	src := "<!-- c -->\n<!ELEMENT a (b)>\n  <!ELEMENT b EMPTY>"
+	_, decls := scanNames(t, src)
+	for _, d := range decls {
+		if !strings.HasPrefix(src[d.Offset:], "<!ELEMENT") {
+			t.Errorf("decl %q offset %d does not point at <!ELEMENT", d.Name, d.Offset)
+		}
+	}
+	line, col := LineCol(src, decls[1].Offset)
+	if line != 3 || col != 3 {
+		t.Errorf("LineCol = %d:%d, want 3:3", line, col)
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string // expected substring, including the position
+	}{
+		{"<!-- unterminated", "1:1: unterminated comment"},
+		{"<?pi unterminated", "1:1: unterminated processing instruction"},
+		{"<!ELEMENT a (b", "1:1: unterminated <!ELEMENT declaration"},
+		{"\n<!ATTLIST a x CDATA \"unclosed>", "2:21: unterminated \" literal"},
+		{"<![IGNORE[ <!ELEMENT x (a)>", "1:1: unterminated IGNORE section"},
+		{"<![INCLUDE[ <!ELEMENT x (a)>", "1:1: unterminated INCLUDE section"},
+		{"<![ %draft; [ <!ELEMENT x (a)> ]]>", "parameter entities are not expanded"},
+		{"<![WEIRD[ ]]>", `unknown conditional section keyword "WEIRD"`},
+		{"<![IGNORE <!ELEMENT x (a)> ]]>", "malformed conditional section"},
+		{"<!ELEMENT a (b)> <!ELEMENT", "1:18: unterminated <!ELEMENT"},
+		{"<!ELEMENT a (b) <!ELEMENT b EMPTY>", "'<' inside <!ELEMENT"},
+	}
+	for _, c := range cases {
+		_, err := ScanDecls(c.src)
+		if err == nil {
+			t.Errorf("ScanDecls(%q): expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("ScanDecls(%q) = %q, want substring %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestScanStrayTextSkipped(t *testing.T) {
+	// Lenient like the old front end: junk between declarations (here a
+	// stray PE reference and a lone ']]>') is skipped, not fatal.
+	src := `%entities;
+<!ELEMENT a EMPTY> ]]> stray < text
+<!ELEMENT b EMPTY>`
+	elements, _ := scanNames(t, src)
+	if got := strings.Join(elements, " "); got != "a b" {
+		t.Fatalf("elements = [%s], want [a b]", got)
+	}
+}

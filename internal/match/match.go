@@ -137,6 +137,18 @@ func (s *Stream) FeedName(name string) bool {
 	return s.Feed(a)
 }
 
+// FeedRune consumes one single-rune symbol (math notation), interned via
+// Alphabet.LookupRune — no per-rune string allocation, unlike
+// FeedName(string(r)).
+func (s *Stream) FeedRune(r rune) bool {
+	a, ok := s.sim.Tree().Alpha.LookupRune(r)
+	if !ok || a == ast.Begin || a == ast.End {
+		s.dead = true
+		return false
+	}
+	return s.Feed(a)
+}
+
 // Accepts reports whether the prefix consumed so far is in L(e).
 func (s *Stream) Accepts() bool {
 	return !s.dead && s.sim.Accept(s.cur)
@@ -166,10 +178,13 @@ func (s *Stream) Position() parsetree.NodeID {
 
 // ReaderRunes matches the runes of r as single-character symbols, reading
 // the input in one sequential pass (the §1 "streamable" claim: w is never
-// stored). Malformed input returns an error.
+// stored). ASCII whitespace is skipped, so both "aba" and "a b a" (the
+// token-separated form) stream the same word. Malformed input returns an
+// error.
 func ReaderRunes(sim TransitionSim, r io.Reader) (bool, error) {
 	br := bufio.NewReader(r)
-	s := NewStream(sim)
+	var s Stream
+	s.Init(sim)
 	for {
 		ch, _, err := br.ReadRune()
 		if err == io.EOF {
@@ -178,10 +193,10 @@ func ReaderRunes(sim TransitionSim, r io.Reader) (bool, error) {
 		if err != nil {
 			return false, fmt.Errorf("match: read: %w", err)
 		}
-		if ch == '\n' || ch == '\r' {
+		if ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r' {
 			continue
 		}
-		if !s.FeedName(string(ch)) {
+		if !s.FeedRune(ch) {
 			// Drain is unnecessary: the verdict is already final.
 			return false, nil
 		}
@@ -194,7 +209,8 @@ func ReaderTokens(sim TransitionSim, r io.Reader) (bool, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1<<20)
 	sc.Split(bufio.ScanWords)
-	s := NewStream(sim)
+	var s Stream
+	s.Init(sim)
 	for sc.Scan() {
 		if !s.FeedName(sc.Text()) {
 			return false, sc.Err()

@@ -225,12 +225,59 @@ func TestStreamAPI(t *testing.T) {
 	}
 }
 
+func TestFeedRune(t *testing.T) {
+	tr, fol := compileDet(t, "(ab+b(b?)a)*")
+	m := kore.New(tr, fol)
+	var s match.Stream
+	s.Init(m)
+	for _, r := range "abba" {
+		if !s.FeedRune(r) {
+			t.Fatalf("FeedRune(%q) died", r)
+		}
+	}
+	if !s.Accepts() {
+		t.Fatal("abba must accept")
+	}
+	s.Init(m)
+	if s.FeedRune('x') || s.Alive() {
+		t.Fatal("rune outside the alphabet must kill the stream")
+	}
+	s.Init(m)
+	if s.FeedRune('#') || s.FeedRune('$') {
+		t.Fatal("phantom markers must reject")
+	}
+}
+
+// TestFeedRuneZeroAlloc pins the rune hot path: ReaderRunes used to
+// allocate a string per input rune via FeedName(string(ch)).
+func TestFeedRuneZeroAlloc(t *testing.T) {
+	tr, fol := compileDet(t, "(ab+b(b?)a)*")
+	m := kore.New(tr, fol)
+	var s match.Stream
+	word := "abbaabbaab"
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Init(m)
+		for _, r := range word {
+			s.FeedRune(r)
+		}
+		_ = s.Accepts()
+	})
+	if allocs != 0 {
+		t.Errorf("FeedRune path allocates %.1f per word, want 0", allocs)
+	}
+}
+
 func TestReaders(t *testing.T) {
 	tr, fol := compileDet(t, "(ab+b(b?)a)*")
 	m := kore.New(tr, fol)
 	ok, err := match.ReaderRunes(m, strings.NewReader("abba\nab"))
 	if err != nil || !ok {
 		t.Fatalf("ReaderRunes: %v %v", ok, err)
+	}
+	// Token-separated input streams the same word: whitespace is skipped.
+	ok, err = match.ReaderRunes(m, strings.NewReader("a b\tb a\nab"))
+	if err != nil || !ok {
+		t.Fatalf("ReaderRunes with spaces: %v %v", ok, err)
 	}
 	ok, err = match.ReaderRunes(m, strings.NewReader("abx"))
 	if err != nil || ok {

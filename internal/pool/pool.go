@@ -1,0 +1,38 @@
+// Package pool provides the tiny fixed-size worker pool shared by the
+// corpus validator and the CLI tools.
+package pool
+
+import "sync"
+
+// Run distributes jobs 0..n-1 over a pool of workers. job receives the
+// worker's index (0..workers-1) alongside the job index, so callers can
+// maintain per-worker reusable state (e.g. one scratch buffer per worker)
+// without synchronization. With one worker (or one job) everything runs
+// inline on the calling goroutine.
+func Run(n, workers int, job func(worker, i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(0, i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range jobs {
+				job(w, i)
+			}
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

@@ -212,7 +212,8 @@ func (m *Matcher) InitStream(s *match.Stream) bool {
 	return true
 }
 
-// MatchReaderRunes streams single-rune symbols from r (newlines skipped).
+// MatchReaderRunes streams single-rune symbols from r (ASCII whitespace
+// skipped).
 func (m *Matcher) MatchReaderRunes(r io.Reader) (bool, error) {
 	if m.sim == nil {
 		return false, fmt.Errorf("dregex: streaming requires a deterministic engine")
