@@ -14,11 +14,12 @@ test:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-# fuzz-smoke runs the DTD scanner fuzz target briefly (seed corpus plus a
-# short random exploration); CI invokes this on every push.
+# fuzz-smoke runs the schema front-end fuzz targets briefly (seed corpus
+# plus a short random exploration); CI invokes this on every push.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzScanDecls -fuzztime $(FUZZTIME) ./internal/dtd
+	$(GO) test -run xxx -fuzz FuzzXSDContentModel -fuzztime $(FUZZTIME) ./internal/xsd
 
 # bench runs the Go benchmark sweep and the benchtab experiment tables,
 # snapshotting both into BENCH_<date>.json for cross-PR comparison.

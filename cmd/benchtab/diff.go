@@ -1,0 +1,165 @@
+// Snapshot diffing: BENCH_<date>.json files (written by `make bench`)
+// carry the raw `go test -bench` output; this file parses the benchmark
+// lines out of two snapshots and prints per-benchmark metric deltas.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// snapshot mirrors the BENCH_<date>.json layout.
+type snapshot struct {
+	Date  string `json:"date"`
+	Go    string `json:"go"`
+	Bench string `json:"bench"`
+}
+
+// benchMetrics maps benchmark name → metric unit → value.
+type benchMetrics map[string]map[string]float64
+
+// readSnapshot loads and parses one snapshot file.
+func readSnapshot(path string) (snapshot, benchMetrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return snapshot{}, nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return snapshot{}, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := parseBench(s.Bench)
+	if len(m) == 0 {
+		return s, nil, fmt.Errorf("%s: no benchmark lines in snapshot", path)
+	}
+	return s, m, nil
+}
+
+// parseBench extracts benchmark results from raw `go test -bench` output:
+// lines of the form
+//
+//	BenchmarkName[-procs]  N  value unit  [value unit]...
+func parseBench(text string) benchMetrics {
+	out := benchMetrics{}
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		// Strip the -GOMAXPROCS suffix so snapshots from different
+		// machines still align.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		metrics := map[string]float64{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			metrics[fields[i+1]] = v
+		}
+		if len(metrics) > 0 {
+			out[name] = metrics
+		}
+	}
+	return out
+}
+
+// metricOrder ranks the common units so tables read time → memory.
+var metricOrder = map[string]int{
+	"ns/op": 0, "ns/sym": 1, "B/op": 2, "allocs/op": 3,
+}
+
+func sortMetrics(units []string) {
+	sort.Slice(units, func(i, j int) bool {
+		ri, iok := metricOrder[units[i]]
+		rj, jok := metricOrder[units[j]]
+		switch {
+		case iok && jok:
+			return ri < rj
+		case iok != jok:
+			return iok
+		default:
+			return units[i] < units[j]
+		}
+	})
+}
+
+// diffSnapshots prints the per-benchmark deltas between two snapshots.
+func diffSnapshots(oldPath, newPath string) error {
+	oldSnap, oldM, err := readSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, newM, err := readSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("old: %s (%s, %s)\n", oldPath, oldSnap.Date, oldSnap.Go)
+	fmt.Printf("new: %s (%s, %s)\n\n", newPath, newSnap.Date, newSnap.Go)
+
+	names := make([]string, 0, len(oldM))
+	for n := range oldM {
+		names = append(names, n)
+	}
+	for n := range newM {
+		if _, ok := oldM[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-32s %-10s %14s %14s %9s\n", "BENCHMARK", "METRIC", "OLD", "NEW", "DELTA")
+	for _, name := range names {
+		om, oOK := oldM[name]
+		nm, nOK := newM[name]
+		switch {
+		case !nOK:
+			fmt.Printf("%-32s %-10s %14s %14s %9s\n", name, "-", fmtVal(om["ns/op"]), "(gone)", "-")
+			continue
+		case !oOK:
+			fmt.Printf("%-32s %-10s %14s %14s %9s\n", name, "-", "(new)", fmtVal(nm["ns/op"]), "-")
+			continue
+		}
+		units := make([]string, 0, len(om))
+		for u := range om {
+			if _, ok := nm[u]; ok {
+				units = append(units, u)
+			}
+		}
+		sortMetrics(units)
+		for _, u := range units {
+			fmt.Printf("%-32s %-10s %14s %14s %9s\n",
+				name, u, fmtVal(om[u]), fmtVal(nm[u]), fmtDelta(om[u], nm[u]))
+			name = "" // print the benchmark name once per group
+		}
+	}
+	return nil
+}
+
+func fmtVal(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}
+
+// fmtDelta renders the relative change; negative is an improvement for
+// every unit go test emits (time, bytes, allocations).
+func fmtDelta(old, new float64) string {
+	switch {
+	case old == new:
+		return "0.0%"
+	case old == 0:
+		return "+inf"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+}

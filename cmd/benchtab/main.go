@@ -1,17 +1,25 @@
-// Command benchtab prints the experiment tables recorded in EXPERIMENTS.md:
-// wall-clock scaling of the determinism tests (E1), per-symbol matching
+// Command benchtab prints the experiment tables recorded in EXPERIMENTS.md
+// — wall-clock scaling of the determinism tests (E1), per-symbol matching
 // cost of every engine on one workload (E3–E5 summary), numeric-bound
-// independence (E7), and the synthetic DTD corpus statistics (E9).
+// independence (E7), and the synthetic DTD corpus statistics (E9) — and
+// diffs the BENCH_<date>.json snapshots `make bench` writes, so the
+// performance trajectory is comparable PR over PR.
 //
 // Usage:
 //
 //	benchtab [-exp e1,e5,e7,e9]
+//	benchtab -diff OLD.json NEW.json
+//
+// Diff mode parses the `go test -bench` output embedded in both snapshots
+// and reports the per-benchmark delta of every shared metric (ns/op,
+// B/op, allocs/op, ns/sym, …).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 	"strings"
 	"time"
 
@@ -31,7 +39,19 @@ import (
 
 func main() {
 	exps := flag.String("exp", "e1,e5,e7,e9", "comma-separated experiments")
+	diff := flag.Bool("diff", false, "diff two BENCH_*.json snapshots: benchtab -diff OLD.json NEW.json")
 	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchtab -diff OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := diffSnapshots(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	for _, e := range strings.Split(*exps, ",") {
 		switch strings.TrimSpace(e) {
 		case "e1":

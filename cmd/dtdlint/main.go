@@ -1,17 +1,21 @@
-// Command dtdlint checks every content model of one or many DTDs for
+// Command dtdlint checks every content model of one or many schemas for
 // determinism — the XML well-formedness requirement the paper's Theorem
 // 3.5 decides in linear time — and reports the structural parameters
 // (occurrence bound k, alternation depth c_e) that govern matching
-// complexity. DTD files are parsed concurrently through one shared
+// complexity. Schema files are parsed concurrently through one shared
 // expression cache, so content models repeated across a schema corpus
 // compile once.
 //
 // Usage:
 //
-//	dtdlint [-workers N] [-json] PATH...
+//	dtdlint [-xsd] [-workers N] [-json] PATH...
 //
-// Each PATH is a DTD file or a directory walked recursively for *.dtd
-// files. Exit status: 0 no issues, 1 any issue or parse error, 2 usage.
+// Each PATH is a schema file or a directory walked recursively. The
+// default mode lints DTDs (*.dtd); with -xsd, XML Schema documents
+// (*.xsd) are linted instead — content models with minOccurs/maxOccurs
+// counters are checked by the §3.3 linear test (Unique Particle
+// Attribution), and violations carry a counterexample diagnosis.
+// Exit status: 0 no issues, 1 any issue or parse error, 2 usage.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"dregex/internal/cli"
 	"dregex/internal/dtd"
 	"dregex/internal/pool"
+	"dregex/internal/xsd"
 )
 
 type elementReport struct {
@@ -33,13 +38,17 @@ type elementReport struct {
 	Kind          string `json:"kind"`
 	Deterministic bool   `json:"deterministic"`
 	Rule          string `json:"rule,omitempty"`
-	// K and Ce are set for children models only (a children model can
-	// legitimately have ce=0, so absence — not zero — marks "not
-	// applicable").
-	K     *int   `json:"k,omitempty"`
-	Ce    *int   `json:"ce,omitempty"`
-	Model string `json:"model"`
-	Line  int    `json:"line"`
+	// K and Ce are set for plain children models only (a children model
+	// can legitimately have ce=0, so absence — not zero — marks "not
+	// applicable"). Counters and MaxBound are set for numeric (XSD) models
+	// instead: the number of counted iterations and the largest finite
+	// bound.
+	K        *int   `json:"k,omitempty"`
+	Ce       *int   `json:"ce,omitempty"`
+	Counters *int   `json:"counters,omitempty"`
+	MaxBound *int   `json:"maxBound,omitempty"`
+	Model    string `json:"model"`
+	Line     int    `json:"line"`
 }
 
 type issueReport struct {
@@ -56,22 +65,27 @@ type fileReport struct {
 
 func main() {
 	var (
+		xsdMode = flag.Bool("xsd", false, "lint XML Schema documents (*.xsd) instead of DTDs")
 		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		jsonOut = flag.Bool("json", false, "emit a JSON report")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: dtdlint [-workers N] [-json] PATH...")
+		fmt.Fprintln(os.Stderr, "usage: dtdlint [-xsd] [-workers N] [-json] PATH...")
 		os.Exit(2)
 	}
-	paths := cli.CollectFiles(flag.Args(), ".dtd")
+	ext, kind := ".dtd", "DTD"
+	if *xsdMode {
+		ext, kind = ".xsd", "XSD"
+	}
+	paths := cli.CollectFiles(flag.Args(), ext)
 	if len(paths) == 0 {
-		fmt.Fprintln(os.Stderr, "error: no DTD files found")
+		fmt.Fprintf(os.Stderr, "error: no %s files found\n", kind)
 		os.Exit(1)
 	}
 
 	cache := dregex.NewCache(4096)
-	reports := lintAll(paths, cache, *workers)
+	reports := lintAll(paths, cache, *workers, *xsdMode)
 
 	bad := 0
 	for _, r := range reports {
@@ -99,15 +113,19 @@ func main() {
 	}
 }
 
-// lintAll parses and checks each DTD on a worker pool; reports[i]
+// lintAll parses and checks each schema on a worker pool; reports[i]
 // corresponds to paths[i].
-func lintAll(paths []string, cache *dregex.Cache, workers int) []fileReport {
+func lintAll(paths []string, cache *dregex.Cache, workers int, xsdMode bool) []fileReport {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	reports := make([]fileReport, len(paths))
 	pool.Run(len(paths), workers, func(_, i int) {
-		reports[i] = lintOne(paths[i], cache)
+		if xsdMode {
+			reports[i] = lintOneXSD(paths[i], cache)
+		} else {
+			reports[i] = lintOne(paths[i], cache)
+		}
 	})
 	return reports
 }
@@ -153,6 +171,46 @@ func lintOne(path string, cache *dregex.Cache) fileReport {
 	return r
 }
 
+func lintOneXSD(path string, cache *dregex.Cache) fileReport {
+	r := fileReport{Path: path}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		r.Error = err.Error()
+		return r
+	}
+	s, err := xsd.ParseWithCache(data, cache)
+	if err != nil {
+		r.Error = err.Error()
+		return r
+	}
+	for _, t := range s.AllTypes {
+		er := elementReport{
+			Name:          t.Name,
+			Kind:          t.Kind.String(),
+			Deterministic: t.Deterministic,
+			Rule:          t.Rule,
+			Model:         t.Model,
+			Line:          t.Line,
+		}
+		if t.Kind == xsd.Children {
+			if t.Numeric {
+				st := t.IterationStats()
+				iters, maxb := st.Iterations, int(st.MaxBound)
+				er.Counters, er.MaxBound = &iters, &maxb
+			} else {
+				st := t.Stats()
+				k, ce := st.K, st.AlternationDepth
+				er.K, er.Ce = &k, &ce
+			}
+		}
+		r.Elements = append(r.Elements, er)
+	}
+	for _, is := range s.Check() {
+		r.Issues = append(r.Issues, issueReport{Element: is.Type, Msg: is.Msg})
+	}
+	return r
+}
+
 func printText(r fileReport, withHeader bool) {
 	if withHeader {
 		fmt.Printf("== %s\n", r.Path)
@@ -161,18 +219,24 @@ func printText(r fileReport, withHeader bool) {
 		fmt.Printf("error: %s\n", r.Error)
 		return
 	}
-	fmt.Printf("%-16s %-9s %-14s %3s %3s  %s\n", "ELEMENT", "KIND", "DETERMINISTIC", "k", "ce", "MODEL")
+	fmt.Printf("%-16s %-9s %-14s %5s %4s  %s\n", "ELEMENT", "KIND", "DETERMINISTIC", "k", "ce", "MODEL")
 	for _, el := range r.Elements {
 		k, ce := "-", "-"
-		if el.K != nil {
+		switch {
+		case el.K != nil:
 			k = fmt.Sprint(*el.K)
 			ce = fmt.Sprint(*el.Ce)
+		case el.Counters != nil:
+			// Numeric models report counters instead: k column shows the
+			// iteration count prefixed with ⟳, ce the largest bound.
+			k = fmt.Sprintf("⟳%d", *el.Counters)
+			ce = fmt.Sprint(*el.MaxBound)
 		}
 		det := "yes"
 		if !el.Deterministic {
 			det = "NO (" + el.Rule + ")"
 		}
-		fmt.Printf("%-16s %-9s %-14s %3s %3s  %s\n", el.Name, el.Kind, det, k, ce, el.Model)
+		fmt.Printf("%-16s %-9s %-14s %5s %4s  %s\n", el.Name, el.Kind, det, k, ce, el.Model)
 	}
 	if len(r.Issues) == 0 {
 		fmt.Println("no issues")

@@ -19,7 +19,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,13 +27,6 @@ import (
 	"dregex/internal/cli"
 	"dregex/internal/dtd"
 )
-
-type report struct {
-	Path   string                `json:"path"`
-	Valid  bool                  `json:"valid"`
-	Errors []dtd.ValidationError `json:"errors,omitempty"`
-	Error  string                `json:"error,omitempty"`
-}
 
 func main() {
 	var (
@@ -76,46 +68,19 @@ func main() {
 	}
 
 	results := v.ValidateFiles(paths)
-	reports := make([]report, len(results))
-	invalid := 0
+	reports := make([]cli.DocReport[dtd.ValidationError], len(results))
 	for i, r := range results {
-		reports[i] = report{Path: r.Name, Valid: r.Valid(), Errors: r.Errors}
+		reports[i] = cli.DocReport[dtd.ValidationError]{
+			Path: r.Name, Valid: r.Valid(), Errors: r.Errors,
+		}
 		if r.Err != nil {
 			reports[i].Error = r.Err.Error()
 		}
-		if !r.Valid() {
-			invalid++
-		}
 	}
-
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(reports); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
-		}
-	} else {
-		for _, r := range reports {
-			if r.Valid {
-				if !*quiet {
-					fmt.Printf("%s: valid\n", r.Path)
-				}
-				continue
-			}
-			// A document-level error (malformed XML, say) can coexist with
-			// violations found before it; report both, like JSON mode.
-			if r.Error != "" {
-				fmt.Printf("%s: error: %s\n", r.Path, r.Error)
-			} else {
-				fmt.Printf("%s: %d error(s)\n", r.Path, len(r.Errors))
-			}
-			for _, e := range r.Errors {
-				fmt.Printf("  %s\n", e)
-			}
-		}
-		fmt.Printf("%d document(s), %d valid, %d invalid\n",
-			len(reports), len(reports)-invalid, invalid)
+	invalid, err := cli.PrintReports(reports, *jsonOut, *quiet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
 	}
 	if invalid > 0 {
 		os.Exit(1)

@@ -57,6 +57,14 @@ const (
 	// DTD is XML content-model notation: multi-rune names, ',' for
 	// concatenation, '|' for union, postfix * ? + {m,n}.
 	DTD
+	// XSD is the notation of content models lowered from XML Schema
+	// complex types (package internal/xsd). It parses exactly like DTD —
+	// the lowering serializes sequence/choice particles into that grammar,
+	// with minOccurs/maxOccurs as {m,n} — but forms its own cache-key
+	// space: an XSD-derived model and a syntactically identical DTD model
+	// are distinct Cache entries, so purging or bounding one workload never
+	// evicts the other's hot models.
+	XSD
 )
 
 // Expr is a compiled expression. It is immutable and safe for concurrent
@@ -120,7 +128,7 @@ func parseSource(source string, syntax Syntax) (*ast.Node, *ast.Alphabet, error)
 	switch syntax {
 	case Math:
 		root, err = ast.ParseMath(source, alpha)
-	case DTD:
+	case DTD, XSD:
 		root, err = ast.ParseDTD(source, alpha)
 	default:
 		return nil, nil, fmt.Errorf("dregex: unknown syntax %d", syntax)
@@ -172,7 +180,7 @@ func (e *Expr) Source() string { return e.source }
 
 // String renders the normalized expression in its own syntax.
 func (e *Expr) String() string {
-	if e.syntax == DTD {
+	if e.syntax == DTD || e.syntax == XSD {
 		return ast.StringDTD(e.root, e.alpha)
 	}
 	return ast.StringMath(e.root, e.alpha)

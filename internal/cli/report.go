@@ -1,0 +1,55 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// DocReport is the per-document outcome the corpus validators print; the
+// error element type is the front end's own ValidationError.
+type DocReport[E error] struct {
+	Path   string `json:"path"`
+	Valid  bool   `json:"valid"`
+	Errors []E    `json:"errors,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// PrintReports renders validation reports to stdout — an indented JSON
+// array, or the text form (quiet suppresses per-document "valid" lines;
+// the summary always prints) — and returns the number of invalid
+// documents. This is the one report surface shared by xmlvalid and
+// xsdvalid, so output format and exit semantics cannot drift apart.
+func PrintReports[E error](reports []DocReport[E], jsonOut, quiet bool) (invalid int, err error) {
+	for _, r := range reports {
+		if !r.Valid {
+			invalid++
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return invalid, enc.Encode(reports)
+	}
+	for _, r := range reports {
+		if r.Valid {
+			if !quiet {
+				fmt.Printf("%s: valid\n", r.Path)
+			}
+			continue
+		}
+		// A document-level error (malformed XML, say) can coexist with
+		// violations found before it; report both, like JSON mode.
+		if r.Error != "" {
+			fmt.Printf("%s: error: %s\n", r.Path, r.Error)
+		} else {
+			fmt.Printf("%s: %d error(s)\n", r.Path, len(r.Errors))
+		}
+		for _, e := range r.Errors {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+	fmt.Printf("%d document(s), %d valid, %d invalid\n",
+		len(reports), len(reports)-invalid, invalid)
+	return invalid, nil
+}

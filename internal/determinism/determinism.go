@@ -125,13 +125,26 @@ type Witness struct {
 // could be verified (which would indicate a bug; tests assert it never
 // happens).
 func Diagnose(t *parsetree.Tree, fol *follow.Index, r *Result) *Witness {
+	return diagnose(t, fol.CheckIfFollow, r)
+}
+
+// DiagnoseLoops is Diagnose with the follow relation generalized to
+// numeric iteration loops (CheckIfFollowLoop) — the counterpart for §3.3
+// verdicts, where the competing transitions may run through an OpIter
+// rather than a ∗. Witnesses ignore counter legality; package numeric
+// re-verifies candidate words with the counter simulation.
+func DiagnoseLoops(t *parsetree.Tree, fol *follow.Index, r *Result) *Witness {
+	return diagnose(t, fol.CheckIfFollowLoop, r)
+}
+
+func diagnose(t *parsetree.Tree, follows func(p, q parsetree.NodeID) bool, r *Result) *Witness {
 	if r == nil || r.Deterministic {
 		return nil
 	}
 	// Fast path: the reported pair, against every possible predecessor.
 	if r.Q1 != parsetree.Null && r.Q2 != parsetree.Null {
 		for _, p := range t.PosNode {
-			if fol.CheckIfFollow(p, r.Q1) && fol.CheckIfFollow(p, r.Q2) {
+			if follows(p, r.Q1) && follows(p, r.Q2) {
 				return &Witness{P: p, Q1: r.Q1, Q2: r.Q2}
 			}
 		}
@@ -144,7 +157,7 @@ func Diagnose(t *parsetree.Tree, fol *follow.Index, r *Result) *Witness {
 				continue
 			}
 			for _, p := range t.PosNode {
-				if fol.CheckIfFollow(p, q1) && fol.CheckIfFollow(p, q2) {
+				if follows(p, q1) && follows(p, q2) {
 					return &Witness{P: p, Q1: q1, Q2: q2}
 				}
 			}
@@ -159,6 +172,16 @@ func Diagnose(t *parsetree.Tree, fol *follow.Index, r *Result) *Witness {
 // It runs a BFS over the Glushkov transition relation realized with
 // checkIfFollow, O(|Pos(e)|²) worst case; intended for diagnostics.
 func ShortestWitnessWord(t *parsetree.Tree, fol *follow.Index, w *Witness) []ast.Symbol {
+	return shortestWitnessWord(t, fol.CheckIfFollow, w)
+}
+
+// ShortestWitnessWordLoops is ShortestWitnessWord over the loop-
+// generalized follow relation (see DiagnoseLoops).
+func ShortestWitnessWordLoops(t *parsetree.Tree, fol *follow.Index, w *Witness) []ast.Symbol {
+	return shortestWitnessWord(t, fol.CheckIfFollowLoop, w)
+}
+
+func shortestWitnessWord(t *parsetree.Tree, follows func(p, q parsetree.NodeID) bool, w *Witness) []ast.Symbol {
 	if w == nil {
 		return nil
 	}
@@ -170,7 +193,7 @@ func ShortestWitnessWord(t *parsetree.Tree, fol *follow.Index, w *Witness) []ast
 		p := queue[0]
 		queue = queue[1:]
 		for _, q := range t.PosNode {
-			if !seen[q] && fol.CheckIfFollow(p, q) {
+			if !seen[q] && follows(p, q) {
 				seen[q] = true
 				prev[q] = p
 				queue = append(queue, q)

@@ -114,16 +114,8 @@ func (v *Validator) validateFile(path string, st *docState) Result {
 // run distributes n jobs over the worker pool, handing each worker its own
 // reusable docState.
 func (v *Validator) run(n int, job func(i int, st *docState)) {
-	workers := v.workers
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	states := make([]docState, workers)
-	pool.Run(n, workers, func(w, i int) {
-		job(i, &states[w])
+	pool.RunWithStates(n, v.workers, func(st *docState, i int) {
+		job(i, st)
 	})
 }
 

@@ -29,10 +29,6 @@
 package numeric
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-
 	"dregex/internal/ast"
 	"dregex/internal/determinism"
 	"dregex/internal/follow"
@@ -47,11 +43,15 @@ type Counted struct {
 	Tree  *parsetree.Tree
 	Fol   *follow.Index
 
-	// iterChain[p] lists the OpIter ancestors of each position, outermost
-	// first (used by the counter matcher).
-	iterChain map[parsetree.NodeID][]parsetree.NodeID
-	// loopsOf[n] caches, per LCA node, the loop ancestors usable by
-	// Lemma 2.2(2); computed lazily in Match.
+	// chainOf[p] lists the OpIter ancestors of each position, outermost
+	// first (the layout of a configuration's counter vector); nil for
+	// non-position nodes. maxChain is the longest such chain.
+	chainOf  [][]parsetree.NodeID
+	maxChain int
+	// bySym[a] lists the positions labeled a, in position order — the
+	// candidate targets of one Feed step.
+	bySym [][]parsetree.NodeID
+
 	det *determinism.Result
 }
 
@@ -66,11 +66,12 @@ func Compile(e *ast.Node, alpha *ast.Alphabet) (*Counted, error) {
 	}
 	fol := follow.New(tree)
 	c := &Counted{
-		Alpha:     alpha,
-		Root:      root,
-		Tree:      tree,
-		Fol:       fol,
-		iterChain: map[parsetree.NodeID][]parsetree.NodeID{},
+		Alpha:   alpha,
+		Root:    root,
+		Tree:    tree,
+		Fol:     fol,
+		chainOf: make([][]parsetree.NodeID, tree.N()),
+		bySym:   make([][]parsetree.NodeID, alpha.Size()),
 	}
 	for _, p := range tree.PosNode {
 		var chain []parsetree.NodeID
@@ -83,7 +84,13 @@ func Compile(e *ast.Node, alpha *ast.Alphabet) (*Counted, error) {
 		for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
 			chain[i], chain[j] = chain[j], chain[i]
 		}
-		c.iterChain[p] = chain
+		c.chainOf[p] = chain
+		if len(chain) > c.maxChain {
+			c.maxChain = len(chain)
+		}
+		if s := tree.Sym[p]; s >= ast.FirstUser {
+			c.bySym[s] = append(c.bySym[s], p)
+		}
 	}
 	c.det = c.check()
 	return c, nil
@@ -252,173 +259,6 @@ func (c *Counted) check() *determinism.Result {
 	return &determinism.Result{Deterministic: true}
 }
 
-// ---------------------------------------------------------------------------
-// Counter matching.
-
-// cfg is a run configuration: a position plus the counter values of its
-// open iterations (outermost first, aligned with iterChain[pos]).
-type cfg struct {
-	pos parsetree.NodeID
-	ctr []int32
-}
-
-func (c cfg) key() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d", c.pos)
-	for _, v := range c.ctr {
-		fmt.Fprintf(&b, ",%d", v)
-	}
-	return b.String()
-}
-
-// Match runs the counter simulation: configurations are (position,
-// counters), and a transition from p to q is legal when the iterations
-// being exited have reached Min, the looped iteration (if any) is below
-// Max, and entered iterations start at 1. Counter values of unbounded
-// iterations are capped at Min (the behaviour is constant beyond it), so
-// the configuration space is finite. For deterministic expressions the
-// configuration set describes a single run shape; the simulation works for
-// nondeterministic ones too.
-func (c *Counted) Match(word []ast.Symbol) bool {
-	t := c.Tree
-	cur := map[string]cfg{}
-	start := cfg{pos: t.BeginPos()}
-	cur[start.key()] = start
-	for _, a := range word {
-		if a < ast.FirstUser {
-			return false
-		}
-		next := map[string]cfg{}
-		for _, conf := range cur {
-			for _, q := range t.PosNode {
-				if t.Sym[q] != a {
-					continue
-				}
-				c.step(conf, q, next)
-			}
-		}
-		if len(next) == 0 {
-			return false
-		}
-		cur = next
-	}
-	end := t.EndPos()
-	fin := map[string]cfg{}
-	for _, conf := range cur {
-		c.step(conf, end, fin)
-	}
-	return len(fin) > 0
-}
-
-// MatchNames is Match over symbol names.
-func (c *Counted) MatchNames(names []string) bool {
-	word := make([]ast.Symbol, len(names))
-	for i, n := range names {
-		s, ok := c.Alpha.Lookup(n)
-		if !ok || s == ast.Begin || s == ast.End {
-			return false
-		}
-		word[i] = s
-	}
-	return c.Match(word)
-}
-
-// step adds every legal successor configuration of conf at position q.
-func (c *Counted) step(conf cfg, q parsetree.NodeID, out map[string]cfg) {
-	t := c.Tree
-	p := conf.pos
-	pChain := c.iterChain[p]
-	qChain := c.iterChain[q]
-	n := c.Fol.LCA.Query(p, q)
-
-	counterOf := func(it parsetree.NodeID) int32 {
-		for i, x := range pChain {
-			if x == it {
-				return conf.ctr[i]
-			}
-		}
-		return 0
-	}
-	// exitsLegal: every iteration of p strictly below `limit` must have
-	// reached Min.
-	exitsLegal := func(limit parsetree.NodeID) bool {
-		for i, it := range pChain {
-			if t.IsAncestor(limit, it) && it != limit {
-				if i < len(conf.ctr) && conf.ctr[i] < t.Min[it] && !t.Nullable[t.LChild[it]] {
-					return false
-				}
-			}
-		}
-		return true
-	}
-	// build constructs the successor counters for q given the transition
-	// pivot (loop node or Null for concatenation at n) — counters of
-	// iterations above the pivot carry over, the pivot increments, and
-	// everything newly entered starts at 1.
-	emit := func(pivot parsetree.NodeID) {
-		ctr := make([]int32, len(qChain))
-		for i, it := range qChain {
-			switch {
-			case it == pivot:
-				v := counterOf(it) + 1
-				if t.Max[it] != parsetree.IterUnbounded && v > t.Max[it] {
-					return // loop beyond Max — illegal, checked here
-				}
-				if t.Max[it] == parsetree.IterUnbounded && v > t.Min[it] {
-					v = t.Min[it] // cap: behaviour is constant beyond Min
-				}
-				ctr[i] = v
-			case pivot != parsetree.Null && t.IsAncestor(pivot, it):
-				ctr[i] = 1 // entered below the loop pivot
-			case pivot == parsetree.Null && t.IsAncestor(n, it) && it != n:
-				ctr[i] = 1 // entered below the concatenation point
-			default:
-				// Carried over from p (iteration enclosing the pivot)…
-				if v := counterOf(it); v > 0 {
-					ctr[i] = v
-				} else {
-					ctr[i] = 1 // …or entered on a path not shared with p
-				}
-			}
-		}
-		nc := cfg{pos: q, ctr: ctr}
-		out[nc.key()] = nc
-	}
-
-	// Concatenation case of Lemma 2.2.
-	if t.Op[n] == parsetree.OpCat &&
-		t.InFirst(q, t.RChild[n]) && t.InLast(p, t.LChild[n]) &&
-		exitsLegal(n) {
-		emit(parsetree.Null)
-	}
-	// Loop case, at every loop ancestor of n (not only the lowest: with
-	// counters, different levels have different legality and effects).
-	for s := t.PLoop[n]; s != parsetree.Null; s = nextLoopUp(t, s) {
-		if !t.InFirst(q, s) || !t.InLast(p, s) {
-			continue
-		}
-		if !exitsLegal(s) {
-			continue
-		}
-		if t.Op[s] == parsetree.OpIter {
-			if cnt := counterOf(s); t.Max[s] != parsetree.IterUnbounded && cnt >= t.Max[s] {
-				continue // cannot loop past Max
-			}
-		}
-		// For a ∗ pivot no counter changes at s itself; emit handles both
-		// cases (an Iter pivot increments, everything below restarts at 1).
-		emit(s)
-	}
-}
-
-// nextLoopUp returns the next loop node strictly above s.
-func nextLoopUp(t *parsetree.Tree, s parsetree.NodeID) parsetree.NodeID {
-	if p := t.Parent[s]; p != parsetree.Null {
-		return t.PLoop[p]
-	}
-	return parsetree.Null
-}
-
 // Stats reports counter-specific structure.
 type Stats struct {
 	Iterations int
@@ -446,30 +286,4 @@ func (c *Counted) Stats() Stats {
 		}
 	}
 	return s
-}
-
-// SortedConfigs is a test helper: it renders the reachable configurations
-// after reading word, for golden assertions.
-func (c *Counted) SortedConfigs(word []ast.Symbol) []string {
-	t := c.Tree
-	cur := map[string]cfg{}
-	start := cfg{pos: t.BeginPos()}
-	cur[start.key()] = start
-	for _, a := range word {
-		next := map[string]cfg{}
-		for _, conf := range cur {
-			for _, q := range t.PosNode {
-				if t.Sym[q] == a {
-					c.step(conf, q, next)
-				}
-			}
-		}
-		cur = next
-	}
-	keys := make([]string, 0, len(cur))
-	for k := range cur {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }

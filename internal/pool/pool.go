@@ -9,6 +9,23 @@ import "sync"
 // maintain per-worker reusable state (e.g. one scratch buffer per worker)
 // without synchronization. With one worker (or one job) everything runs
 // inline on the calling goroutine.
+// RunWithStates is Run where each worker owns one reusable state value
+// (scratch buffers, stream stacks, …), allocated here and handed to every
+// job the worker executes. It is the corpus-validator work loop shared by
+// the DTD and XSD front ends.
+func RunWithStates[S any](n, workers int, job func(st *S, i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	states := make([]S, workers)
+	Run(n, workers, func(w, i int) {
+		job(&states[w], i)
+	})
+}
+
 func Run(n, workers int, job func(worker, i int)) {
 	if workers > n {
 		workers = n

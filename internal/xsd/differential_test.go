@@ -1,0 +1,174 @@
+package xsd
+
+import (
+	"strings"
+	"testing"
+
+	"dregex"
+)
+
+// TestDTDXSDAgreement is the cross-front-end differential test: the same
+// content model, written once in DTD content-model notation and once as an
+// XSD particle tree, must yield the same determinism verdict and the same
+// membership verdict for every word up to a bounding length. The DTD side
+// goes through dregex.CompileNumeric (counter simulation decides membership
+// for deterministic and nondeterministic models alike); the XSD side goes
+// through the full Parse → lower → compile pipeline, which independently
+// chooses the plain or the counter engine.
+func TestDTDXSDAgreement(t *testing.T) {
+	cases := []struct {
+		name     string
+		dtdModel string
+		particle string // complexType body of element r
+		symbols  []string
+		maxLen   int
+	}{
+		{
+			name:     "rigid counters",
+			dtdModel: "(a, b){2,3}, c?",
+			particle: `<sequence>
+  <sequence minOccurs="2" maxOccurs="3"><element name="a" type="string"/><element name="b" type="string"/></sequence>
+  <element name="c" type="string" minOccurs="0"/>
+</sequence>`,
+			symbols: []string{"a", "b", "c"},
+			maxLen:  8,
+		},
+		{
+			name:     "classical operators",
+			dtdModel: "(a | b)*, c",
+			particle: `<sequence>
+  <choice minOccurs="0" maxOccurs="unbounded"><element name="a" type="string"/><element name="b" type="string"/></choice>
+  <element name="c" type="string"/>
+</sequence>`,
+			symbols: []string{"a", "b", "c"},
+			maxLen:  6,
+		},
+		{
+			name:     "element occurrence",
+			dtdModel: "a{2,4}",
+			particle: `<sequence><element name="a" type="string" minOccurs="2" maxOccurs="4"/></sequence>`,
+			symbols:  []string{"a"},
+			maxLen:   6,
+		},
+		{
+			name:     "unbounded counter",
+			dtdModel: "(a, b?){2,}",
+			particle: `<sequence minOccurs="2" maxOccurs="unbounded"><element name="a" type="string"/><element name="b" type="string" minOccurs="0"/></sequence>`,
+			symbols:  []string{"a", "b"},
+			maxLen:   7,
+		},
+		{
+			name:     "nondeterministic plain",
+			dtdModel: "a?, a",
+			particle: `<sequence><element name="a" type="string" minOccurs="0"/><element name="a" type="string"/></sequence>`,
+			symbols:  []string{"a"},
+			maxLen:   4,
+		},
+		{
+			name:     "nondeterministic counter",
+			dtdModel: "a{1,3}, a",
+			particle: `<sequence><element name="a" type="string" maxOccurs="3"/><element name="a" type="string"/></sequence>`,
+			symbols:  []string{"a"},
+			maxLen:   6,
+		},
+		{
+			name:     "choice of counted blocks",
+			dtdModel: "((a, b){1,2} | c)+",
+			particle: `<choice minOccurs="1" maxOccurs="unbounded">
+  <sequence minOccurs="1" maxOccurs="2"><element name="a" type="string"/><element name="b" type="string"/></sequence>
+  <element name="c" type="string"/>
+</choice>`,
+			symbols: []string{"a", "b", "c"},
+			maxLen:  7,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ref, err := dregex.CompileNumeric(c.dtdModel, dregex.DTD)
+			if err != nil {
+				t.Fatalf("DTD side: %v", err)
+			}
+			schema := `<schema xmlns="http://www.w3.org/2001/XMLSchema"><element name="r"><complexType>` +
+				c.particle + `</complexType></element></schema>`
+			s, err := Parse([]byte(schema))
+			if err != nil {
+				t.Fatalf("XSD side: %v", err)
+			}
+			typ := s.Roots["r"].Type
+			if typ.Kind != Children {
+				t.Fatalf("XSD side lowered to kind %v", typ.Kind)
+			}
+			if got, want := typ.Deterministic, ref.IsDeterministic(); got != want {
+				t.Fatalf("determinism disagrees: XSD(%s)=%v, DTD(%s)=%v (rules %q vs %q)",
+					typ.Model, got, c.dtdModel, want, typ.Rule, ref.Rule())
+			}
+			words := enumerate(c.symbols, c.maxLen)
+			agreeAccepted := 0
+			for _, w := range words {
+				dtdOK := ref.MatchSymbols(w)
+				xsdOK := typ.MatchChildren(w)
+				if dtdOK != xsdOK {
+					t.Fatalf("membership disagrees on %v: DTD=%v XSD=%v (models %q vs %q)",
+						w, dtdOK, xsdOK, c.dtdModel, typ.Model)
+				}
+				if dtdOK {
+					agreeAccepted++
+				}
+			}
+			if agreeAccepted == 0 {
+				t.Fatalf("degenerate case: no accepted word up to length %d", c.maxLen)
+			}
+			t.Logf("%d words compared, %d accepted by both", len(words), agreeAccepted)
+		})
+	}
+}
+
+// enumerate returns every word over symbols with length ≤ maxLen.
+func enumerate(symbols []string, maxLen int) [][]string {
+	words := [][]string{nil}
+	prev := [][]string{nil}
+	for l := 1; l <= maxLen; l++ {
+		var next [][]string
+		for _, w := range prev {
+			for _, s := range symbols {
+				nw := append(append(make([]string, 0, len(w)+1), w...), s)
+				next = append(next, nw)
+			}
+		}
+		words = append(words, next...)
+		prev = next
+	}
+	return words
+}
+
+// TestDTDXSDAgreementLint checks verdict parity through the two linting
+// front ends as well: a DTD and an XSD declaring the same models must
+// flag the same elements.
+func TestDTDXSDAgreementLint(t *testing.T) {
+	schema := `<schema xmlns="x">
+  <element name="doc">
+    <complexType><sequence>
+      <element name="ok" type="OkT"/>
+      <element name="bad" type="BadT"/>
+    </sequence></complexType>
+  </element>
+  <complexType name="OkT"><sequence>
+    <element name="x" type="string" maxOccurs="9"/>
+  </sequence></complexType>
+  <complexType name="BadT"><sequence>
+    <element name="x" type="string" minOccurs="0" maxOccurs="9"/>
+    <element name="x" type="string"/>
+  </sequence></complexType>
+</schema>`
+	s, err := Parse([]byte(schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flagged []string
+	for _, is := range s.Check() {
+		flagged = append(flagged, is.Type)
+	}
+	if strings.Join(flagged, ",") != "BadT" {
+		t.Fatalf("flagged types = %v, want [BadT]", flagged)
+	}
+}

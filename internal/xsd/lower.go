@@ -1,0 +1,135 @@
+// Content-model lowering: rawParticle trees become content-model source
+// strings in the grammar dregex already speaks (DTD notation extended with
+// {m,n}), compiled under the dedicated dregex.XSD cache key. The lowering
+// is canonical — same particle structure, same string — so identical
+// models across types and schemas deduplicate in the expression cache.
+package xsd
+
+import (
+	"strconv"
+	"strings"
+
+	"dregex/internal/ast"
+)
+
+// lowerer lowers one type's content particle, resolving element
+// declarations into t's child table and tracking whether any occurrence
+// range needs the counter pipeline.
+type lowerer struct {
+	r *resolver
+	t *Type
+	// numeric is set when some occurrence range falls outside the
+	// classical set ({0,1}, {1,1}, {0,∞}, {1,∞}) — those models compile
+	// through CompileNumeric; everything else stays on the plain engines.
+	numeric bool
+}
+
+// lowKind classifies a lowered particle. The distinction between gone and
+// eps matters in choices: a prohibited branch is simply removed from the
+// model (XSD 1.0 particle semantics) and must not make a required choice
+// optional, while a genuinely ε-language branch does.
+type lowKind int
+
+const (
+	lowExpr lowKind = iota // src holds a content-model expression
+	lowEps                 // particle matches exactly ε (e.g. empty sequence)
+	lowGone                // particle prohibited by maxOccurs=0 — removed
+)
+
+// lower serializes p.
+func (lw *lowerer) lower(p *rawParticle) (src string, kind lowKind, err error) {
+	if p.max == 0 {
+		return "", lowGone, nil
+	}
+	switch p.kind {
+	case "element":
+		decl, err := lw.r.elementDecl(p, lw.t)
+		if err != nil {
+			return "", lowExpr, err
+		}
+		return lw.occurs(decl.Name, p.min, p.max), lowExpr, nil
+	case "sequence":
+		return lw.lowerItems(p, ", ", false)
+	case "choice":
+		return lw.lowerItems(p, " | ", true)
+	case "group":
+		body, err := lw.r.group(p.ref, p.line)
+		if err != nil {
+			return "", lowExpr, err
+		}
+		if body.kind == "all" {
+			return "", lowExpr, errAt(p.line, "type %s: group %q is an xs:all group and must be the entire content model",
+				lw.t.Name, p.ref)
+		}
+		lw.r.groupUse = append(lw.r.groupUse, p.ref)
+		inner, kind, err := lw.lower(body)
+		lw.r.groupUse = lw.r.groupUse[:len(lw.r.groupUse)-1]
+		if err != nil || kind != lowExpr {
+			return "", kind, err
+		}
+		return lw.occurs(inner, p.min, p.max), lowExpr, nil
+	case "all":
+		return "", lowExpr, errAt(p.line, "type %s: xs:all must be the entire content model", lw.t.Name)
+	}
+	return "", lowExpr, errAt(p.line, "type %s: unsupported particle %q", lw.t.Name, p.kind)
+}
+
+// lowerItems lowers a sequence or choice. In a choice an ε item cannot be
+// written as a branch; it makes the whole group nullable instead (same
+// language), so the group gains a '?'. Prohibited items vanish without a
+// trace in both group kinds.
+func (lw *lowerer) lowerItems(p *rawParticle, sep string, choice bool) (string, lowKind, error) {
+	parts := make([]string, 0, len(p.items))
+	nullable := false
+	for _, item := range p.items {
+		s, kind, err := lw.lower(item)
+		if err != nil {
+			return "", lowExpr, err
+		}
+		switch kind {
+		case lowGone:
+			continue
+		case lowEps:
+			if choice {
+				nullable = true
+			}
+			continue
+		}
+		parts = append(parts, s)
+	}
+	if len(parts) == 0 {
+		// Every item was ε or removed: a sequence of nothing is ε, as is
+		// a choice with an ε branch (or occurring zero times). A required
+		// choice whose branches were all prohibited admits nothing.
+		if !choice || nullable || p.min == 0 {
+			return "", lowEps, nil
+		}
+		return "", lowExpr, errAt(p.line, "type %s: choice with no usable branches", lw.t.Name)
+	}
+	inner := "(" + strings.Join(parts, sep) + ")"
+	if nullable {
+		inner += "?"
+	}
+	return lw.occurs(inner, p.min, p.max), lowExpr, nil
+}
+
+// occurs applies an occurrence range as a postfix operator, routing
+// non-classical ranges to the counter pipeline.
+func (lw *lowerer) occurs(inner string, min, max int) string {
+	switch {
+	case min == 1 && max == 1:
+		return inner
+	case min == 0 && max == 1:
+		return inner + "?"
+	case min == 0 && max == ast.Unbounded:
+		return inner + "*"
+	case min == 1 && max == ast.Unbounded:
+		return inner + "+"
+	case max == ast.Unbounded:
+		lw.numeric = true
+		return inner + "{" + strconv.Itoa(min) + ",}"
+	default:
+		lw.numeric = true
+		return inner + "{" + strconv.Itoa(min) + "," + strconv.Itoa(max) + "}"
+	}
+}

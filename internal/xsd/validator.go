@@ -1,0 +1,332 @@
+// Instance validation: corpus-scale, concurrent, zero-allocation in steady
+// state on the children-matching path. The architecture mirrors the PR 2
+// DTD validator: one schema's compiled models (and their lazily built
+// engines) are shared by every worker — engines are immutable after
+// construction — while all per-document state lives in a per-worker
+// docState whose frame stack is reused from document to document. Frames
+// hold their match.Stream / numeric stream state by value, and popped
+// frames keep their grown buffers for the next element at that depth, so
+// validating the next document costs XML decoding plus stream feeding:
+// O(1) state per open element for plain models, the live configuration
+// set (a singleton, for deterministic models) for counted ones.
+package xsd
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"dregex/internal/match"
+	"dregex/internal/numeric"
+	"dregex/internal/pool"
+)
+
+// ValidationError describes one violation found while validating a
+// document.
+type ValidationError struct {
+	Path    string `json:"path"` // slash-separated element path
+	Element string `json:"element"`
+	Msg     string `json:"msg"`
+}
+
+func (e ValidationError) Error() string {
+	return fmt.Sprintf("%s: <%s>: %s", e.Path, e.Element, e.Msg)
+}
+
+// Doc is one in-memory document to validate.
+type Doc struct {
+	Name string
+	Data []byte
+}
+
+// Result is the validation outcome for one document.
+type Result struct {
+	Name string
+	// Errors are the schema violations found; empty for a valid document.
+	Errors []ValidationError
+	// Err is a document-level failure (unreadable file, malformed XML).
+	Err error
+}
+
+// Valid reports whether the document was read, parsed and validated with
+// no violations.
+func (r Result) Valid() bool { return r.Err == nil && len(r.Errors) == 0 }
+
+// Validator validates many documents concurrently against one schema. A
+// Validator is safe for concurrent use and may be reused.
+type Validator struct {
+	s       *Schema
+	workers int
+}
+
+// NewValidator returns a pool validating against s with the given number
+// of workers (≤ 0 selects GOMAXPROCS).
+func NewValidator(s *Schema, workers int) *Validator {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Validator{s: s, workers: workers}
+}
+
+// ValidateDocs validates in-memory documents concurrently; results[i]
+// corresponds to docs[i].
+func (v *Validator) ValidateDocs(docs []Doc) []Result {
+	results := make([]Result, len(docs))
+	v.run(len(docs), func(i int, st *docState) {
+		errs, err := v.s.validate(bytes.NewReader(docs[i].Data), st)
+		results[i] = Result{Name: docs[i].Name, Errors: errs, Err: err}
+	})
+	return results
+}
+
+// ValidateFiles reads and validates the named files concurrently (file
+// I/O happens on the workers too); results[i] corresponds to paths[i].
+// Documents stream straight from their open files — O(decoder-buffer)
+// memory however large the file.
+func (v *Validator) ValidateFiles(paths []string) []Result {
+	results := make([]Result, len(paths))
+	v.run(len(paths), func(i int, st *docState) {
+		f, err := os.Open(paths[i])
+		if err != nil {
+			results[i] = Result{Name: paths[i], Err: err}
+			return
+		}
+		errs, err := v.s.validate(f, st)
+		f.Close()
+		results[i] = Result{Name: paths[i], Errors: errs, Err: err}
+	})
+	return results
+}
+
+// run distributes n jobs over the worker pool, handing each worker its own
+// reusable docState.
+func (v *Validator) run(n int, job func(i int, st *docState)) {
+	pool.RunWithStates(n, v.workers, func(st *docState, i int) {
+		job(i, st)
+	})
+}
+
+// frame is the per-open-element state of a validation pass.
+type frame struct {
+	decl   *ElementDecl
+	typ    *Type
+	name   string
+	stream match.Stream   // plain Children models (value: no allocation)
+	ctrs   numeric.Stream // numeric Children models (buffers reused per slot)
+	seen   []bool         // AllGroup member presence
+	any    bool           // AllGroup: some member seen
+	failed bool
+}
+
+// docState is the reusable scratch of one validation pass. A zero value is
+// ready; reusing one across documents (one per Validator worker) keeps the
+// element stack's capacity and every frame's grown stream buffers, so
+// steady-state validation allocates nothing beyond the XML decoder itself.
+// (Unlike the DTD validator's standalone mode, frames reference only the
+// shared schema, so retaining popped frames pins no per-document data.)
+type docState struct {
+	stack []frame
+}
+
+// push returns the next frame slot, reusing the slot's buffers when the
+// stack has been this deep before.
+func (st *docState) push() *frame {
+	if len(st.stack) < cap(st.stack) {
+		st.stack = st.stack[:len(st.stack)+1]
+	} else {
+		st.stack = append(st.stack, frame{})
+	}
+	f := &st.stack[len(st.stack)-1]
+	f.decl, f.typ, f.name = nil, nil, ""
+	f.any, f.failed = false, false
+	return f
+}
+
+// Validate checks one XML document against the schema: the root must be a
+// globally declared element, every element's children sequence must match
+// its type's content model (evaluated with a streaming simulator — one
+// pass, no buffering of child lists), xs:all members must each appear at
+// most once with required ones present, and text content must be allowed
+// (simple or mixed content). It returns all violations found, or nil.
+func (s *Schema) Validate(r io.Reader) ([]ValidationError, error) {
+	var st docState
+	return s.validate(r, &st)
+}
+
+func (s *Schema) validate(r io.Reader, st *docState) ([]ValidationError, error) {
+	dec := xml.NewDecoder(r)
+	var errs []ValidationError
+	st.stack = st.stack[:0]
+	sawRoot := false
+	path := func() string {
+		parts := make([]string, 0, len(st.stack))
+		for i := range st.stack {
+			parts = append(parts, st.stack[i].name)
+		}
+		return "/" + strings.Join(parts, "/")
+	}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return errs, fmt.Errorf("xsd: malformed XML: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			name := t.Name.Local
+			var decl *ElementDecl
+			if len(st.stack) == 0 {
+				if sawRoot {
+					// encoding/xml tokenizes trailing top-level elements
+					// without complaint; a second root is not well-formed
+					// XML, so report it rather than passing it silently.
+					errs = append(errs, ValidationError{"/" + name, name,
+						"document has more than one root element"})
+					if err := dec.Skip(); err != nil {
+						return errs, fmt.Errorf("xsd: malformed XML: %w", err)
+					}
+					continue
+				}
+				sawRoot = true
+				decl = s.Roots[name]
+				if decl == nil {
+					errs = append(errs, ValidationError{"/" + name, name,
+						"root element is not declared in the schema"})
+				}
+			} else {
+				p := &st.stack[len(st.stack)-1]
+				decl = p.typ.Child(name)
+				errs = feedChild(errs, p, name, path)
+			}
+			f := st.push()
+			f.decl, f.name = decl, name
+			if decl == nil {
+				f.failed = true
+				break
+			}
+			f.typ = decl.Type
+			switch f.typ.Kind {
+			case Children:
+				if !f.typ.Deterministic {
+					errs = append(errs, ValidationError{path(), name,
+						"content model violates Unique Particle Attribution; cannot validate"})
+					f.failed = true
+				} else if f.typ.Numeric {
+					f.typ.nmatcher.InitStream(&f.ctrs)
+				} else {
+					f.typ.matcher.InitStream(&f.stream)
+				}
+			case AllGroup:
+				n := len(f.typ.allDecl)
+				if cap(f.seen) < n {
+					f.seen = make([]bool, n)
+				} else {
+					f.seen = f.seen[:n]
+					for i := range f.seen {
+						f.seen[i] = false
+					}
+				}
+			}
+		case xml.EndElement:
+			if len(st.stack) == 0 {
+				continue // stray end tag past a skipped extra root
+			}
+			f := &st.stack[len(st.stack)-1]
+			if f.typ != nil && !f.failed {
+				switch f.typ.Kind {
+				case Children:
+					ok := false
+					if f.typ.Numeric {
+						ok = f.ctrs.Accepts()
+					} else {
+						ok = f.stream.Accepts()
+					}
+					if !ok {
+						errs = append(errs, ValidationError{path(), f.name,
+							fmt.Sprintf("children end prematurely for content model %s", f.typ.Model)})
+					}
+				case AllGroup:
+					if !(f.typ.allOptional && !f.any) {
+						for i, min := range f.typ.allMin {
+							if min > 0 && !f.seen[i] {
+								errs = append(errs, ValidationError{path(), f.name,
+									fmt.Sprintf("missing required child <%s> of %s", f.typ.allDecl[i].Name, f.typ.Model)})
+							}
+						}
+					}
+				}
+			}
+			st.stack = st.stack[:len(st.stack)-1]
+		case xml.CharData:
+			if len(st.stack) == 0 {
+				continue
+			}
+			f := &st.stack[len(st.stack)-1]
+			if f.typ == nil || f.failed || f.typ.Mixed ||
+				f.typ.Kind == TextContent || f.typ.Kind == AnyContent {
+				continue
+			}
+			if len(bytes.TrimSpace(t)) == 0 {
+				continue
+			}
+			errs = append(errs, ValidationError{path(), f.name,
+				"text content not allowed by element-only content"})
+			f.failed = true
+		}
+	}
+	if !sawRoot {
+		return errs, fmt.Errorf("xsd: document has no root element")
+	}
+	return errs, nil
+}
+
+// feedChild records child name in the parent frame's content model.
+func feedChild(errs []ValidationError, p *frame, name string, path func() string) []ValidationError {
+	if p.typ == nil || p.failed {
+		return errs // parent already failed; keep descending silently
+	}
+	switch p.typ.Kind {
+	case EmptyContent:
+		errs = append(errs, ValidationError{path(), p.name,
+			fmt.Sprintf("child <%s> not allowed: empty content", name)})
+		p.failed = true
+	case TextContent:
+		errs = append(errs, ValidationError{path(), p.name,
+			fmt.Sprintf("child <%s> not allowed: simple content", name)})
+		p.failed = true
+	case AllGroup:
+		i, ok := p.typ.allIndex[name]
+		switch {
+		case !ok:
+			errs = append(errs, ValidationError{path(), p.name,
+				fmt.Sprintf("child <%s> not allowed in %s", name, p.typ.Model)})
+			p.failed = true
+		case p.seen[i]:
+			errs = append(errs, ValidationError{path(), p.name,
+				fmt.Sprintf("child <%s> repeated in %s", name, p.typ.Model)})
+			p.failed = true
+		default:
+			p.seen[i] = true
+			p.any = true
+		}
+	case Children:
+		ok := false
+		if p.typ.Numeric {
+			ok = p.ctrs.FeedName(name)
+		} else {
+			ok = p.stream.FeedName(name)
+		}
+		if !ok {
+			errs = append(errs, ValidationError{path(), p.name,
+				fmt.Sprintf("child <%s> violates content model %s", name, p.typ.Model)})
+			p.failed = true
+		}
+	}
+	return errs
+}

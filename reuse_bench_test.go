@@ -131,3 +131,36 @@ func BenchmarkCacheGet(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkNumericStreamInterned is the counter-engine hot path: cached
+// NumericMatcher, reused NumericStream, pre-interned word — the XSD
+// validator's steady-state children-matching cost per document.
+func BenchmarkNumericStreamInterned(b *testing.B) {
+	e, err := dregex.CompileNumeric("(login, (query, page{1,8}){1,32}, logout)", dregex.DTD)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := e.Matcher()
+	word := e.Intern(benchSession)
+	var s dregex.NumericStream
+	run := func() bool {
+		m.InitStream(&s)
+		for _, a := range word {
+			if !s.Feed(a) {
+				return false
+			}
+		}
+		return s.Accepts()
+	}
+	if !run() { // warm up stream buffers
+		b.Fatal("session must match")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !run() {
+			b.Fatal("session must match")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(word)), "ns/sym")
+}
