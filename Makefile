@@ -3,7 +3,7 @@ BENCH_PATTERN ?= .
 BENCH_TIME ?= 1s
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build test bench lint vet fmt fuzz-smoke
+.PHONY: all build test bench lint vet fmt fuzz-smoke serve smoke-server
 
 all: build
 
@@ -13,6 +13,19 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# serve runs the validation server on the default port (override with
+# ADDR=:9999 make serve).
+ADDR ?= :8480
+serve:
+	$(GO) run ./cmd/dregexd -addr $(ADDR)
+
+# smoke-server builds the real dregexd binary, boots it, registers a
+# schema, validates one good and one bad document through the Go client,
+# and asserts /v1/stats reports a cache hit (see TestDregexdSmoke); CI
+# invokes this on every push.
+smoke-server:
+	$(GO) test -race -run TestDregexdSmoke -v ./cmd/dregexd
 
 # fuzz-smoke runs the schema front-end fuzz targets briefly (seed corpus
 # plus a short random exploration); CI invokes this on every push.

@@ -47,6 +47,16 @@ type CacheStats struct {
 	Negative int
 }
 
+// HitRate returns the fraction of Gets served from the cache (0 when no
+// Gets have happened) — the headline number a serving layer exports.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
 type cacheKey struct {
 	syntax  Syntax
 	numeric bool
@@ -126,27 +136,43 @@ func (s *cacheShard) init() {
 // immutable and its engine cache is concurrency-safe). Compile errors are
 // cached in the segregated negative LRU.
 func (c *Cache) Get(source string, syntax Syntax) (*Expr, error) {
-	s, e, place := c.entry(cacheKey{syntax: syntax, source: source})
+	e, _, err := c.GetInfo(source, syntax)
+	return e, err
+}
+
+// GetInfo is Get reporting whether the result was served from a resident
+// entry (a cache hit), so serving layers can label responses and account
+// for compile costs per request. The flag agrees with the Stats counters:
+// a Get that found the key in the shard map — even one that then waits on
+// another goroutine's in-flight compile — is a hit.
+func (c *Cache) GetInfo(source string, syntax Syntax) (expr *Expr, hit bool, err error) {
+	s, e, place, hit := c.entry(cacheKey{syntax: syntax, source: source})
 	e.once.Do(func() {
 		e.expr, e.err = Compile(source, syntax)
 	})
 	if place {
 		c.finish(s, e)
 	}
-	return e.expr, e.err
+	return e.expr, hit, e.err
 }
 
 // GetNumeric is Get through the numeric pipeline (CompileNumeric). Plain
 // and numeric compilations of the same source are distinct cache entries.
 func (c *Cache) GetNumeric(source string, syntax Syntax) (*NumericExpr, error) {
-	s, e, place := c.entry(cacheKey{syntax: syntax, source: source, numeric: true})
+	e, _, err := c.GetNumericInfo(source, syntax)
+	return e, err
+}
+
+// GetNumericInfo is GetNumeric reporting cache-hit status, like GetInfo.
+func (c *Cache) GetNumericInfo(source string, syntax Syntax) (nexp *NumericExpr, hit bool, err error) {
+	s, e, place, hit := c.entry(cacheKey{syntax: syntax, source: source, numeric: true})
 	e.once.Do(func() {
 		e.nexp, e.err = CompileNumeric(source, syntax)
 	})
 	if place {
 		c.finish(s, e)
 	}
-	return e.nexp, e.err
+	return e.nexp, hit, e.err
 }
 
 // entry finds or creates the entry for key, updating LRU order and
@@ -155,8 +181,9 @@ func (c *Cache) GetNumeric(source string, syntax Syntax) (*NumericExpr, error) {
 // on no list until finish places it by compile outcome; place reports
 // whether the caller must run finish (false for linked hits — linked is
 // never cleared while an entry is in the map, so the hot hit path takes
-// the shard lock exactly once).
-func (c *Cache) entry(key cacheKey) (s *cacheShard, e *cacheEntry, place bool) {
+// the shard lock exactly once). hit reports whether the key was found in
+// the map — the same condition the Stats hit counter records.
+func (c *Cache) entry(key cacheKey) (s *cacheShard, e *cacheEntry, place, hit bool) {
 	var h maphash.Hash
 	h.SetSeed(c.seed)
 	h.WriteString(key.source)
@@ -177,13 +204,13 @@ func (c *Cache) entry(key cacheKey) (s *cacheShard, e *cacheEntry, place bool) {
 		}
 		s.mu.Unlock()
 		c.hits.Add(1)
-		return s, e, !linked
+		return s, e, !linked, true
 	}
 	e = &cacheEntry{key: key}
 	s.m[key] = e
 	s.mu.Unlock()
 	c.misses.Add(1)
-	return s, e, true
+	return s, e, true, false
 }
 
 // finish places a resolved entry on the list its compile outcome selects

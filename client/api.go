@@ -1,0 +1,159 @@
+// Package client is the Go client for dregexd, the deterministic-regular-
+// expression validation server (cmd/dregexd). It also defines the JSON wire
+// types of the /v1 API — the server marshals exactly these structs, so the
+// protocol cannot drift between the two sides.
+package client
+
+import "time"
+
+// Syntax names accepted by the API ("syntax" fields). An empty string
+// selects DTD content-model notation.
+const (
+	SyntaxDTD  = "dtd"  // XML content-model notation: (a, (b | c)*)
+	SyntaxMath = "math" // the paper's notation: (ab+b(b?)a)*
+	SyntaxXSD  = "xsd"  // DTD notation with {m,n} counters, XSD cache keyspace
+)
+
+// Schema kinds accepted by the registry.
+const (
+	KindDTD = "dtd"
+	KindXSD = "xsd"
+)
+
+// CompileRequest is the body of POST /v1/compile.
+type CompileRequest struct {
+	Expr   string `json:"expr"`
+	Syntax string `json:"syntax,omitempty"`
+	// Numeric forces the numeric (counter) pipeline; without it the server
+	// compiles through the plain pipeline and falls back to the numeric one
+	// when the expression carries {m,n} occurrence indicators.
+	Numeric bool `json:"numeric,omitempty"`
+}
+
+// Ambiguity is a verified nondeterminism counterexample (see
+// dregex.Ambiguity): Word's last letter can be consumed by two distinct
+// positions of Symbol.
+type Ambiguity struct {
+	Rule   string   `json:"rule"`
+	Symbol string   `json:"symbol,omitempty"`
+	Word   []string `json:"word,omitempty"`
+}
+
+// ExprStats mirrors dregex.Stats, the structural parameters the paper's
+// complexity bounds depend on.
+type ExprStats struct {
+	Size             int  `json:"size"`
+	Positions        int  `json:"positions"`
+	Sigma            int  `json:"sigma"`
+	K                int  `json:"k"`
+	AlternationDepth int  `json:"alternation_depth"`
+	StarFree         bool `json:"star_free"`
+	Depth            int  `json:"depth"`
+}
+
+// CompileResponse is the body of a successful POST /v1/compile.
+type CompileResponse struct {
+	Deterministic bool `json:"deterministic"`
+	// Numeric reports which pipeline compiled the expression.
+	Numeric bool   `json:"numeric,omitempty"`
+	Rule    string `json:"rule,omitempty"`
+	// Ambiguity is the Explain counterexample for nondeterministic
+	// expressions.
+	Ambiguity *Ambiguity `json:"ambiguity,omitempty"`
+	// Stats is present for plain-pipeline expressions.
+	Stats *ExprStats `json:"stats,omitempty"`
+	// Cached reports whether this compile was served from the server's
+	// expression cache.
+	Cached bool `json:"cached"`
+}
+
+// MatchRequest is the body of POST /v1/match: one expression, a batch of
+// words (each a sequence of symbol names).
+type MatchRequest struct {
+	Expr    string     `json:"expr"`
+	Syntax  string     `json:"syntax,omitempty"`
+	Numeric bool       `json:"numeric,omitempty"`
+	Words   [][]string `json:"words"`
+}
+
+// MatchResponse is the body of a successful POST /v1/match; Results[i]
+// reports whether Words[i] matched.
+type MatchResponse struct {
+	Results []bool `json:"results"`
+}
+
+// ValidateRequest is the JSON body of POST /v1/validate. The endpoint also
+// accepts the XML document as a raw (non-JSON) body with the schema named
+// in the ?schema= query parameter — the allocation-lean path, since the
+// document then streams straight from the connection.
+type ValidateRequest struct {
+	Schema string `json:"schema"`
+	Doc    string `json:"doc"`
+}
+
+// ValidationError is one violation found while validating a document.
+type ValidationError struct {
+	Path    string `json:"path"`
+	Element string `json:"element"`
+	Msg     string `json:"msg"`
+}
+
+// ValidateResponse is the body of a successful POST /v1/validate. A
+// document-level failure (malformed XML) sets DocError; schema violations
+// land in Errors. Valid means neither.
+type ValidateResponse struct {
+	Schema   string            `json:"schema"`
+	Valid    bool              `json:"valid"`
+	Errors   []ValidationError `json:"errors,omitempty"`
+	DocError string            `json:"doc_error,omitempty"`
+}
+
+// SchemaInfo describes one registered schema (PUT/GET /v1/schemas/{name}).
+type SchemaInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "dtd" or "xsd"
+	// Version counts hot swaps of this name: 1 on first registration,
+	// bumped atomically on each replacement.
+	Version   int       `json:"version"`
+	Elements  int       `json:"elements"` // declared elements (DTD) or global roots (XSD)
+	UpdatedAt time.Time `json:"updated_at"`
+	// Warnings lists lint findings that do not block registration —
+	// nondeterministic content models (which cannot be validated against),
+	// references to undeclared elements.
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+// SchemaList is the body of GET /v1/schemas.
+type SchemaList struct {
+	Schemas []SchemaInfo `json:"schemas"`
+}
+
+// CacheStats mirrors dregex.CacheStats plus the derived hit rate.
+type CacheStats struct {
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	HitRate  float64 `json:"hit_rate"`
+	Entries  int     `json:"entries"`
+	Negative int     `json:"negative"`
+}
+
+// EndpointStats counts requests per endpoint; Errors counts 4xx/5xx
+// responses.
+type EndpointStats struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Cache         CacheStats               `json:"cache"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	SchemaCount   int                      `json:"schema_count"`
+	SchemaSwaps   uint64                   `json:"schema_swaps"`
+}
+
+// ErrorResponse is the body of every non-2xx API response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

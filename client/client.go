@@ -1,0 +1,161 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Client talks to a dregexd server. The zero value is not usable; construct
+// with New. Client is safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8480"). httpClient nil selects http.DefaultClient; set
+// one with a Timeout for production use.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("dregexd: %d: %s", e.Status, e.Msg)
+}
+
+// IsNotFound reports whether err is an APIError with status 404.
+func IsNotFound(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Status == http.StatusNotFound
+}
+
+// do issues a request with the given body and decodes the JSON response
+// into out (out nil discards the body).
+func (c *Client) do(ctx context.Context, method, path, contentType string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var er ErrorResponse
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return &APIError{Status: resp.StatusCode, Msg: msg}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
+	data, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPost, path, "application/json", bytes.NewReader(data), out)
+}
+
+// Compile asks the server for a determinism verdict (with counterexample
+// diagnosis and structural stats) on one expression.
+func (c *Client) Compile(ctx context.Context, req CompileRequest) (*CompileResponse, error) {
+	var out CompileResponse
+	if err := c.postJSON(ctx, "/v1/compile", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Match matches a batch of words against one expression.
+func (c *Client) Match(ctx context.Context, req MatchRequest) (*MatchResponse, error) {
+	var out MatchResponse
+	if err := c.postJSON(ctx, "/v1/match", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Validate validates an XML document against the registered schema named
+// schema, streaming the document as a raw body (the server's
+// allocation-lean path).
+func (c *Client) Validate(ctx context.Context, schema string, doc []byte) (*ValidateResponse, error) {
+	var out ValidateResponse
+	path := "/v1/validate?schema=" + url.QueryEscape(schema)
+	if err := c.do(ctx, http.MethodPost, path, "application/xml", bytes.NewReader(doc), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PutSchema registers (or atomically hot-swaps) a schema under name. kind
+// is KindDTD or KindXSD; empty lets the server sniff it from the source.
+func (c *Client) PutSchema(ctx context.Context, name, kind string, source []byte) (*SchemaInfo, error) {
+	path := "/v1/schemas/" + url.PathEscape(name)
+	if kind != "" {
+		path += "?kind=" + url.QueryEscape(kind)
+	}
+	var out SchemaInfo
+	if err := c.do(ctx, http.MethodPut, path, "application/xml", bytes.NewReader(source), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// GetSchema returns metadata for one registered schema.
+func (c *Client) GetSchema(ctx context.Context, name string) (*SchemaInfo, error) {
+	var out SchemaInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/schemas/"+url.PathEscape(name), "", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteSchema removes a registered schema; in-flight validations against
+// it finish undisturbed.
+func (c *Client) DeleteSchema(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/schemas/"+url.PathEscape(name), "", nil, nil)
+}
+
+// Schemas lists all registered schemas.
+func (c *Client) Schemas(ctx context.Context) (*SchemaList, error) {
+	var out SchemaList
+	if err := c.do(ctx, http.MethodGet, "/v1/schemas", "", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats returns the server's cache and per-endpoint counters.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", "", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

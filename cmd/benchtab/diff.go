@@ -123,10 +123,12 @@ func diffSnapshots(oldPath, newPath string) error {
 		nm, nOK := newM[name]
 		switch {
 		case !nOK:
-			fmt.Printf("%-32s %-10s %14s %14s %9s\n", name, "-", fmtVal(om["ns/op"]), "(gone)", "-")
+			u, v := primaryMetric(om)
+			fmt.Printf("%-32s %-10s %14s %14s %9s\n", name, u, v, "(gone)", "-")
 			continue
 		case !oOK:
-			fmt.Printf("%-32s %-10s %14s %14s %9s\n", name, "-", "(new)", fmtVal(nm["ns/op"]), "-")
+			u, v := primaryMetric(nm)
+			fmt.Printf("%-32s %-10s %14s %14s %9s\n", name, u, "(new)", v, "-")
 			continue
 		}
 		units := make([]string, 0, len(om))
@@ -145,6 +147,21 @@ func diffSnapshots(oldPath, newPath string) error {
 	return nil
 }
 
+// primaryMetric picks the representative metric of a one-sided row (a
+// benchmark present in only one snapshot): the best-ranked unit actually
+// measured, rather than fabricating a zero for a missing "ns/op".
+func primaryMetric(m map[string]float64) (unit, val string) {
+	if len(m) == 0 {
+		return "-", "-"
+	}
+	units := make([]string, 0, len(m))
+	for u := range m {
+		units = append(units, u)
+	}
+	sortMetrics(units)
+	return units[0], fmtVal(m[units[0]])
+}
+
 func fmtVal(v float64) string {
 	if v == float64(int64(v)) {
 		return strconv.FormatInt(int64(v), 10)
@@ -153,13 +170,16 @@ func fmtVal(v float64) string {
 }
 
 // fmtDelta renders the relative change; negative is an improvement for
-// every unit go test emits (time, bytes, allocations).
+// every unit go test emits (time, bytes, allocations). A zero baseline —
+// the repo pins 0 allocs/op and 0 B/op on its hot paths — has no relative
+// change, so any regression off it is reported as an absolute delta
+// instead of NaN% or +Inf%.
 func fmtDelta(old, new float64) string {
 	switch {
 	case old == new:
 		return "0.0%"
 	case old == 0:
-		return "+inf"
+		return "+" + fmtVal(new) + " (was 0)"
 	}
 	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
 }

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnapshot(t *testing.T, dir, name, bench string) string {
+	t.Helper()
+	data, err := json.Marshal(snapshot{Date: "20260101", Go: "go1.24.0", Bench: bench})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns what
+// it printed.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := os.Stdout
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- b.String()
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = saved
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("diffSnapshots: %v", ferr)
+	}
+	return out
+}
+
+// Regression: the repo pins 0 allocs/op and 0 B/op baselines; a regression
+// off such a baseline used to print +inf (and an all-zero division path
+// risked NaN%). It must print an absolute delta instead, and benchmarks
+// present in only one snapshot must render without fabricating zeros.
+func TestDiffZeroBaseline(t *testing.T) {
+	dir := t.TempDir()
+	oldBench := `goos: linux
+BenchmarkMatchCached-8   5000000   240.0 ns/op   0 B/op   0 allocs/op
+BenchmarkGoneSoon-8      1000      900 ns/op
+PASS`
+	newBench := `goos: linux
+BenchmarkMatchCached-8   5000000   250.0 ns/op   16 B/op   2 allocs/op
+BenchmarkBrandNew-8      1000      5 allocs/op
+PASS`
+	oldPath := writeSnapshot(t, dir, "old.json", oldBench)
+	newPath := writeSnapshot(t, dir, "new.json", newBench)
+
+	out := captureStdout(t, func() error { return diffSnapshots(oldPath, newPath) })
+
+	for _, bad := range []string{"NaN", "Inf", "inf"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("output contains %q:\n%s", bad, out)
+		}
+	}
+	if !strings.Contains(out, "+2 (was 0)") {
+		t.Errorf("allocs/op zero baseline not reported as absolute delta:\n%s", out)
+	}
+	if !strings.Contains(out, "+16 (was 0)") {
+		t.Errorf("B/op zero baseline not reported as absolute delta:\n%s", out)
+	}
+	if !strings.Contains(out, "+4.2%") {
+		t.Errorf("ns/op relative delta missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(gone)") || !strings.Contains(out, "(new)") {
+		t.Errorf("one-sided benchmarks not marked:\n%s", out)
+	}
+	// The one-sided new benchmark has no ns/op; its real metric must show.
+	if !strings.Contains(out, "allocs/op") {
+		t.Errorf("one-sided benchmark's measured metric missing:\n%s", out)
+	}
+}
+
+func TestFmtDelta(t *testing.T) {
+	cases := []struct {
+		old, new float64
+		want     string
+	}{
+		{0, 0, "0.0%"},
+		{0, 2, "+2 (was 0)"},
+		{100, 150, "+50.0%"},
+		{100, 50, "-50.0%"},
+	}
+	for _, c := range cases {
+		if got := fmtDelta(c.old, c.new); got != c.want {
+			t.Errorf("fmtDelta(%v, %v) = %q, want %q", c.old, c.new, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Command dregexd is the validation server: a long-running HTTP service
+// exposing the deterministic-regular-expression pipeline as JSON
+// endpoints, with a hot-reloadable registry of named DTD and XSD schemas.
+//
+// Usage:
+//
+//	dregexd [-addr :8480] [-cache 4096] [-max-body 4194304]
+//
+// Endpoints:
+//
+//	POST   /v1/compile        determinism verdict, rule, counterexample, stats
+//	POST   /v1/match          batch word matching against one expression
+//	POST   /v1/validate       validate an XML document against a registered schema
+//	PUT    /v1/schemas/{name} register or atomically hot-swap a schema (dtd/xsd)
+//	GET    /v1/schemas        list registered schemas
+//	GET    /v1/schemas/{name} schema metadata
+//	DELETE /v1/schemas/{name} unregister
+//	GET    /v1/stats          cache hit/negative stats, per-endpoint counters
+//	GET    /debug/vars        expvar (includes the same stats snapshot)
+//
+// All expressions and schema content models compile through one shared
+// cache; validation requests reuse pooled per-schema state. The server
+// shuts down gracefully on SIGINT/SIGTERM, draining in-flight requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dregex"
+	"dregex/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("dregexd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", ":8480", "listen address (host:port; :0 picks a free port)")
+		cacheSize = fs.Int("cache", 4096, "compiled-expression cache capacity")
+		maxBody   = fs.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
+		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	srv := server.New(server.Config{
+		Cache:        dregex.NewCache(*cacheSize),
+		MaxBodyBytes: *maxBody,
+	})
+	srv.Publish()
+	hs := srv.NewHTTPServer(*addr)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+	// The resolved address line is the startup handshake: tooling (the
+	// smoke test, scripts) reads it to learn the port when -addr :0.
+	fmt.Fprintf(stdout, "dregexd listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(stdout, "dregexd: %v: draining (max %s)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(stderr, "shutdown:", err)
+			return 1
+		}
+		return 0
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		return 0
+	}
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"dregex/client"
+)
+
+// TestDregexdSmoke is the CI server smoke test (make smoke-server): it
+// builds the real dregexd binary, boots it on a free port, registers a
+// schema through the Go client, validates one good and one bad document,
+// asserts /v1/stats reports a cache hit, and shuts the server down
+// gracefully.
+func TestDregexdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping binary smoke test")
+	}
+	bin := filepath.Join(t.TempDir(), "dregexd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	srv := exec.Command(bin, "-addr", "127.0.0.1:0")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = srv.Stdout
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	// The first stdout line announces the resolved listen address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no startup line: %v", sc.Err())
+	}
+	line := sc.Text()
+	const marker = "dregexd listening on "
+	if !strings.HasPrefix(line, marker) {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	addr := strings.TrimPrefix(line, marker)
+	go func() { // drain so the server never blocks on a full pipe
+		for sc.Scan() {
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c := client.New("http://"+addr, nil)
+
+	schema := `<!ELEMENT note (to, body)>
+<!ELEMENT to (#PCDATA)>
+<!ELEMENT body (#PCDATA)>`
+	if _, err := c.PutSchema(ctx, "note", client.KindDTD, []byte(schema)); err != nil {
+		t.Fatalf("PutSchema: %v", err)
+	}
+	// Re-registering recompiles the same content models: cache hits.
+	if _, err := c.PutSchema(ctx, "note", client.KindDTD, []byte(schema)); err != nil {
+		t.Fatalf("PutSchema (swap): %v", err)
+	}
+
+	good, err := c.Validate(ctx, "note", []byte(`<note><to>a</to><body>b</body></note>`))
+	if err != nil || !good.Valid {
+		t.Fatalf("good document: %+v err=%v", good, err)
+	}
+	bad, err := c.Validate(ctx, "note", []byte(`<note><body>b</body><to>a</to></note>`))
+	if err != nil {
+		t.Fatalf("bad document: %v", err)
+	}
+	if bad.Valid || len(bad.Errors) == 0 {
+		t.Fatalf("bad document reported valid: %+v", bad)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Cache.Hits == 0 {
+		t.Errorf("stats report no cache hits: %+v", st.Cache)
+	}
+	if st.Endpoints["validate"].Requests < 2 {
+		t.Errorf("validate requests = %d, want >= 2", st.Endpoints["validate"].Requests)
+	}
+
+	// Graceful shutdown: SIGTERM must drain and exit 0.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("server exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Error("server did not shut down within 15s")
+	}
+}

@@ -137,7 +137,9 @@ func lintOne(path string, cache *dregex.Cache) fileReport {
 		r.Error = err.Error()
 		return r
 	}
-	src := string(data)
+	// Element offsets are relative to BOM-stripped text (Parse strips it);
+	// strip our copy too so the line cursor below counts the same bytes.
+	src := dtd.StripBOM(string(data))
 	d, err := dtd.ParseWithCache(src, cache)
 	if err != nil {
 		r.Error = err.Error()

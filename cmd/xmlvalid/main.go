@@ -19,8 +19,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dregex"
@@ -29,21 +31,34 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// run is main minus process concerns, so CLI behavior is testable; reports
+// still go to stdout (via cli.PrintReports), diagnostics to stderr.
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xmlvalid", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dtdPath = flag.String("dtd", "", "DTD file; omit to use each document's internal subset")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		jsonOut = flag.Bool("json", false, "emit a JSON report")
-		quiet   = flag.Bool("q", false, "text mode: only report invalid documents and the summary")
+		dtdPath = fs.String("dtd", "", "DTD file; omit to use each document's internal subset")
+		workers = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		jsonOut = fs.Bool("json", false, "emit a JSON report")
+		quiet   = fs.Bool("q", false, "text mode: only report invalid documents and the summary")
 	)
-	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: xmlvalid [-dtd FILE.dtd] [-workers N] [-json] [-q] PATH...")
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
-	paths := cli.CollectFiles(flag.Args(), ".xml")
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: xmlvalid [-dtd FILE.dtd] [-workers N] [-json] [-q] PATH...")
+		return 2
+	}
+	paths := cli.CollectFiles(fs.Args(), ".xml")
 	if len(paths) == 0 {
-		fmt.Fprintln(os.Stderr, "error: no XML documents found")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "error: no XML documents found")
+		return 1
 	}
 
 	// One cache for the whole run: every distinct content model — whether
@@ -54,13 +69,13 @@ func main() {
 	if *dtdPath != "" {
 		data, err := os.ReadFile(*dtdPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
 		}
 		d, err := dtd.ParseWithCache(string(data), cache)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
 		}
 		v = dtd.NewValidator(d, *workers)
 	} else {
@@ -79,10 +94,11 @@ func main() {
 	}
 	invalid, err := cli.PrintReports(reports, *jsonOut, *quiet)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
 	}
 	if invalid > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// runQuiet runs the CLI with stdout captured (reports go to real stdout
+// via cli.PrintReports).
+func runQuiet(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := os.Stdout
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b bytes.Buffer
+		b.ReadFrom(r)
+		done <- b.String()
+	}()
+	var stderr bytes.Buffer
+	code := run(args, &stderr)
+	w.Close()
+	os.Stdout = saved
+	return code, <-done + stderr.String()
+}
+
+// CLI-level regression for the entity and BOM fixes together: a
+// BOM-prefixed standalone document whose internal subset declares and
+// references a general entity must validate (it used to fail as
+// "malformed XML" / misreported positions).
+func TestXmlvalidEntityBOMFile(t *testing.T) {
+	dir := t.TempDir()
+	doc := "\uFEFF" + `<?xml version="1.0"?>
+<!DOCTYPE note [
+  <!ELEMENT note (to, body)>
+  <!ELEMENT to (#PCDATA)>
+  <!ELEMENT body (#PCDATA)>
+  <!ENTITY who "Alice">
+]>
+<note><to>&who;</to><body>hi &amp; bye</body></note>`
+	path := filepath.Join(dir, "note.xml")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out := runQuiet(t, path)
+	if code != 0 {
+		t.Errorf("exit = %d, want 0; output:\n%s", code, out)
+	}
+
+	// And the inverse: an undeclared entity still fails.
+	bad := filepath.Join(dir, "bad.xml")
+	if err := os.WriteFile(bad, []byte(`<!DOCTYPE a [ <!ELEMENT a (#PCDATA)> ]><a>&nope;</a>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out = runQuiet(t, bad)
+	if code != 1 {
+		t.Errorf("undeclared entity: exit = %d, want 1; output:\n%s", code, out)
+	}
+}
+
+// A BOM-prefixed external DTD works through -dtd mode too.
+func TestXmlvalidBOMExternalDTD(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := filepath.Join(dir, "s.dtd")
+	if err := os.WriteFile(dtdPath, []byte("\uFEFF<!ELEMENT a (#PCDATA)>\n<!ENTITY e \"x\">"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	docPath := filepath.Join(dir, "d.xml")
+	if err := os.WriteFile(docPath, []byte(`<a>&e;</a>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out := runQuiet(t, "-dtd", dtdPath, docPath)
+	if code != 0 {
+		t.Errorf("exit = %d, want 0; output:\n%s", code, out)
+	}
+}

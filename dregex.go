@@ -87,6 +87,15 @@ type Expr struct {
 	// and are then reused for the lifetime of the Expr.
 	engines [numAlgorithms]engineSlot
 	batch   batchSlot
+
+	// explain memoizes the (possibly quadratic) Explain diagnosis, so a
+	// hot nondeterministic expression served from a cache diagnoses once.
+	explain ambSlot
+}
+
+type ambSlot struct {
+	once sync.Once
+	amb  *Ambiguity
 }
 
 type engineSlot struct {
@@ -208,25 +217,42 @@ type Ambiguity struct {
 	Word []string
 }
 
+// clone copies an Ambiguity so every Explain call keeps returning a value
+// the caller owns outright, even though the diagnosis itself is memoized.
+func (a *Ambiguity) clone() *Ambiguity {
+	if a == nil {
+		return nil
+	}
+	c := *a
+	c.Word = append([]string(nil), a.Word...)
+	return &c
+}
+
 // Explain returns a verified counterexample for a nondeterministic
 // expression (nil for deterministic ones). Diagnosis may take
-// O(|Pos(e)|²); the verdict itself is always linear.
+// O(|Pos(e)|²); the verdict itself is always linear, and the diagnosis is
+// memoized — repeated Explain calls (a hot nondeterministic expression
+// behind a Cache, say) cost a pointer read after the first.
 func (e *Expr) Explain() *Ambiguity {
 	if e.det.Deterministic {
 		return nil
 	}
-	w := determinism.Diagnose(e.tree, e.fol, e.det)
-	if w == nil {
-		return &Ambiguity{Rule: e.det.Rule}
-	}
-	amb := &Ambiguity{
-		Rule:   e.det.Rule,
-		Symbol: e.tree.Label(w.Q1),
-	}
-	for _, s := range determinism.ShortestWitnessWord(e.tree, e.fol, w) {
-		amb.Word = append(amb.Word, e.alpha.Name(s))
-	}
-	return amb
+	e.explain.once.Do(func() {
+		w := determinism.Diagnose(e.tree, e.fol, e.det)
+		if w == nil {
+			e.explain.amb = &Ambiguity{Rule: e.det.Rule}
+			return
+		}
+		amb := &Ambiguity{
+			Rule:   e.det.Rule,
+			Symbol: e.tree.Label(w.Q1),
+		}
+		for _, s := range determinism.ShortestWitnessWord(e.tree, e.fol, w) {
+			amb.Word = append(amb.Word, e.alpha.Name(s))
+		}
+		e.explain.amb = amb
+	})
+	return e.explain.amb.clone()
 }
 
 // Stats summarizes the structural parameters the paper's complexity bounds

@@ -1,0 +1,78 @@
+// Example validationserver boots an in-process dregexd server on a free
+// port, drives it with the Go client — register a DTD schema, validate a
+// good and a bad document, hot-swap the schema, read the stats — and shuts
+// down. It is the whole serving workflow of cmd/dregexd in one file.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"dregex/client"
+	"dregex/internal/server"
+)
+
+func main() {
+	s := server.New(server.Config{})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	c := client.New(hs.URL, hs.Client())
+	ctx := context.Background()
+
+	// A compile round trip: determinism verdict with a counterexample.
+	verdict, err := c.Compile(ctx, client.CompileRequest{Expr: "(a, b) | (a, c)"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compile (a, b) | (a, c): deterministic=%v rule=%s word=%v\n",
+		verdict.Deterministic, verdict.Rule, verdict.Ambiguity.Word)
+
+	// Register a schema, validate against it.
+	schema := `<!ELEMENT note (to, body)>
+<!ELEMENT to (#PCDATA)>
+<!ELEMENT body (#PCDATA)>
+<!ENTITY sig "— the lab">`
+	info, err := c.PutSchema(ctx, "note", client.KindDTD, []byte(schema))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered %s (kind=%s version=%d elements=%d)\n",
+		info.Name, info.Kind, info.Version, info.Elements)
+
+	good := `<note><to>you</to><body>hi &sig;</body></note>`
+	res, err := c.Validate(ctx, "note", []byte(good))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("good document valid=%v\n", res.Valid)
+
+	bad := `<note><body>hi</body><to>you</to></note>`
+	res, err = c.Validate(ctx, "note", []byte(bad))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bad document valid=%v errors=%d (%s)\n", res.Valid, len(res.Errors), res.Errors[0].Msg)
+
+	// Hot-swap the schema under the same name; version bumps atomically.
+	info, err = c.PutSchema(ctx, "note", client.KindDTD, []byte(`<!ELEMENT note (#PCDATA)>`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hot-swapped %s to version %d\n", info.Name, info.Version)
+
+	// The expression cache is shared across endpoints: recompiling the
+	// nondeterminism example is now a hash probe, not a compile.
+	if _, err := c.Compile(ctx, client.CompileRequest{Expr: "(a, b) | (a, c)"}); err != nil {
+		log.Fatal(err)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stats: cache hits=%d misses=%d hit-rate=%.2f, validate requests=%d\n",
+		st.Cache.Hits, st.Cache.Misses, st.Cache.HitRate,
+		st.Endpoints["validate"].Requests)
+}

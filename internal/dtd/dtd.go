@@ -11,7 +11,10 @@
 // conditional sections (nested ones too) are handled structurally, so a
 // '>' or '<!' inside an attribute default or entity value can never
 // terminate or fabricate a declaration. Supported DTD subset: ELEMENT
-// declarations are compiled; ATTLIST, ENTITY and NOTATION declarations are
+// declarations are compiled; internal general ENTITY declarations with
+// text-only values are collected into DTD.Entities for reference
+// resolution during validation; ATTLIST, NOTATION and all other ENTITY
+// forms (parameter, external, unparsed, markup-bearing values) are
 // tokenized and skipped; INCLUDE sections are processed, IGNORE sections
 // skipped whole. Parameter entities are not expanded — declarations hidden
 // behind PE references are invisible, and a PE conditional-section keyword
@@ -103,8 +106,19 @@ type DTD struct {
 	Elements map[string]*Element
 	// Order preserves declaration order for deterministic reporting.
 	Order []string
+	// Entities maps internal general entities (<!ENTITY foo "bar">) to
+	// their replacement text; Validate wires it into the XML decoder so
+	// documents referencing their own entities are not rejected as
+	// malformed. Parameter entities and external (SYSTEM/PUBLIC) or
+	// unparsed (NDATA) entities are out of scope and skipped.
+	Entities map[string]string
 
 	cache *dregex.Cache
+	// subset is the internal-subset text this DTD was parsed from
+	// (DocumentDTD sets it; empty for external DTDs), letting validate
+	// skip re-scanning a document's DOCTYPE whose subset is the very text
+	// Entities already came from — the standalone-mode common case.
+	subset string
 }
 
 // defaultCache backs Parse: content models repeat heavily across schema
@@ -123,13 +137,17 @@ func Parse(src string) (*DTD, error) {
 // ParseWithCache is Parse compiling content models through an explicit
 // cache (one per validator pool, say, to bound memory independently).
 func ParseWithCache(src string, cache *dregex.Cache) (*DTD, error) {
-	d := &DTD{Elements: map[string]*Element{}}
+	src = StripBOM(src)
+	d := &DTD{Elements: map[string]*Element{}, Entities: map[string]string{}}
 	d.cache = cache
 	err := scanDecls(src, func(decl Decl) error {
-		if decl.Kind != DeclElement {
-			return nil
+		switch decl.Kind {
+		case DeclElement:
+			return d.addElement(src, decl)
+		case DeclEntity:
+			addEntity(d.Entities, decl)
 		}
-		return d.addElement(src, decl)
+		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -155,6 +173,115 @@ func (d *DTD) addElement(src string, decl Decl) error {
 	d.Elements[decl.Name] = el
 	d.Order = append(d.Order, decl.Name)
 	return nil
+}
+
+// addEntity records an internal general-entity declaration in ents.
+// Parameter entities ("%name"), external entities (SYSTEM/PUBLIC ids) and
+// unparsed entities are skipped: only declarations whose body is a quoted
+// literal define replacement text a validator can substitute. Per the XML
+// spec, the first declaration of a name is binding.
+//
+// Values containing markup ('<') are also skipped: encoding/xml inserts
+// Entity replacement text verbatim as character data without re-parsing
+// it, so substituting "<b>x</b>" would mutate the element structure into
+// a wrong validation verdict. Skipped entities fall back to the previous
+// behavior — a reference to one is a diagnosable malformed-XML error —
+// which is strictly safer than validating the wrong tree.
+func addEntity(ents map[string]string, decl Decl) {
+	if decl.Name == "" || strings.HasPrefix(decl.Name, "%") {
+		return
+	}
+	body := strings.TrimSpace(decl.Body)
+	if len(body) < 2 || (body[0] != '\'' && body[0] != '"') {
+		return // SYSTEM/PUBLIC external entity (or malformed): skipped
+	}
+	q := body[0]
+	end := strings.IndexByte(body[1:], q)
+	if end < 0 {
+		return // unterminated literal: the scanner would have errored first
+	}
+	value := body[1 : 1+end]
+	if strings.IndexByte(value, '<') >= 0 {
+		return // markup-bearing value: substitution would corrupt structure
+	}
+	if _, dup := ents[decl.Name]; dup {
+		return
+	}
+	ents[decl.Name] = value
+}
+
+// entitiesSubsumed reports whether every entity in ents is already present
+// in base with the same value — in which case a validator can keep using
+// base as the decoder's entity map instead of allocating a merged copy.
+func entitiesSubsumed(ents, base map[string]string) bool {
+	for k, v := range ents {
+		if bv, ok := base[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// EntitiesFromDoctype extracts internal general-entity declarations from a
+// DOCTYPE directive (the text between "<!" and ">", as encoding/xml
+// delivers it). It is best-effort — a malformed subset yields whatever was
+// declared before the damage — and returns nil when the directive carries
+// no internal subset or declares no usable entities. Both validators (DTD
+// and XSD) use it so documents may reference entities declared in their
+// own prolog.
+func EntitiesFromDoctype(directive string) map[string]string {
+	_, subset, err := splitDoctype(strings.TrimSpace(directive))
+	if err != nil || strings.TrimSpace(subset) == "" {
+		return nil
+	}
+	return entitiesFromSubset(subset)
+}
+
+// entitiesFromSubset scans an internal subset for general-entity
+// declarations (nil when there are none).
+func entitiesFromSubset(subset string) map[string]string {
+	var ents map[string]string
+	scanDecls(subset, func(decl Decl) error {
+		if decl.Kind == DeclEntity {
+			if ents == nil {
+				ents = map[string]string{}
+			}
+			addEntity(ents, decl)
+		}
+		return nil
+	})
+	if len(ents) == 0 {
+		return nil
+	}
+	return ents
+}
+
+// docEntities resolves the decoder entity map for a document whose prolog
+// carries the given DOCTYPE directive: nil means "keep d.Entities". The
+// subset is tokenized only when it is not the very text d was parsed from
+// (standalone mode re-reads its own document; that path does no scanning
+// and no allocation) and only merged when it actually adds or overrides
+// something.
+func (d *DTD) docEntities(directive string) map[string]string {
+	_, subset, err := splitDoctype(strings.TrimSpace(directive))
+	if err != nil || strings.TrimSpace(subset) == "" || subset == d.subset {
+		return nil
+	}
+	ents := entitiesFromSubset(subset)
+	if entitiesSubsumed(ents, d.Entities) {
+		return nil
+	}
+	// Per the XML spec the internal subset is processed first, so its
+	// declarations take precedence; merge into a fresh map — d.Entities
+	// is shared across concurrent validations.
+	merged := make(map[string]string, len(d.Entities)+len(ents))
+	for k, v := range d.Entities {
+		merged[k] = v
+	}
+	for k, v := range ents {
+		merged[k] = v
+	}
+	return merged
 }
 
 func compileElement(name, model string, cache *dregex.Cache) (*Element, error) {
@@ -339,8 +466,25 @@ func (d *DTD) Validate(r io.Reader) ([]ValidationError, error) {
 	return d.validate(r, &st)
 }
 
+// DocState is the reusable per-worker scratch of a validation pass, for
+// long-running callers outside the package (the dregexd server pools these
+// per schema). A zero value is ready; see docState for the reuse contract.
+type DocState struct{ st docState }
+
+// ValidateReusing is Validate with caller-managed scratch: reusing one
+// DocState across documents keeps the element stack's capacity, so
+// steady-state validation allocates nothing beyond the XML decoder itself.
+// A DocState must not be used concurrently.
+func (d *DTD) ValidateReusing(r io.Reader, st *DocState) ([]ValidationError, error) {
+	return d.validate(r, &st.st)
+}
+
 func (d *DTD) validate(r io.Reader, st *docState) ([]ValidationError, error) {
 	dec := xml.NewDecoder(r)
+	// Internal general entities declared by the DTD resolve during
+	// decoding; predefined entities (&lt; &amp; …) work regardless. A nil
+	// or empty map simply adds nothing.
+	dec.Entity = d.Entities
 	var errs []ValidationError
 	stack := st.stack[:0]
 	defer func() {
@@ -370,8 +514,17 @@ func (d *DTD) validate(r io.Reader, st *docState) ([]ValidationError, error) {
 		}
 		switch t := tok.(type) {
 		case xml.Directive:
-			if name, ok := doctypeName(string(t)); ok && !sawRoot {
-				doctype = name
+			if directive := string(t); !sawRoot {
+				if name, ok := doctypeName(directive); ok {
+					doctype = name
+					// A document may declare its own entities in the
+					// internal subset (common when validating against an
+					// external DTD); see docEntities for the precedence
+					// and skip rules.
+					if merged := d.docEntities(directive); merged != nil {
+						dec.Entity = merged
+					}
+				}
 			}
 		case xml.StartElement:
 			name := t.Name.Local
@@ -490,6 +643,7 @@ func doctypeSplit(directive string) (name, rest string, ok bool) {
 // DOCTYPE is an error; a DOCTYPE without an internal subset returns the
 // root name and an empty subset.
 func InternalSubset(doc []byte) (root, subset string, err error) {
+	doc = StripBOMBytes(doc)
 	dec := xml.NewDecoder(bytes.NewReader(doc))
 	for {
 		tok, err := dec.Token()
@@ -565,5 +719,12 @@ func DocumentDTD(doc []byte, cache *dregex.Cache) (*DTD, error) {
 	if cache == nil {
 		cache = defaultCache
 	}
-	return ParseWithCache(subset, cache)
+	d, err := ParseWithCache(subset, cache)
+	if err != nil {
+		return nil, err
+	}
+	// Remember the subset so validating the very document it came from
+	// (the standalone pattern) does not tokenize it a second time.
+	d.subset = subset
+	return d, nil
 }

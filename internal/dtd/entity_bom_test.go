@@ -1,0 +1,199 @@
+package dtd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Regression: documents referencing general entities declared in their own
+// DTD used to be rejected as "malformed XML" because Parse discarded
+// DeclEntity tokens and the validator never set xml.Decoder.Entity.
+func TestValidateInternalEntity(t *testing.T) {
+	doc := []byte(`<?xml version="1.0"?>
+<!DOCTYPE note [
+  <!ELEMENT note (to, body)>
+  <!ELEMENT to (#PCDATA)>
+  <!ELEMENT body (#PCDATA)>
+  <!ENTITY who "Alice">
+  <!ENTITY greet "hello &#38; welcome">
+]>
+<note><to>&who;</to><body>&greet;</body></note>`)
+	d, err := DocumentDTD(doc, nil)
+	if err != nil {
+		t.Fatalf("DocumentDTD: %v", err)
+	}
+	if got := d.Entities["who"]; got != "Alice" {
+		t.Errorf("Entities[who] = %q, want %q", got, "Alice")
+	}
+	errs, err := d.Validate(bytes.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(errs) != 0 {
+		t.Fatalf("Validate errors: %v", errs)
+	}
+}
+
+// An external DTD declares entities too; documents validated against it in
+// fixed-DTD mode must resolve them, and a document's own internal subset
+// takes precedence over the external DTD for the same name.
+func TestValidateExternalEntityAndOverride(t *testing.T) {
+	d, err := Parse(`<!ELEMENT a (#PCDATA)> <!ENTITY x "ext">`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	doc := `<?xml version="1.0"?><a>&x;</a>`
+	if errs, err := d.Validate(strings.NewReader(doc)); err != nil || len(errs) != 0 {
+		t.Fatalf("external entity: errs=%v err=%v", errs, err)
+	}
+	over := `<!DOCTYPE a [ <!ENTITY x "doc"> <!ENTITY y "extra"> ]><a>&x;&y;</a>`
+	if errs, err := d.Validate(strings.NewReader(over)); err != nil || len(errs) != 0 {
+		t.Fatalf("internal-subset entity: errs=%v err=%v", errs, err)
+	}
+	// The shared map must not have been mutated by the per-document merge.
+	if _, leaked := d.Entities["y"]; leaked {
+		t.Fatal("per-document entity leaked into the shared DTD")
+	}
+}
+
+// Out-of-scope entity forms are skipped, not mistaken for internal ones:
+// parameter entities, external SYSTEM/PUBLIC entities, and duplicate
+// declarations (first wins, per the XML spec).
+func TestEntityScope(t *testing.T) {
+	d, err := Parse(`<!ELEMENT a EMPTY>
+<!ENTITY % pe "param">
+<!ENTITY ext SYSTEM "http://example.com/x.ent">
+<!ENTITY pub PUBLIC "-//X//EN" "x.ent">
+<!ENTITY markup "<b>x</b>">
+<!ENTITY dup "first">
+<!ENTITY dup "second">`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(d.Entities) != 1 {
+		t.Fatalf("Entities = %v, want only dup", d.Entities)
+	}
+	if got := d.Entities["dup"]; got != "first" {
+		t.Errorf("Entities[dup] = %q, want first declaration to win", got)
+	}
+}
+
+// An entity whose value carries markup must NOT be substituted as flat
+// text (that would validate the wrong tree); referencing it stays a
+// document-level malformed-XML error, never a bogus verdict.
+func TestMarkupEntityNotSubstituted(t *testing.T) {
+	doc := []byte(`<!DOCTYPE a [
+  <!ELEMENT a (b)>
+  <!ELEMENT b (#PCDATA)>
+  <!ENTITY bb "<b>x</b>">
+]>
+<a>&bb;</a>`)
+	d, err := DocumentDTD(doc, nil)
+	if err != nil {
+		t.Fatalf("DocumentDTD: %v", err)
+	}
+	if _, ok := d.Entities["bb"]; ok {
+		t.Fatal("markup-bearing entity was collected for substitution")
+	}
+	errs, err := d.Validate(bytes.NewReader(doc))
+	if err == nil {
+		t.Fatalf("want document-level error for markup entity, got errs=%v", errs)
+	}
+}
+
+// An undeclared entity reference is still malformed XML.
+func TestValidateUndeclaredEntityStillFails(t *testing.T) {
+	doc := []byte(`<!DOCTYPE a [ <!ELEMENT a (#PCDATA)> ]><a>&nope;</a>`)
+	d, err := DocumentDTD(doc, nil)
+	if err != nil {
+		t.Fatalf("DocumentDTD: %v", err)
+	}
+	if _, err := d.Validate(bytes.NewReader(doc)); err == nil {
+		t.Fatal("undeclared entity accepted")
+	}
+	// Predefined entities keep working without any declaration.
+	ok := []byte(`<!DOCTYPE a [ <!ELEMENT a (#PCDATA)> ]><a>&amp;&lt;</a>`)
+	d2, err := DocumentDTD(ok, nil)
+	if err != nil {
+		t.Fatalf("DocumentDTD: %v", err)
+	}
+	if errs, err := d2.Validate(bytes.NewReader(ok)); err != nil || len(errs) != 0 {
+		t.Fatalf("predefined entities: errs=%v err=%v", errs, err)
+	}
+}
+
+func TestEntitiesFromDoctype(t *testing.T) {
+	ents := EntitiesFromDoctype(`DOCTYPE a [ <!ENTITY foo "bar"> ]`)
+	if ents["foo"] != "bar" {
+		t.Fatalf("EntitiesFromDoctype = %v", ents)
+	}
+	if got := EntitiesFromDoctype(`DOCTYPE a SYSTEM "a.dtd"`); got != nil {
+		t.Fatalf("no-subset DOCTYPE: got %v, want nil", got)
+	}
+	if got := EntitiesFromDoctype(`ELEMENT a EMPTY`); got != nil {
+		t.Fatalf("non-DOCTYPE directive: got %v, want nil", got)
+	}
+}
+
+// Regression: a UTF-8 BOM used to shift every scanner offset by its three
+// bytes, so the first declaration of a BOM-prefixed DTD reported column 4
+// and error positions were off; BOM-prefixed documents must also parse and
+// validate end to end.
+func TestScanDeclsBOM(t *testing.T) {
+	src := "\uFEFF<!ELEMENT a EMPTY>\n<!ELEMENT b EMPTY>"
+	decls, err := ScanDecls(src)
+	if err != nil {
+		t.Fatalf("ScanDecls: %v", err)
+	}
+	if len(decls) != 2 {
+		t.Fatalf("got %d decls, want 2", len(decls))
+	}
+	if decls[0].Offset != 0 {
+		t.Errorf("first decl offset = %d, want 0 (BOM stripped)", decls[0].Offset)
+	}
+	if line, col := LineCol(StripBOM(src), decls[0].Offset); line != 1 || col != 1 {
+		t.Errorf("first decl at %d:%d, want 1:1", line, col)
+	}
+}
+
+func TestParseBOMErrorPosition(t *testing.T) {
+	_, err := Parse("\uFEFF<!ELEMENT a EMPTY")
+	if err == nil {
+		t.Fatal("unterminated declaration accepted")
+	}
+	if !strings.Contains(err.Error(), "1:1:") {
+		t.Errorf("error position = %v, want 1:1 (BOM not counted)", err)
+	}
+}
+
+func TestBOMDocumentValidates(t *testing.T) {
+	doc := []byte("\uFEFF<?xml version=\"1.0\"?>\n" +
+		`<!DOCTYPE a [ <!ELEMENT a (#PCDATA)> <!ENTITY e "ok"> ]>` + "\n<a>&e;</a>")
+	root, subset, err := InternalSubset(doc)
+	if err != nil {
+		t.Fatalf("InternalSubset: %v", err)
+	}
+	if root != "a" || !strings.Contains(subset, "ELEMENT") {
+		t.Fatalf("InternalSubset = %q, %q", root, subset)
+	}
+	d, err := DocumentDTD(doc, nil)
+	if err != nil {
+		t.Fatalf("DocumentDTD: %v", err)
+	}
+	errs, err := d.Validate(bytes.NewReader(doc))
+	if err != nil || len(errs) != 0 {
+		t.Fatalf("BOM+entity document: errs=%v err=%v", errs, err)
+	}
+}
+
+// A BOM-prefixed external DTD file parses with correct declarations.
+func TestParseBOMExternalDTD(t *testing.T) {
+	d, err := Parse("\uFEFF<!ELEMENT a (b*)> <!ELEMENT b EMPTY>")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if d.Elements["a"].Offset != 0 {
+		t.Errorf("first element offset = %d, want 0", d.Elements["a"].Offset)
+	}
+}

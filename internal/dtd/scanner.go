@@ -8,6 +8,7 @@
 package dtd
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 )
@@ -67,12 +68,37 @@ type Decl struct {
 // section ("<![%draft;[") is an error, and PE references elsewhere pass
 // through as ordinary text.
 func ScanDecls(src string) ([]Decl, error) {
+	src = StripBOM(src)
 	var decls []Decl
 	err := scanDecls(src, func(d Decl) error {
 		decls = append(decls, d)
 		return nil
 	})
 	return decls, err
+}
+
+// bom is the UTF-8 byte-order mark. Real-world DTD and XML files commonly
+// start with one; the scanner must not count its bytes as column positions
+// (a declaration at the start of a BOM-prefixed file is at 1:1, not 1:4),
+// and byte-level prolog scans must not let it hide "<?xml" or "<!DOCTYPE".
+const bom = "\uFEFF"
+
+// StripBOM removes a leading UTF-8 byte-order mark, so declaration offsets
+// (and the LineCol positions derived from them) are relative to the text an
+// author sees. Parse and ScanDecls apply it internally; callers that keep
+// their own copy of the source for position reporting (dtdlint's line
+// cursor) must strip it too, or every offset after the BOM lands three
+// bytes early in their copy.
+func StripBOM(src string) string {
+	return strings.TrimPrefix(src, bom)
+}
+
+// StripBOMBytes is StripBOM for byte slices (documents and schema files
+// read from disk or a request body); it is the one place the BOM policy
+// lives for every byte-level prolog consumer (InternalSubset, the XSD
+// schema decoder).
+func StripBOMBytes(b []byte) []byte {
+	return bytes.TrimPrefix(b, []byte(bom))
 }
 
 // scanDecls is the streaming core of ScanDecls: emit is called once per

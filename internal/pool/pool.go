@@ -1,8 +1,33 @@
 // Package pool provides the tiny fixed-size worker pool shared by the
-// corpus validator and the CLI tools.
+// corpus validators and the CLI tools, and the free-list of reusable
+// per-request states the dregexd server rides.
 package pool
 
 import "sync"
+
+// StatePool is a typed sync.Pool of reusable scratch states (validator
+// DocStates, buffers). Where RunWithStates hands each worker of a
+// fixed-size pool one state, StatePool serves open-ended request traffic:
+// a handler Gets a state, validates with it, and Puts it back, so
+// steady-state request handling reuses grown stacks and stream buffers
+// instead of reallocating them. The zero value is ready; S must be usable
+// as new(S).
+type StatePool[S any] struct {
+	p sync.Pool
+}
+
+// Get returns a pooled state, or a fresh zero value when the pool is empty.
+func (sp *StatePool[S]) Get() *S {
+	if v := sp.p.Get(); v != nil {
+		return v.(*S)
+	}
+	return new(S)
+}
+
+// Put returns a state to the pool for reuse.
+func (sp *StatePool[S]) Put(s *S) {
+	sp.p.Put(s)
+}
 
 // Run distributes jobs 0..n-1 over a pool of workers. job receives the
 // worker's index (0..workers-1) alongside the job index, so callers can

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dregex/client"
+)
+
+// benchDoc exercises a nested children model through the pooled-state
+// validate path.
+const benchSchemaDTD = `<!ELEMENT library (book+)>
+<!ELEMENT book (title, author+, year?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT year (#PCDATA)>`
+
+const benchDoc = `<library>
+<book><title>Paper</title><author>Groz</author><author>Maneth</author><author>Staworko</author><year>2012</year></book>
+<book><title>Other</title><author>Someone</author></book>
+</library>`
+
+// discardWriter is a no-allocation http.ResponseWriter for steady-state
+// handler measurements (httptest.ResponseRecorder allocates per use).
+type discardWriter struct{ h http.Header }
+
+func (w *discardWriter) Header() http.Header         { return w.h }
+func (w *discardWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *discardWriter) WriteHeader(int)             {}
+
+// resetBody is a rewindable io.ReadCloser so one request value can be
+// replayed without per-iteration body allocations.
+type resetBody struct{ *bytes.Reader }
+
+func (resetBody) Close() error { return nil }
+
+func newBenchServer(tb testing.TB) *Server {
+	tb.Helper()
+	s := New(Config{})
+	req := httptest.NewRequest("PUT", "/v1/schemas/library", strings.NewReader(benchSchemaDTD))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusCreated {
+		tb.Fatalf("schema registration: %d %s", rec.Code, rec.Body)
+	}
+	return s
+}
+
+// TestServerValidateAllocs pins the steady-state allocation count of the
+// whole raw-body validate handler path: routing, counters, size limit,
+// schema lookup, pooled-DocState validation, JSON response. What remains
+// is the XML decoder's per-token cost plus fixed per-request plumbing
+// (decoder + bufio + MaxBytesReader + query parse + JSON encoder); the
+// validation state itself is reused, so the count must not scale with
+// traffic. Measured: a steady 85.0 allocs/op on go1.24 for this document;
+// the bound allows small toolchain drift, and growth past it means an
+// accidental per-request allocation regression on the hot path.
+func TestServerValidateAllocs(t *testing.T) {
+	s := newBenchServer(t)
+	h := s.Handler()
+	doc := []byte(benchDoc)
+	req := httptest.NewRequest("POST", "/v1/validate?schema=library", nil)
+	rb := &resetBody{bytes.NewReader(doc)}
+	w := &discardWriter{h: make(http.Header)}
+
+	run := func() {
+		rb.Seek(0, io.SeekStart)
+		req.Body = rb
+		h.ServeHTTP(w, req)
+	}
+	run() // warm the pools and the expression cache
+
+	allocs := testing.AllocsPerRun(200, run)
+	const maxAllocs = 95
+	if allocs > maxAllocs {
+		t.Errorf("validate handler path allocates %.1f allocs/op, pinned at <= %d", allocs, maxAllocs)
+	}
+}
+
+// BenchmarkServerValidate is the load-style benchmark of the handler
+// validation path (no network, no recorder overhead): one schema, many
+// documents, pooled validation state.
+func BenchmarkServerValidate(b *testing.B) {
+	s := newBenchServer(b)
+	h := s.Handler()
+	doc := []byte(benchDoc)
+
+	b.Run("serial", func(b *testing.B) {
+		req := httptest.NewRequest("POST", "/v1/validate?schema=library", nil)
+		rb := &resetBody{bytes.NewReader(doc)}
+		w := &discardWriter{h: make(http.Header)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rb.Seek(0, io.SeekStart)
+			req.Body = rb
+			h.ServeHTTP(w, req)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			req := httptest.NewRequest("POST", "/v1/validate?schema=library", nil)
+			rb := &resetBody{bytes.NewReader(doc)}
+			w := &discardWriter{h: make(http.Header)}
+			for pb.Next() {
+				rb.Seek(0, io.SeekStart)
+				req.Body = rb
+				h.ServeHTTP(w, req)
+			}
+		})
+	})
+}
+
+// BenchmarkServerCompileCached measures the /v1/compile hot path: a cache
+// hit plus JSON in/out.
+func BenchmarkServerCompileCached(b *testing.B) {
+	s := New(Config{})
+	h := s.Handler()
+	body := []byte(`{"expr": "(title, author+, (section | appendix)*)"}`)
+	req := httptest.NewRequest("POST", "/v1/compile", nil)
+	rb := &resetBody{bytes.NewReader(body)}
+	w := &discardWriter{h: make(http.Header)}
+	req.Header.Set("Content-Type", "application/json")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rb.Seek(0, io.SeekStart)
+		req.Body = rb
+		h.ServeHTTP(w, req)
+	}
+}
+
+// BenchmarkServerValidateE2E goes through a real TCP listener and the Go
+// client, for an end-to-end requests-per-second figure.
+func BenchmarkServerValidateE2E(b *testing.B) {
+	s := newBenchServer(b)
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	c := client.New(hs.URL, hs.Client())
+	ctx := context.Background()
+	doc := []byte(benchDoc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Validate(ctx, "library", doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

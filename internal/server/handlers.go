@@ -1,0 +1,237 @@
+// HTTP handlers for the /v1 endpoints. Compilation always goes through the
+// shared dregex.Cache; validation borrows pooled per-schema DocStates (see
+// registry.go). Handlers respond 400 for malformed requests, 404 for
+// unknown schemas, 413 for oversized bodies, and 422 for inputs that parse
+// as requests but fail to compile.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"mime"
+	"net/http"
+	"sort"
+	"strings"
+
+	"dregex"
+	"dregex/client"
+)
+
+// decodeJSON reads the request body into v, distinguishing oversized
+// bodies (413) from malformed JSON (400). It returns false after writing
+// the error response.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeError(w, errStatus(err, http.StatusBadRequest), "malformed JSON request: %v", err)
+		return false
+	}
+	return true
+}
+
+func toAmbiguity(a *dregex.Ambiguity) *client.Ambiguity {
+	if a == nil {
+		return nil
+	}
+	return &client.Ambiguity{Rule: a.Rule, Symbol: a.Symbol, Word: a.Word}
+}
+
+// compileAny resolves an expression through the cache: the plain pipeline
+// by default, the numeric (§3.3 counter) pipeline when forced or when the
+// expression carries {m,n} occurrence indicators. Exactly one of e/ne is
+// non-nil on success. Bounds require a '{', so the probe routes numeric
+// expressions straight to their pipeline — no doomed plain compile, no
+// negative-cache slot, and cache stats count one lookup per request. This
+// is the single fallback ladder both /v1/compile and /v1/match ride.
+func (s *Server) compileAny(expr string, syntax dregex.Syntax, forceNumeric bool) (e *dregex.Expr, ne *dregex.NumericExpr, hit bool, err error) {
+	if !forceNumeric && !strings.ContainsRune(expr, '{') {
+		e, hit, err = s.cache.GetInfo(expr, syntax)
+		if err == nil || !errors.Is(err, dregex.ErrNumericIndicator) {
+			return e, nil, hit, err
+		}
+	}
+	ne, hit, err = s.cache.GetNumericInfo(expr, syntax)
+	return nil, ne, hit, err
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req client.CompileRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	syntax, err := parseSyntax(req.Syntax)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, ne, hit, err := s.compileAny(req.Expr, syntax, req.Numeric)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	var resp client.CompileResponse
+	if e != nil {
+		st := e.Stats()
+		resp = client.CompileResponse{
+			Deterministic: e.IsDeterministic(),
+			Rule:          e.Rule(),
+			Ambiguity:     toAmbiguity(e.Explain()),
+			Cached:        hit,
+			Stats: &client.ExprStats{
+				Size:             st.Size,
+				Positions:        st.Positions,
+				Sigma:            st.Sigma,
+				K:                st.K,
+				AlternationDepth: st.AlternationDepth,
+				StarFree:         st.StarFree,
+				Depth:            st.Depth,
+			},
+		}
+	} else {
+		resp = client.CompileResponse{
+			Deterministic: ne.IsDeterministic(),
+			Numeric:       true,
+			Rule:          ne.Rule(),
+			Ambiguity:     toAmbiguity(ne.Explain()),
+			Cached:        hit,
+		}
+	}
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	var req client.MatchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	syntax, err := parseSyntax(req.Syntax)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, ne, _, err := s.compileAny(req.Expr, syntax, req.Numeric)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	var results []bool
+	if e != nil {
+		// Batch path: MatchAll reuses one engine across the whole word set
+		// (and the Theorem 4.12 batch engine for star-free expressions
+		// under Auto).
+		results, err = e.MatchAll(req.Words, dregex.Auto)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+	} else {
+		// Mirror the plain pipeline's refusal (MatchAll → errNondet): the
+		// per-request linear-time guarantee holds only for deterministic
+		// expressions, and the counter simulator would happily run a
+		// nondeterministic one at superlinear cost.
+		if !ne.IsDeterministic() {
+			writeError(w, http.StatusUnprocessableEntity,
+				"expression is not deterministic (%s); matching requires a deterministic expression", ne.Rule())
+			return
+		}
+		m := ne.Matcher()
+		results = make([]bool, len(req.Words))
+		for i, word := range req.Words {
+			results[i] = m.MatchSymbols(word)
+		}
+	}
+	writeJSON(w, http.StatusOK, &client.MatchResponse{Results: results})
+}
+
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	var (
+		name string
+		doc  io.Reader
+	)
+	// Media types are case-insensitive and may carry parameters
+	// (RFC 9110); parse rather than prefix-match.
+	mt, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if mt == "application/json" {
+		var req client.ValidateRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		name = req.Schema
+		doc = strings.NewReader(req.Doc)
+	} else {
+		// Raw-body mode: the document streams straight from the connection
+		// into the validator — no buffering, O(decoder) memory per request.
+		name = r.URL.Query().Get("schema")
+		doc = r.Body
+	}
+	if name == "" {
+		writeError(w, http.StatusBadRequest,
+			"schema name required (?schema=NAME or JSON {\"schema\": ...})")
+		return
+	}
+	entry := s.lookupSchema(name)
+	if entry == nil {
+		writeError(w, http.StatusNotFound, "schema %q is not registered", name)
+		return
+	}
+	resp, verr := entry.validate(doc)
+	// A document truncated by the size limit surfaces as an XML read
+	// error; report it as 413, not as a validation verdict.
+	if errStatus(verr, http.StatusOK) == http.StatusRequestEntityTooLarge {
+		writeError(w, http.StatusRequestEntityTooLarge, "document exceeds the request size limit")
+		return
+	}
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+func (s *Server) handlePutSchema(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	src, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, errStatus(err, http.StatusBadRequest), "reading schema body: %v", err)
+		return
+	}
+	if len(src) == 0 {
+		writeError(w, http.StatusBadRequest, "empty schema body")
+		return
+	}
+	entry, err := s.compileSchema(name, r.URL.Query().Get("kind"), src)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	code := http.StatusCreated
+	if s.storeSchema(entry) {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, &entry.info)
+}
+
+func (s *Server) handleGetSchema(w http.ResponseWriter, r *http.Request) {
+	entry := s.lookupSchema(r.PathValue("name"))
+	if entry == nil {
+		writeError(w, http.StatusNotFound, "schema %q is not registered", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, &entry.info)
+}
+
+func (s *Server) handleDeleteSchema(w http.ResponseWriter, r *http.Request) {
+	if !s.deleteSchema(r.PathValue("name")) {
+		writeError(w, http.StatusNotFound, "schema %q is not registered", r.PathValue("name"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleListSchemas(w http.ResponseWriter, r *http.Request) {
+	m := *s.schemas.Load()
+	list := client.SchemaList{Schemas: make([]client.SchemaInfo, 0, len(m))}
+	for _, e := range m {
+		list.Schemas = append(list.Schemas, e.info)
+	}
+	sort.Slice(list.Schemas, func(i, j int) bool {
+		return list.Schemas[i].Name < list.Schemas[j].Name
+	})
+	writeJSON(w, http.StatusOK, &list)
+}

@@ -1,0 +1,218 @@
+// Schema registry: named, hot-reloadable DTD and XSD schemas. The map is
+// copy-on-write behind an atomic pointer (see Server.schemas); entries are
+// immutable once published, and each owns the sync.Pool of validation
+// states for its compiled schema — so a swapped-out schema, its engines
+// and its pooled states all become garbage together, and pooled frames
+// can never pin a schema that outlived its registration.
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"dregex/client"
+	"dregex/internal/dtd"
+	"dregex/internal/pool"
+	"dregex/internal/xsd"
+)
+
+// schemaEntry is one registered schema. Immutable after construction.
+type schemaEntry struct {
+	info client.SchemaInfo
+	dtd  *dtd.DTD    // KindDTD
+	xsd  *xsd.Schema // KindXSD
+
+	// Validation-state pools, one per backend. Only the pool matching the
+	// kind is used; requests Get a state, validate, and Put it back.
+	dtdStates pool.StatePool[dtd.DocState]
+	xsdStates pool.StatePool[xsd.DocState]
+}
+
+// validate checks one document against the entry's schema, riding a pooled
+// DocState so steady-state traffic reuses frame stacks and stream buffers.
+// The document-level error (malformed XML, truncated read) is returned as
+// a value so the handler can classify it (e.g. a body-size trip → 413)
+// before it is stringified into the response.
+func (e *schemaEntry) validate(r io.Reader) (client.ValidateResponse, error) {
+	resp := client.ValidateResponse{Schema: e.info.Name}
+	var verrs []client.ValidationError
+	var err error
+	switch e.info.Kind {
+	case client.KindDTD:
+		st := e.dtdStates.Get()
+		var es []dtd.ValidationError
+		es, err = e.dtd.ValidateReusing(r, st)
+		e.dtdStates.Put(st)
+		for _, ve := range es {
+			verrs = append(verrs, client.ValidationError(ve))
+		}
+	case client.KindXSD:
+		st := e.xsdStates.Get()
+		var es []xsd.ValidationError
+		es, err = e.xsd.ValidateReusing(r, st)
+		e.xsdStates.Put(st)
+		for _, ve := range es {
+			verrs = append(verrs, client.ValidationError(ve))
+		}
+	}
+	resp.Errors = verrs
+	if err != nil {
+		resp.DocError = err.Error()
+	}
+	resp.Valid = err == nil && len(verrs) == 0
+	return resp, err
+}
+
+// lookupSchema resolves a registered schema by name (nil if absent). The
+// returned entry stays valid for the whole request even if the name is
+// swapped or deleted concurrently.
+func (s *Server) lookupSchema(name string) *schemaEntry {
+	return (*s.schemas.Load())[name]
+}
+
+// sniffKind guesses dtd vs xsd from schema source: markup declarations
+// mean a DTD, an <xs:schema> (or unprefixed <schema>) root means a schema
+// document. Comments are stripped first — either format may quote the
+// other's markup in one. After that, DTD wins ties because a DTD can
+// still quote schema markup inside entity values, while a schema document
+// cannot contain a bare "<!ELEMENT". Registration happens off the hot
+// path, so the copy is fine.
+func sniffKind(src []byte) string {
+	src = stripComments(src)
+	if bytes.Contains(src, []byte("<!ELEMENT")) {
+		return client.KindDTD
+	}
+	if bytes.Contains(src, []byte("<schema")) {
+		return client.KindXSD
+	}
+	// Any "<prefix:schema" start tag — xs:, xsd:, or a nonstandard prefix.
+	for rest := src; ; {
+		i := bytes.Index(rest, []byte(":schema"))
+		if i < 0 {
+			break
+		}
+		j := i - 1
+		for j >= 0 && isNameByte(rest[j]) {
+			j--
+		}
+		if j >= 0 && rest[j] == '<' && j < i-1 {
+			return client.KindXSD
+		}
+		rest = rest[i+1:]
+	}
+	return client.KindDTD
+}
+
+// isNameByte reports whether b can appear in an (ASCII) XML name prefix.
+func isNameByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' ||
+		b >= '0' && b <= '9' || b == '_' || b == '-' || b == '.'
+}
+
+// stripComments removes XML comments ("<!--" … "-->"); an unterminated
+// comment truncates the rest, as an XML parser would refuse it anyway.
+func stripComments(src []byte) []byte {
+	i := bytes.Index(src, []byte("<!--"))
+	if i < 0 {
+		return src
+	}
+	out := append([]byte(nil), src[:i]...)
+	for {
+		end := bytes.Index(src[i+4:], []byte("-->"))
+		if end < 0 {
+			return out
+		}
+		src = src[i+4+end+3:]
+		i = bytes.Index(src, []byte("<!--"))
+		if i < 0 {
+			return append(out, src...)
+		}
+		out = append(out, src[:i]...)
+	}
+}
+
+// compileSchema builds a registry entry from source (outside any lock —
+// compilation is pure and may be slow).
+func (s *Server) compileSchema(name, kind string, src []byte) (*schemaEntry, error) {
+	if kind == "" {
+		kind = sniffKind(src)
+	}
+	e := &schemaEntry{info: client.SchemaInfo{
+		Name:      name,
+		Kind:      kind,
+		UpdatedAt: time.Now().UTC(),
+	}}
+	switch kind {
+	case client.KindDTD:
+		d, err := dtd.ParseWithCache(string(src), s.cache)
+		if err != nil {
+			return nil, err
+		}
+		e.dtd = d
+		e.info.Elements = len(d.Elements)
+		for _, issue := range d.Check() {
+			e.info.Warnings = append(e.info.Warnings,
+				fmt.Sprintf("element %s: %s", issue.Element, issue.Msg))
+		}
+	case client.KindXSD:
+		sch, err := xsd.ParseWithCache(src, s.cache)
+		if err != nil {
+			return nil, err
+		}
+		e.xsd = sch
+		e.info.Elements = len(sch.Roots)
+		for _, t := range sch.AllTypes {
+			if t.Kind == xsd.Children && !t.Deterministic {
+				e.info.Warnings = append(e.info.Warnings,
+					fmt.Sprintf("type %s: content model %s violates UPA (%s)", t.Name, t.Model, t.Rule))
+			}
+		}
+	default:
+		return nil, fmt.Errorf("unknown schema kind %q (want dtd or xsd)", kind)
+	}
+	return e, nil
+}
+
+// storeSchema publishes entry under its name, atomically replacing any
+// previous version; it reports whether the name existed before. In-flight
+// requests that resolved the old entry finish against it undisturbed.
+func (s *Server) storeSchema(e *schemaEntry) (replaced bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.schemas.Load()
+	next := make(map[string]*schemaEntry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	prev, replaced := old[e.info.Name]
+	if replaced {
+		e.info.Version = prev.info.Version + 1
+	} else {
+		e.info.Version = 1
+	}
+	next[e.info.Name] = e
+	s.schemas.Store(&next)
+	s.swaps.Add(1)
+	return replaced
+}
+
+// deleteSchema removes name from the registry; it reports whether the name
+// was registered.
+func (s *Server) deleteSchema(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.schemas.Load()
+	if _, ok := old[name]; !ok {
+		return false
+	}
+	next := make(map[string]*schemaEntry, len(old)-1)
+	for k, v := range old {
+		if k != name {
+			next[k] = v
+		}
+	}
+	s.schemas.Store(&next)
+	return true
+}

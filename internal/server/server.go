@@ -1,0 +1,236 @@
+// Package server is the serving layer of dregexd: a long-running HTTP
+// service exposing the whole pipeline — determinism verdicts, batch word
+// matching, and instance validation against a hot-reloadable registry of
+// DTD and XSD schemas — as JSON endpoints.
+//
+// The design rides the library's amortized paths end to end. Every
+// expression that enters through /v1/compile, /v1/match or a registered
+// schema compiles through one shared dregex.Cache, so the steady state of
+// real traffic (schema reuse dominates real corpora) is a hash probe, not
+// a compile. Validation requests borrow a per-schema pooled DocState
+// (sync.Pool), so the frame stacks and stream buffers grown by earlier
+// requests are reused rather than reallocated — the same docState reuse
+// discipline as the corpus validators, adapted to open-ended request
+// traffic. Raw-body validation streams the document straight from the
+// connection into the matcher; nothing is buffered.
+//
+// Schema hot-reload is atomic: the registry is an immutable map behind an
+// atomic pointer, writers build a new map and swap it, and in-flight
+// requests keep the entry (and pooled states) they resolved — swapping a
+// schema under live traffic never disturbs requests already validating
+// against the old version.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dregex"
+	"dregex/client"
+)
+
+// Config parameterizes New. The zero value is usable.
+type Config struct {
+	// Cache backs every compilation (expressions and schema content
+	// models); nil selects a fresh dregex.NewCache(4096).
+	Cache *dregex.Cache
+	// MaxBodyBytes bounds request bodies (documents, schemas, JSON);
+	// 0 selects 4 MiB. Oversized requests get 413.
+	MaxBodyBytes int64
+}
+
+// DefaultMaxBodyBytes bounds request bodies when Config leaves it zero.
+const DefaultMaxBodyBytes = 4 << 20
+
+// endpointNames are the per-endpoint counter keys of /v1/stats.
+var endpointNames = []string{"compile", "match", "validate", "schemas", "stats"}
+
+// endpointCounters counts requests and error responses for one endpoint.
+// expvar.Int is an atomic counter with a JSON rendering, so the same
+// values back /v1/stats and the optional expvar export.
+type endpointCounters struct {
+	requests expvar.Int
+	errors   expvar.Int
+}
+
+// Server is the dregexd request handler. Construct with New; it is safe
+// for concurrent use.
+type Server struct {
+	cache   *dregex.Cache
+	maxBody int64
+	start   time.Time
+
+	// schemas is the registry: an immutable name → entry map behind an
+	// atomic pointer. Readers Load once per request; writers serialize on
+	// mu, build a copy, and Store it.
+	mu      sync.Mutex
+	schemas atomic.Pointer[map[string]*schemaEntry]
+	swaps   atomic.Uint64
+
+	counters map[string]*endpointCounters
+	handler  http.Handler
+}
+
+// New returns a ready Server.
+func New(cfg Config) *Server {
+	s := &Server{
+		cache:   cfg.Cache,
+		maxBody: cfg.MaxBodyBytes,
+		start:   time.Now(),
+	}
+	if s.cache == nil {
+		s.cache = dregex.NewCache(4096)
+	}
+	if s.maxBody <= 0 {
+		s.maxBody = DefaultMaxBodyBytes
+	}
+	empty := map[string]*schemaEntry{}
+	s.schemas.Store(&empty)
+	s.counters = make(map[string]*endpointCounters, len(endpointNames))
+	for _, n := range endpointNames {
+		s.counters[n] = &endpointCounters{}
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/compile", s.counted("compile", s.handleCompile))
+	mux.Handle("POST /v1/match", s.counted("match", s.handleMatch))
+	mux.Handle("POST /v1/validate", s.counted("validate", s.handleValidate))
+	mux.Handle("PUT /v1/schemas/{name}", s.counted("schemas", s.handlePutSchema))
+	mux.Handle("GET /v1/schemas/{name}", s.counted("schemas", s.handleGetSchema))
+	mux.Handle("DELETE /v1/schemas/{name}", s.counted("schemas", s.handleDeleteSchema))
+	mux.Handle("GET /v1/schemas", s.counted("schemas", s.handleListSchemas))
+	mux.Handle("GET /v1/stats", s.counted("stats", s.handleStats))
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	s.handler = mux
+	return s
+}
+
+// Handler returns the root http.Handler (mount it on an http.Server).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// NewHTTPServer wraps the handler in an http.Server with production
+// timeouts, ready for graceful shutdown via its Shutdown method.
+func (s *Server) NewHTTPServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s.handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+}
+
+var publishOnce sync.Once
+
+// Publish exports this server's stats snapshot under the expvar name
+// "dregexd" (shown on GET /debug/vars alongside the runtime's memstats).
+// Only the first server to call it wins the name — expvar names are
+// process-global — which is exactly right for the daemon.
+func (s *Server) Publish() {
+	publishOnce.Do(func() {
+		expvar.Publish("dregexd", expvar.Func(func() any { return s.statsSnapshot() }))
+	})
+}
+
+// statusWriter records the response code so the middleware can count
+// error responses.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// counted wraps a handler with the per-endpoint request/error counters and
+// the request-size limit.
+func (s *Server) counted(name string, h http.HandlerFunc) http.Handler {
+	c := s.counters[name]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c.requests.Add(1)
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		}
+		sw := statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(&sw, r)
+		if sw.code >= 400 {
+			c.errors.Add(1)
+		}
+	})
+}
+
+// writeJSON renders v with the given status. Responses are small (verdicts
+// and error lists), so buffered encoding straight to the connection is
+// fine.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError renders a client.ErrorResponse. 413 is detected from
+// MaxBytesReader so oversized bodies report as such wherever they surface
+// (JSON decode or mid-document XML read).
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, client.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// errStatus maps a body-read error to a status: 413 for the size limit,
+// otherwise the fallback.
+func errStatus(err error, fallback int) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return fallback
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
+}
+
+func (s *Server) statsSnapshot() client.StatsResponse {
+	cs := s.cache.Stats()
+	resp := client.StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Cache: client.CacheStats{
+			Hits:     cs.Hits,
+			Misses:   cs.Misses,
+			HitRate:  cs.HitRate(),
+			Entries:  cs.Entries,
+			Negative: cs.Negative,
+		},
+		Endpoints:   make(map[string]client.EndpointStats, len(s.counters)),
+		SchemaCount: len(*s.schemas.Load()),
+		SchemaSwaps: s.swaps.Load(),
+	}
+	for name, c := range s.counters {
+		resp.Endpoints[name] = client.EndpointStats{
+			Requests: c.requests.Value(),
+			Errors:   c.errors.Value(),
+		}
+	}
+	return resp
+}
+
+// parseSyntax maps a wire syntax name to a dregex.Syntax.
+func parseSyntax(name string) (dregex.Syntax, error) {
+	switch name {
+	case "", client.SyntaxDTD:
+		return dregex.DTD, nil
+	case client.SyntaxMath:
+		return dregex.Math, nil
+	case client.SyntaxXSD:
+		return dregex.XSD, nil
+	}
+	return 0, fmt.Errorf("unknown syntax %q (want dtd, math or xsd)", name)
+}

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"dregex/internal/ast"
+	"dregex/internal/dtd"
 )
 
 // rawParticle is one node of a content-model particle tree, or a top-level
@@ -91,8 +92,11 @@ func (d *decoder) line() int {
 	return 1 + d.lastLine
 }
 
-// decode parses a schema document into its raw particle form.
+// decode parses a schema document into its raw particle form. A leading
+// UTF-8 byte-order mark is stripped so line counting (and any byte-level
+// prolog inspection) starts at the text an author sees.
 func decode(data []byte) (*rawSchema, error) {
+	data = dtd.StripBOMBytes(data)
 	d := &decoder{d: xml.NewDecoder(bytes.NewReader(data)), data: data}
 	rs := &rawSchema{groups: map[string]*rawParticle{}, simpleTypes: map[string]bool{}}
 	root, err := d.nextStart()

@@ -1,0 +1,63 @@
+package xsd
+
+import (
+	"strings"
+	"testing"
+)
+
+const entitySchema = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="note">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="body" type="xs:string"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`
+
+// Regression: instance documents carrying a DOCTYPE whose internal subset
+// declares general entities used to fail as "malformed XML" because the
+// XSD validator never populated xml.Decoder.Entity.
+func TestValidateInstanceWithEntities(t *testing.T) {
+	s, err := Parse([]byte(entitySchema))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	doc := `<?xml version="1.0"?>
+<!DOCTYPE note [ <!ENTITY who "Alice"> ]>
+<note><body>&who;</body></note>`
+	errs, err := s.Validate(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(errs) != 0 {
+		t.Fatalf("Validate errors: %v", errs)
+	}
+	// Undeclared entities are still malformed.
+	bad := `<!DOCTYPE note [ <!ENTITY who "Alice"> ]><note><body>&other;</body></note>`
+	if _, err := s.Validate(strings.NewReader(bad)); err == nil {
+		t.Fatal("undeclared entity accepted")
+	}
+	// Entity-free documents with predefined entities keep working.
+	plain := `<note><body>a &amp; b</body></note>`
+	if errs, err := s.Validate(strings.NewReader(plain)); err != nil || len(errs) != 0 {
+		t.Fatalf("predefined entities: errs=%v err=%v", errs, err)
+	}
+}
+
+// A BOM-prefixed schema document parses.
+func TestParseBOMSchema(t *testing.T) {
+	s, err := Parse([]byte("\uFEFF" + entitySchema))
+	if err != nil {
+		t.Fatalf("Parse with BOM: %v", err)
+	}
+	if s.Roots["note"] == nil {
+		t.Fatal("root element missing")
+	}
+	// And a BOM-prefixed instance validates.
+	doc := "\uFEFF<note><body>hi</body></note>"
+	if errs, err := s.Validate(strings.NewReader(doc)); err != nil || len(errs) != 0 {
+		t.Fatalf("BOM instance: errs=%v err=%v", errs, err)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"strings"
 
+	"dregex/internal/dtd"
 	"dregex/internal/match"
 	"dregex/internal/numeric"
 	"dregex/internal/pool"
@@ -157,6 +158,20 @@ func (s *Schema) Validate(r io.Reader) ([]ValidationError, error) {
 	return s.validate(r, &st)
 }
 
+// DocState is the reusable per-worker scratch of a validation pass, for
+// long-running callers outside the package (the dregexd server pools these
+// per schema). A zero value is ready. Popped frames keep pointers into the
+// schema they validated, so pool DocStates per schema — dropping the schema
+// drops its pool — rather than sharing one pool across hot-swapped schemas.
+type DocState struct{ st docState }
+
+// ValidateReusing is Validate with caller-managed scratch: reusing one
+// DocState across documents keeps the element stack's capacity and every
+// frame's grown stream buffers. A DocState must not be used concurrently.
+func (s *Schema) ValidateReusing(r io.Reader, st *DocState) ([]ValidationError, error) {
+	return s.validate(r, &st.st)
+}
+
 func (s *Schema) validate(r io.Reader, st *docState) ([]ValidationError, error) {
 	dec := xml.NewDecoder(r)
 	var errs []ValidationError
@@ -178,6 +193,17 @@ func (s *Schema) validate(r io.Reader, st *docState) ([]ValidationError, error) 
 			return errs, fmt.Errorf("xsd: malformed XML: %w", err)
 		}
 		switch t := tok.(type) {
+		case xml.Directive:
+			// Instance documents may carry a DOCTYPE whose internal subset
+			// declares general entities (<!ENTITY foo "...">); wire those
+			// into the decoder so &foo; references are resolved rather than
+			// rejected as malformed XML. Predefined entities always work;
+			// parameter and external entities stay out of scope.
+			if !sawRoot {
+				if ents := dtd.EntitiesFromDoctype(string(t)); len(ents) > 0 {
+					dec.Entity = ents
+				}
+			}
 		case xml.StartElement:
 			name := t.Name.Local
 			var decl *ElementDecl

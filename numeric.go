@@ -17,6 +17,8 @@ type NumericExpr struct {
 	source string
 	c      *numeric.Counted
 	m      NumericMatcher
+	// explain memoizes the Explain diagnosis, like Expr.explain.
+	explain ambSlot
 }
 
 // CompileNumeric parses (through the same front end as Compile) and
@@ -52,12 +54,18 @@ func (e *NumericExpr) Rule() string { return e.c.Result().Rule }
 // ambiguous symbol. Counter-level ambiguities (a position competing with
 // itself on diverging counter values, e.g. a nullable iteration body) have
 // Q1 = Q2; the word then leads to the symbol at which the counters diverge.
-// Diagnosis may take O(|Pos(e)|²); the verdict itself is always linear.
+// Diagnosis may take O(|Pos(e)|²); the verdict itself is always linear,
+// and the diagnosis is memoized like Expr.Explain's.
 func (e *NumericExpr) Explain() *Ambiguity {
 	det := e.c.Result()
 	if det.Deterministic {
 		return nil
 	}
+	e.explain.once.Do(func() { e.explain.amb = e.diagnose(det) })
+	return e.explain.amb.clone()
+}
+
+func (e *NumericExpr) diagnose(det *determinism.Result) *Ambiguity {
 	amb := &Ambiguity{Rule: det.Rule}
 	if det.Q1 != parsetree.Null {
 		amb.Symbol = e.c.Tree.Label(det.Q1)
