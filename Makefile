@@ -3,7 +3,7 @@ BENCH_PATTERN ?= .
 BENCH_TIME ?= 1s
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build test bench lint vet fmt fuzz-smoke serve smoke-server
+.PHONY: all build test bench bench-snapshot bench-check lint vet fmt fuzz-smoke serve smoke-server
 
 all: build
 
@@ -47,6 +47,34 @@ bench:
 		"$$(python3 -c 'import json,sys;print(json.dumps(open("/tmp/dregex_benchtab.txt").read()))' 2>/dev/null || echo '""')" \
 		> BENCH_$(DATE).json
 	@echo "wrote BENCH_$(DATE).json"
+
+# bench-snapshot regenerates the committed BENCH_<date>.json snapshot (the
+# name PRs are expected to use before committing fresh numbers).
+bench-snapshot: bench
+
+# Pinned hot-path benchmarks: the 0/1-alloc steady-state paths plus the
+# dense-table tier. bench-check runs just these, wraps the output in a
+# snapshot, and diffs it against the newest committed BENCH_*.json with the
+# regression gate: >25% worse on a gated metric (or any movement off a
+# pinned zero) fails. CI gates the allocation metrics only — B/op and
+# allocs/op are machine-independent, while ns/op across runner generations
+# is not; run `make bench-check GATE_UNITS=` locally on the machine that
+# wrote the baseline to gate time too.
+BENCH_PINNED := MatcherCached|MatchWordInterned|MatchAllCached|CacheGet|NumericStreamInterned|TableVsKore
+BENCH_BASELINE := $(lastword $(sort $(wildcard BENCH_*.json)))
+GATE_UNITS ?= B/op,allocs/op
+bench-check:
+	@test -n "$(BENCH_BASELINE)" || { echo "no committed BENCH_*.json baseline"; exit 1; }
+	$(GO) test -run xxx -bench '$(BENCH_PINNED)' -benchtime 0.5s -benchmem . \
+		| tee /tmp/dregex_bench_ci.txt
+	@printf '{\n  "date": "%s",\n  "go": "%s",\n  "bench": %s\n}\n' \
+		"$(DATE)" \
+		"$$($(GO) version | cut -d' ' -f3)" \
+		"$$(python3 -c 'import json;print(json.dumps(open("/tmp/dregex_bench_ci.txt").read()))')" \
+		> /tmp/BENCH_ci.json
+	$(GO) run ./cmd/benchtab -diff -gate '$(BENCH_PINNED)' -max-regress 25 \
+		$(if $(GATE_UNITS),-gate-units '$(GATE_UNITS)') \
+		$(BENCH_BASELINE) /tmp/BENCH_ci.json
 
 lint: fmt vet
 

@@ -18,6 +18,7 @@ import (
 	"dregex/internal/match/kore"
 	"dregex/internal/match/pathdecomp"
 	"dregex/internal/match/starfree"
+	"dregex/internal/match/table"
 	"dregex/internal/numeric"
 	"dregex/internal/parsetree"
 	"dregex/internal/wordgen"
@@ -181,6 +182,43 @@ func BenchmarkE5Colored(b *testing.B) {
 		b.Run(fmt.Sprintf("nodes=%d/veb", size), func(b *testing.B) { benchSimOnWord(b, veb, w) })
 		b.Run(fmt.Sprintf("nodes=%d/binary", size), func(b *testing.B) { benchSimOnWord(b, bin, w) })
 	}
+}
+
+// --- E5b: dense-table tier vs the §4 engines on a table-eligible workload --
+// The flat-table DFA trades O(positions × σ) space for one indexed load
+// per symbol; this benchmark quantifies the gap against the k-ORE engine
+// (the fastest paper engine on this family) on one shared word.
+
+func BenchmarkTableVsKore(b *testing.B) {
+	alpha := ast.NewAlphabet()
+	// Starred 3-occurrence blocks over 200 symbols: ~800 positions, well
+	// within the dense-table budget, with arbitrarily long words.
+	e := ast.Star(wordgen.KOccurrence(alpha, 200, 3))
+	tr, fol := buildTree(b, e, alpha)
+	w, ok := words.RandomWord(rand.New(rand.NewSource(8)), fol, 4096, 0.0001)
+	if !ok || len(w) < 2048 {
+		b.Fatal("could not sample a long word")
+	}
+	tab, err := table.New(tr, fol, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := kore.New(tr, fol)
+	b.Run("table", func(b *testing.B) {
+		// The devirtualized loop Matcher.MatchWord takes for the Table tier.
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !tab.MatchWord(w) {
+				b.Fatal("sampled word must match")
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(w)), "ns/sym")
+	})
+	b.Run("table-sim", func(b *testing.B) {
+		// The generic TransitionSim driver (streams, readers) on the table.
+		benchSimOnWord(b, tab, w)
+	})
+	b.Run(fmt.Sprintf("kore-k%d", k.K), func(b *testing.B) { benchSimOnWord(b, k, w) })
 }
 
 // --- E6: star-free multi-word matching, O(|e| + Σ|wᵢ|) (Theorem 4.12) ------

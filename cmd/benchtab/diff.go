@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -93,8 +94,46 @@ func sortMetrics(units []string) {
 	})
 }
 
+// gateConfig is the optional regression gate of diff mode: benchmarks
+// whose name matches Pattern fail the diff when any gated metric regresses
+// by more than MaxRegressPct (any regression at all off a zero baseline —
+// the repo's pinned 0-alloc paths — fails regardless of the percentage).
+type gateConfig struct {
+	Pattern       *regexp.Regexp
+	MaxRegressPct float64
+	// Units restricts which metrics the gate inspects (nil means
+	// defaultGatedUnits). CI gates allocation metrics only — they are
+	// machine-independent, unlike ns/op across runner generations.
+	Units map[string]bool
+}
+
+// defaultGatedUnits are the metrics the regression gate inspects when
+// -gate-units is not given. Time and allocation metrics only:
+// throughput-style custom units would invert the comparison, and none are
+// emitted today.
+var defaultGatedUnits = map[string]bool{
+	"ns/op": true, "ns/sym": true, "B/op": true, "allocs/op": true,
+}
+
+// regression reports whether old → new is a gated regression.
+func (g *gateConfig) regression(unit string, old, new float64) bool {
+	units := g.Units
+	if units == nil {
+		units = defaultGatedUnits
+	}
+	if !units[unit] || new <= old {
+		return false
+	}
+	if old == 0 {
+		return true // a pinned zero moved — always a failure
+	}
+	return 100*(new-old)/old > g.MaxRegressPct
+}
+
 // diffSnapshots prints the per-benchmark deltas between two snapshots.
-func diffSnapshots(oldPath, newPath string) error {
+// With a non-nil gate it also fails (returns an error) when a gated
+// benchmark regresses past the configured threshold.
+func diffSnapshots(oldPath, newPath string, gate *gateConfig) error {
 	oldSnap, oldM, err := readSnapshot(oldPath)
 	if err != nil {
 		return err
@@ -117,14 +156,19 @@ func diffSnapshots(oldPath, newPath string) error {
 	}
 	sort.Strings(names)
 
+	var failures []string
 	fmt.Printf("%-32s %-10s %14s %14s %9s\n", "BENCHMARK", "METRIC", "OLD", "NEW", "DELTA")
 	for _, name := range names {
 		om, oOK := oldM[name]
 		nm, nOK := newM[name]
+		gated := gate != nil && gate.Pattern.MatchString(name)
 		switch {
 		case !nOK:
 			u, v := primaryMetric(om)
 			fmt.Printf("%-32s %-10s %14s %14s %9s\n", name, u, v, "(gone)", "-")
+			if gated {
+				failures = append(failures, fmt.Sprintf("%s: gated benchmark missing from %s", name, newPath))
+			}
 			continue
 		case !oOK:
 			u, v := primaryMetric(nm)
@@ -138,11 +182,25 @@ func diffSnapshots(oldPath, newPath string) error {
 			}
 		}
 		sortMetrics(units)
+		printed := name
 		for _, u := range units {
-			fmt.Printf("%-32s %-10s %14s %14s %9s\n",
-				name, u, fmtVal(om[u]), fmtVal(nm[u]), fmtDelta(om[u], nm[u]))
-			name = "" // print the benchmark name once per group
+			marker := ""
+			if gated && gate.regression(u, om[u], nm[u]) {
+				marker = "  << REGRESSION"
+				failures = append(failures, fmt.Sprintf("%s %s: %s -> %s (%s)",
+					name, u, fmtVal(om[u]), fmtVal(nm[u]), fmtDelta(om[u], nm[u])))
+			}
+			fmt.Printf("%-32s %-10s %14s %14s %9s%s\n",
+				printed, u, fmtVal(om[u]), fmtVal(nm[u]), fmtDelta(om[u], nm[u]), marker)
+			printed = "" // print the benchmark name once per group
 		}
+	}
+	if len(failures) > 0 {
+		fmt.Printf("\n%d gated regression(s) beyond %.0f%%:\n", len(failures), gate.MaxRegressPct)
+		for _, f := range failures {
+			fmt.Println("  " + f)
+		}
+		return fmt.Errorf("%d gated benchmark regression(s)", len(failures))
 	}
 	return nil
 }

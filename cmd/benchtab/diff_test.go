@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -71,7 +72,7 @@ PASS`
 	oldPath := writeSnapshot(t, dir, "old.json", oldBench)
 	newPath := writeSnapshot(t, dir, "new.json", newBench)
 
-	out := captureStdout(t, func() error { return diffSnapshots(oldPath, newPath) })
+	out := captureStdout(t, func() error { return diffSnapshots(oldPath, newPath, nil) })
 
 	for _, bad := range []string{"NaN", "Inf", "inf"} {
 		if strings.Contains(out, bad) {
@@ -110,5 +111,90 @@ func TestFmtDelta(t *testing.T) {
 		if got := fmtDelta(c.old, c.new); got != c.want {
 			t.Errorf("fmtDelta(%v, %v) = %q, want %q", c.old, c.new, got, c.want)
 		}
+	}
+}
+
+// TestDiffGate exercises the CI regression gate: a gated benchmark whose
+// time regresses past the threshold (or whose pinned-zero allocation count
+// moves at all) fails the diff; ungated benchmarks and tolerable drift do
+// not.
+func TestDiffGate(t *testing.T) {
+	dir := t.TempDir()
+	oldBench := `goos: linux
+BenchmarkMatchWordInterned-8   5000000   240.0 ns/op   0 B/op   0 allocs/op
+BenchmarkMatcherCached-8       5000000   100.0 ns/op   0 B/op   0 allocs/op
+BenchmarkUnrelated-8           1000      900 ns/op
+PASS`
+	okBench := `goos: linux
+BenchmarkMatchWordInterned-8   5000000   260.0 ns/op   0 B/op   0 allocs/op
+BenchmarkMatcherCached-8       5000000   110.0 ns/op   0 B/op   0 allocs/op
+BenchmarkUnrelated-8           1000      9000 ns/op
+PASS`
+	timeRegress := `goos: linux
+BenchmarkMatchWordInterned-8   5000000   400.0 ns/op   0 B/op   0 allocs/op
+BenchmarkMatcherCached-8       5000000   110.0 ns/op   0 B/op   0 allocs/op
+PASS`
+	allocRegress := `goos: linux
+BenchmarkMatchWordInterned-8   5000000   240.0 ns/op   0 B/op   2 allocs/op
+BenchmarkMatcherCached-8       5000000   100.0 ns/op   0 B/op   0 allocs/op
+PASS`
+	goneBench := `goos: linux
+BenchmarkMatcherCached-8       5000000   100.0 ns/op   0 B/op   0 allocs/op
+PASS`
+	oldPath := writeSnapshot(t, dir, "old.json", oldBench)
+
+	gate := func() *gateConfig {
+		return &gateConfig{
+			Pattern:       regexp.MustCompile("MatchWordInterned|MatcherCached"),
+			MaxRegressPct: 25,
+		}
+	}
+	run := func(newBench string) error {
+		newPath := writeSnapshot(t, dir, "new.json", newBench)
+		var err error
+		captureStdout(t, func() error { err = diffSnapshots(oldPath, newPath, gate()); return nil })
+		return err
+	}
+	if err := run(okBench); err != nil {
+		t.Errorf("tolerable drift (<=25%%, 10x on ungated) must pass, got %v", err)
+	}
+	if err := run(timeRegress); err == nil {
+		t.Error("67%% ns/op regression on a gated benchmark must fail the diff")
+	}
+	if err := run(allocRegress); err == nil {
+		t.Error("pinned 0 allocs/op moving to 2 must fail the diff regardless of percent")
+	}
+	if err := run(goneBench); err == nil {
+		t.Error("a gated benchmark missing from the new snapshot must fail the diff")
+	}
+}
+
+// TestDiffGateUnits: restricting the gate to allocation metrics (the CI
+// configuration — time is machine-dependent) ignores even large time
+// regressions while still catching allocation ones.
+func TestDiffGateUnits(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnapshot(t, dir, "old.json", `goos: linux
+BenchmarkMatchWordInterned-8   5000000   240.0 ns/op   0 B/op   0 allocs/op
+PASS`)
+	newPath := writeSnapshot(t, dir, "new.json", `goos: linux
+BenchmarkMatchWordInterned-8   5000000   900.0 ns/op   0 B/op   0 allocs/op
+PASS`)
+	gate := &gateConfig{
+		Pattern:       regexp.MustCompile("MatchWordInterned"),
+		MaxRegressPct: 25,
+		Units:         map[string]bool{"B/op": true, "allocs/op": true},
+	}
+	var err error
+	captureStdout(t, func() error { err = diffSnapshots(oldPath, newPath, gate); return nil })
+	if err != nil {
+		t.Errorf("time-only regression must pass an allocation-only gate, got %v", err)
+	}
+	newPath = writeSnapshot(t, dir, "new2.json", `goos: linux
+BenchmarkMatchWordInterned-8   5000000   240.0 ns/op   64 B/op   3 allocs/op
+PASS`)
+	captureStdout(t, func() error { err = diffSnapshots(oldPath, newPath, gate); return nil })
+	if err == nil {
+		t.Error("allocation regression must fail an allocation-only gate")
 	}
 }

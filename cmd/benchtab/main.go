@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"regexp"
 	"strings"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"dregex/internal/match/colored"
 	"dregex/internal/match/kore"
 	"dregex/internal/match/pathdecomp"
+	"dregex/internal/match/table"
 	"dregex/internal/numeric"
 	"dregex/internal/parsetree"
 	"dregex/internal/wordgen"
@@ -40,13 +42,31 @@ import (
 func main() {
 	exps := flag.String("exp", "e1,e5,e7,e9", "comma-separated experiments")
 	diff := flag.Bool("diff", false, "diff two BENCH_*.json snapshots: benchtab -diff OLD.json NEW.json")
+	gatePat := flag.String("gate", "", "with -diff: regexp of benchmarks gated against regression (CI fails the diff when one regresses)")
+	maxRegress := flag.Float64("max-regress", 25, "with -diff -gate: largest tolerated regression in percent (zero baselines tolerate none)")
+	gateUnits := flag.String("gate-units", "", "with -diff -gate: comma-separated metrics to gate (default ns/op,ns/sym,B/op,allocs/op; CI passes B/op,allocs/op — time is machine-dependent)")
 	flag.Parse()
 	if *diff {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchtab -diff OLD.json NEW.json")
+			fmt.Fprintln(os.Stderr, "usage: benchtab -diff [-gate REGEXP [-max-regress PCT]] OLD.json NEW.json")
 			os.Exit(2)
 		}
-		if err := diffSnapshots(flag.Arg(0), flag.Arg(1)); err != nil {
+		var gate *gateConfig
+		if *gatePat != "" {
+			re, err := regexp.Compile(*gatePat)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error: bad -gate pattern:", err)
+				os.Exit(2)
+			}
+			gate = &gateConfig{Pattern: re, MaxRegressPct: *maxRegress}
+			if *gateUnits != "" {
+				gate.Units = map[string]bool{}
+				for _, u := range strings.Split(*gateUnits, ",") {
+					gate.Units[strings.TrimSpace(u)] = true
+				}
+			}
+		}
+		if err := diffSnapshots(flag.Arg(0), flag.Arg(1), gate); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -162,6 +182,62 @@ func e5() {
 		d := timeIt(func() {
 			for i := 0; i < reps; i++ {
 				if !match.Word(s.sim, w) {
+					panic("must match")
+				}
+			}
+		})
+		fmt.Printf("%22s %12.1f\n", s.name, float64(d.Nanoseconds())/float64(reps*len(w)))
+	}
+	fmt.Printf("%22s %12s  (workload exceeds the %d-entry table budget)\n",
+		"table", "-", table.DefaultBudget)
+	fmt.Println()
+	e5Table()
+}
+
+// e5Table is the table-eligible companion workload: the same starred
+// 3-occurrence family sized to fit the dense-table budget, where the
+// flat-table tier applies — the common case of real content models.
+func e5Table() {
+	fmt.Println("E5b: per-symbol transition cost with the dense-table tier (2k-node workload)")
+	r := rand.New(rand.NewSource(4))
+	alpha := ast.NewAlphabet()
+	e := ast.Star(wordgen.KOccurrence(alpha, 200, 3))
+	tr, err := parsetree.Build(ast.Normalize(e), alpha)
+	if err != nil {
+		panic(err)
+	}
+	fol := follow.New(tr)
+	w, ok := words.RandomWord(r, fol, 1<<15, 0.0001)
+	if !ok || len(w) < 1<<14 {
+		panic("no word")
+	}
+	tab, err := table.New(tr, fol, 0)
+	if err != nil {
+		panic(err)
+	}
+	type row struct {
+		name string
+		run  func() bool
+	}
+	rows := []row{
+		{"table (direct)", func() bool { return tab.MatchWord(w) }},
+		{"table (sim)", func() bool { return match.Word(tab, w) }},
+	}
+	k := kore.New(tr, fol)
+	rows = append(rows, row{fmt.Sprintf("kore (k=%d)", k.K), func() bool { return match.Word(k, w) }})
+	if cv, err := colored.New(tr, fol, colored.Options{}); err == nil {
+		rows = append(rows, row{"colored-veb", func() bool { return match.Word(cv, w) }})
+	}
+	if pd, err := pathdecomp.New(tr, fol); err == nil {
+		rows = append(rows, row{fmt.Sprintf("pathdecomp (ce=%d)", pd.CE), func() bool { return match.Word(pd, w) }})
+	}
+	fmt.Printf("%22s %12s  (word length %d, %d table entries)\n",
+		"engine", "ns/symbol", len(w), tab.Entries())
+	for _, s := range rows {
+		reps := 20
+		d := timeIt(func() {
+			for i := 0; i < reps; i++ {
+				if !s.run() {
 					panic("must match")
 				}
 			}

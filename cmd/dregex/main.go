@@ -14,8 +14,8 @@
 // Flags:
 //
 //	-dtd        parse EXPR as a DTD content model
-//	-algo A     matching algorithm: auto, kore, colored, colored-binary,
-//	            pathdecomp, starfree-scan, climbing, nfa
+//	-algo A     matching algorithm: auto, table, kore, colored,
+//	            colored-binary, pathdecomp, starfree-scan, climbing, nfa
 //	-numeric    allow numeric occurrence indicators e{m,n} (§3.3 engine)
 //	-explain    print a counterexample word for nondeterministic EXPR
 //	-stats      print structural statistics
@@ -34,7 +34,7 @@ import (
 func main() {
 	var (
 		dtdSyntax = flag.Bool("dtd", false, "parse EXPR as a DTD content model")
-		algoName  = flag.String("algo", "auto", "matching algorithm")
+		algoName  = flag.String("algo", "auto", "matching algorithm: auto, table, kore, colored, colored-binary, pathdecomp, starfree-scan, climbing, nfa")
 		numericOn = flag.Bool("numeric", false, "allow numeric occurrence indicators")
 		explain   = flag.Bool("explain", false, "explain nondeterminism")
 		stats     = flag.Bool("stats", false, "print structural statistics")
@@ -161,6 +161,8 @@ func parseAlgo(name string) (dregex.Algorithm, bool) {
 	switch name {
 	case "auto":
 		return dregex.Auto, true
+	case "table":
+		return dregex.Table, true
 	case "kore":
 		return dregex.KORE, true
 	case "colored":

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dregex/internal/match"
+	"dregex/internal/wordgen"
 )
 
 func TestMatcherIsCachedPerAlgorithm(t *testing.T) {
@@ -67,16 +68,36 @@ func TestMatcherCacheConcurrent(t *testing.T) {
 }
 
 func TestMatchAllReusesBatchEngine(t *testing.T) {
-	e := MustCompile("(title, author, abstract?)", DTD)
+	// A table-eligible star-free model rides the dense-table tier word by
+	// word; the batch engine must not even be built for it.
+	small := MustCompile("(title, author, abstract?)", DTD)
 	words := [][]string{{"title", "author"}, {"title"}}
-	if _, err := e.MatchAll(words, Auto); err != nil {
+	if small.auto != Table {
+		t.Fatalf("small star-free model resolves Auto to %v, want Table", small.auto)
+	}
+	if _, err := small.MatchAll(words, Auto); err != nil {
+		t.Fatal(err)
+	}
+	if small.batch.b != nil {
+		t.Error("table-eligible Auto MatchAll must bypass the batch engine")
+	}
+
+	// Beyond the table budget, star-free Auto MatchAll still takes the
+	// Theorem 4.12 batch engine, built once and reused.
+	e := MustCompile(wordgen.OptChainDTD(1024), DTD)
+	if e.auto == Table {
+		t.Fatalf("big star-free model must be over the table budget (positions=%d sigma=%d)",
+			e.stats.Positions, e.stats.Sigma)
+	}
+	bigWords := [][]string{{"a0", "a1"}, {"a1", "a0"}}
+	if _, err := e.MatchAll(bigWords, Auto); err != nil {
 		t.Fatal(err)
 	}
 	b1 := e.batch.b
 	if b1 == nil {
 		t.Fatal("star-free Auto MatchAll must use the batch engine")
 	}
-	if _, err := e.MatchAll(words, Auto); err != nil {
+	if _, err := e.MatchAll(bigWords, Auto); err != nil {
 		t.Fatal(err)
 	}
 	if e.batch.b != b1 {
@@ -159,7 +180,7 @@ func TestInternAndMatchWord(t *testing.T) {
 			t.Errorf("MatchSymbols(%v) = %v, want %v", c.names, got, c.want)
 		}
 	}
-	// MatchAllWords agrees, through the batch path of a star-free model.
+	// MatchAllWords agrees, through the table tier of a star-free model.
 	sf := MustCompile("(title, author, abstract?)", DTD)
 	ws := [][]Symbol{sf.Intern([]string{"title", "author"}), sf.Intern([]string{"title"})}
 	got, err := sf.MatchAllWords(ws, Auto)
@@ -178,7 +199,7 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 	e := MustCompile("(login, (query, page*)*, logout)", DTD)
 	word := e.Intern([]string{"login", "query", "page", "page", "query", "logout"})
 
-	for _, algo := range []Algorithm{KORE, Colored, ColoredBinary, PathDecomp, Climbing} {
+	for _, algo := range []Algorithm{Table, KORE, Colored, ColoredBinary, PathDecomp, Climbing} {
 		m, err := e.Matcher(algo)
 		if err != nil {
 			t.Fatal(err)
@@ -240,5 +261,39 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 		m.MatchWord(buf)
 	}); n != 0 {
 		t.Errorf("InternInto+MatchWord allocates %v/op, want 0", n)
+	}
+}
+
+// TestMatchAllCachedAllocs pins the steady-state allocation count of the
+// cached MatchAll path for table-eligible expressions: the dense-table
+// tier matches word by word, so the only allocation left is the returned
+// verdict slice.
+func TestMatchAllCachedAllocs(t *testing.T) {
+	e := MustCompile("(title, author, (section | appendix)?)", DTD)
+	names := [][]string{
+		{"title", "author", "section"},
+		{"title", "author", "appendix"},
+		{"title", "section"},
+	}
+	words := make([][]Symbol, len(names))
+	for i, w := range names {
+		words[i] = e.Intern(w)
+	}
+	if _, err := e.MatchAll(names, Auto); err != nil { // warm the engine
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := e.MatchAll(names, Auto); err != nil {
+			t.Error(err)
+		}
+	}); n > 1 {
+		t.Errorf("cached MatchAll allocates %v/op, want <= 1 (the verdict slice)", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := e.MatchAllWords(words, Auto); err != nil {
+			t.Error(err)
+		}
+	}); n > 1 {
+		t.Errorf("cached MatchAllWords allocates %v/op, want <= 1 (the verdict slice)", n)
 	}
 }

@@ -88,7 +88,7 @@ func TestEnginesUnanimous(t *testing.T) {
 				t.Fatalf("generator emitted nondeterministic %q (%s)", c.source, e.Rule())
 			}
 			algos := []dregex.Algorithm{
-				dregex.KORE, dregex.Colored, dregex.ColoredBinary,
+				dregex.Table, dregex.KORE, dregex.Colored, dregex.ColoredBinary,
 				dregex.PathDecomp, dregex.Climbing, dregex.NFA,
 			}
 			if e.Stats().StarFree {
@@ -137,5 +137,83 @@ func TestEnginesUnanimous(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestTableBudgetBoundary proves the Auto fallback engages exactly at the
+// size cutoff: the largest n with (n+2)² ≤ TableBudget resolves Auto to
+// Table, n+1 falls back to the §4 ladder — and both engines agree with the
+// reference on every sampled word.
+func TestTableBudgetBoundary(t *testing.T) {
+	// Largest n with (n+2)*(n+2) <= TableBudget.
+	n := 2
+	for (n+3)*(n+3) <= dregex.TableBudget {
+		n++
+	}
+	under := dregex.MustCompile(wordgen.OptChainDTD(n), dregex.DTD)
+	over := dregex.MustCompile(wordgen.OptChainDTD(n+1), dregex.DTD)
+
+	entries := func(e *dregex.Expr) int {
+		st := e.Stats()
+		return (st.Positions + 2) * (st.Sigma + 2)
+	}
+	if got := entries(under); got > dregex.TableBudget {
+		t.Fatalf("under-budget expression computes %d entries > budget %d", got, dregex.TableBudget)
+	}
+	if got := entries(over); got <= dregex.TableBudget {
+		t.Fatalf("over-budget expression computes %d entries <= budget %d", got, dregex.TableBudget)
+	}
+
+	mUnder, err := under.Matcher(dregex.Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mUnder.Algorithm() != dregex.Table {
+		t.Errorf("at the cutoff (%d entries) Auto resolves to %v, want Table", entries(under), mUnder.Algorithm())
+	}
+	mOver, err := over.Matcher(dregex.Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mOver.Algorithm() == dregex.Table {
+		t.Errorf("one position past the cutoff (%d entries) Auto still resolves to Table", entries(over))
+	}
+	// An explicit Table request past the budget must refuse, not build a
+	// bigger table.
+	if _, err := over.Matcher(dregex.Table); err == nil {
+		t.Error("explicit Matcher(Table) past the budget must fail")
+	}
+
+	// Differential verification across the boundary: the fallback engine
+	// must agree with the reference (k-ORE) on the same corpus, exactly as
+	// the table engine does just under the cutoff.
+	corpus := [][]string{
+		{},
+		{"a0"},
+		{"a0", "a1", "a2"},
+		{"a2", "a0"}, // out of order: reject
+		{"a1", fmt.Sprintf("a%d", n-1)},
+		{"a0", "a0"}, // repeat: reject
+		{"nope"},
+	}
+	for _, e := range []*dregex.Expr{under, over} {
+		ref, err := e.Matcher(dregex.KORE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := e.Matcher(dregex.Auto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range corpus {
+			want := ref.MatchSymbols(w)
+			if got := m.MatchSymbols(w); got != want {
+				t.Errorf("%v (auto=%v) disagrees with kore on %v: got %v, want %v",
+					e.Source()[:24]+"…", m.Algorithm(), w, got, want)
+			}
+			if got := m.MatchWord(e.Intern(w)); got != want {
+				t.Errorf("%v (auto=%v) interned path disagrees on %v", e.Source()[:24]+"…", m.Algorithm(), w)
+			}
+		}
 	}
 }

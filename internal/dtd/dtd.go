@@ -33,6 +33,7 @@
 package dtd
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/xml"
 	"errors"
@@ -449,10 +450,41 @@ type frame struct {
 
 // docState is the reusable scratch of one validation pass. A zero value is
 // ready; reusing one across documents (one per Validator worker) keeps the
-// element stack's capacity, so steady-state validation allocates nothing
-// beyond the XML decoder itself.
+// element stack's capacity and the read buffer, so steady-state validation
+// allocates nothing beyond the XML decoder itself.
 type docState struct {
 	stack []frame
+	// br wraps the document reader; handing the decoder an io.ByteReader
+	// keeps encoding/xml from allocating its own bufio.Reader per document.
+	br *bufio.Reader
+}
+
+// byteReader returns r as an io.ByteReader for the XML decoder, reusing
+// the state's buffered reader unless r already is one.
+func (st *docState) byteReader(r io.Reader) io.Reader {
+	if _, ok := r.(io.ByteReader); ok {
+		return r
+	}
+	if st.br == nil {
+		st.br = bufio.NewReader(r)
+	} else {
+		st.br.Reset(r)
+	}
+	return st.br
+}
+
+// emptyReader is the stateless reader pooled read buffers are parked on
+// between documents, so a retained docState never pins the previous
+// document's reader (an HTTP request body, say) until its next use.
+type emptyReader struct{}
+
+func (emptyReader) Read([]byte) (int, error) { return 0, io.EOF }
+
+// releaseReader detaches the read buffer from the current document.
+func (st *docState) releaseReader() {
+	if st.br != nil {
+		st.br.Reset(emptyReader{})
+	}
 }
 
 // Validate checks an XML document against the DTD: every element must be
@@ -480,7 +512,8 @@ func (d *DTD) ValidateReusing(r io.Reader, st *DocState) ([]ValidationError, err
 }
 
 func (d *DTD) validate(r io.Reader, st *docState) ([]ValidationError, error) {
-	dec := xml.NewDecoder(r)
+	dec := xml.NewDecoder(st.byteReader(r))
+	defer st.releaseReader()
 	// Internal general entities declared by the DTD resolve during
 	// decoding; predefined entities (&lt; &amp; …) work regardless. A nil
 	// or empty map simply adds nothing.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package starfree
+
+const raceEnabled = false

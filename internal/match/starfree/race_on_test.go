@@ -1,0 +1,9 @@
+//go:build race
+
+package starfree
+
+// raceEnabled reports that the race detector is active; its
+// instrumentation changes allocation counts, so strict AllocsPerRun pins
+// are skipped under -race (CI also runs the tests without it via the
+// benchmark compile step).
+const raceEnabled = true

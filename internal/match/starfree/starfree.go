@@ -15,6 +15,7 @@ package starfree
 
 import (
 	"errors"
+	"sync"
 
 	"dregex/internal/ast"
 	"dregex/internal/determinism"
@@ -84,10 +85,16 @@ func (s *Scan) Accept(p parsetree.NodeID) bool {
 	return s.fol.CheckIfFollow(p, s.t.EndPos())
 }
 
-// Batch matches many words in one traversal of the expression (§4.4).
+// Batch matches many words in one traversal of the expression (§4.4). It
+// is safe for concurrent use: per-call state lives in pooled scratch
+// buffers, so steady-state MatchAll traffic (a cached expression matched
+// per request) reuses the arena, skeleton and link slices grown by earlier
+// calls instead of reallocating them — only the returned verdict slice is
+// allocated per call.
 type Batch struct {
-	t   *parsetree.Tree
-	fol *follow.Index
+	t       *parsetree.Tree
+	fol     *follow.Index
+	scratch sync.Pool // *batchScratch
 }
 
 // NewBatch validates and wraps the expression.
@@ -110,27 +117,78 @@ type dnode struct {
 // dyn is one dynamic a-skeleton: node arena indices plus the rightmost
 // path stack.
 type dyn struct {
-	nodes []int32 // arena ids, alive subset implied by links
 	stack []int32 // rightmost path, arena ids, shallow → deep
 	root  int32   // arena id, -1 when empty
+}
+
+// batchScratch is the reusable per-call state of one MatchAll traversal.
+type batchScratch struct {
+	idx   []int32 // consumed prefix length per word
+	next  []int32 // word list links, -1 end
+	skels []dyn   // one dynamic skeleton per symbol
+	arena []dnode
+	walk  []int32
+	// Per-symbol routing buckets (head/tail of a word list, -1 empty) plus
+	// the list of symbols currently holding one — the allocation-free
+	// replacement for a map[symbol]*bucket rebuilt per position.
+	bHead, bTail []int32
+	touched      []ast.Symbol
+	// conv/syms back MatchAllNames: interned words are sliced out of one
+	// flat symbol arena.
+	conv [][]ast.Symbol
+	syms []ast.Symbol
+}
+
+// getScratch returns a scratch with idx/next sized for n words and the
+// per-symbol structures sized for the alphabet, reusing pooled buffers.
+func (b *Batch) getScratch(n int) *batchScratch {
+	sc, _ := b.scratch.Get().(*batchScratch)
+	if sc == nil {
+		sc = &batchScratch{}
+	}
+	sigma := b.t.Alpha.Size()
+	if cap(sc.idx) < n {
+		sc.idx = make([]int32, n)
+		sc.next = make([]int32, n)
+	}
+	sc.idx = sc.idx[:n]
+	sc.next = sc.next[:n]
+	if len(sc.skels) < sigma {
+		sc.skels = make([]dyn, sigma)
+		sc.bHead = make([]int32, sigma)
+		sc.bTail = make([]int32, sigma)
+	}
+	for i := range sc.skels {
+		sc.skels[i].root = -1
+		sc.skels[i].stack = sc.skels[i].stack[:0]
+		sc.bHead[i] = -1
+	}
+	sc.arena = sc.arena[:0]
+	sc.touched = sc.touched[:0]
+	return sc
 }
 
 // MatchAll matches every word (of interned symbols) and returns one verdict
 // per word. The expression is traversed once; total time is
 // O(|e| + Σ|w_i|) up to the stack-scan caveat documented in DESIGN.md.
 func (b *Batch) MatchAll(ws [][]ast.Symbol) []bool {
+	sc := b.getScratch(len(ws))
+	res := b.matchAll(ws, sc)
+	b.scratch.Put(sc)
+	return res
+}
+
+func (b *Batch) matchAll(ws [][]ast.Symbol, sc *batchScratch) []bool {
 	t := b.t
 	fol := b.fol
 	res := make([]bool, len(ws))
-	idx := make([]int32, len(ws))  // consumed prefix length
-	next := make([]int32, len(ws)) // word list links, -1 end
+	idx := sc.idx   // consumed prefix length
+	next := sc.next // word list links, -1 end
 
 	sigma := t.Alpha.Size()
-	skels := make([]dyn, sigma)
-	for i := range skels {
-		skels[i].root = -1
-	}
-	arena := []dnode{}
+	skels := sc.skels
+	arena := sc.arena
+	defer func() { sc.arena = arena }() // keep growth for the next call
 	newNode := func(e parsetree.NodeID) int32 {
 		arena = append(arena, dnode{enode: e, par: -1, lch: -1, rch: -1, head: -1, tail: -1})
 		return int32(len(arena) - 1)
@@ -194,16 +252,29 @@ func (b *Batch) MatchAll(ws [][]ast.Symbol) []bool {
 	}
 
 	// route sends a batch of words (linked list heads grouped per next
-	// symbol) from position p onward; exhausted words are finalized.
+	// symbol) from position p onward; exhausted words are finalized. The
+	// per-symbol buckets live in the scratch (bHead/bTail indexed by
+	// symbol, touched listing the non-empty ones), so routing allocates
+	// nothing.
 	end := t.EndPos()
-	type bucket struct {
-		head, tail int32
-	}
-	touched := map[ast.Symbol]*bucket{}
-	route := func(p parsetree.NodeID, head int32) {
-		for s := range touched {
-			delete(touched, s)
+	flush := func(p parsetree.NodeID) {
+		for _, a := range sc.touched {
+			insert(&skels[a], p, sc.bHead[a], sc.bTail[a])
+			sc.bHead[a] = -1
 		}
+		sc.touched = sc.touched[:0]
+	}
+	park := func(w int32, a ast.Symbol) {
+		next[w] = -1
+		if sc.bHead[a] == -1 {
+			sc.bHead[a], sc.bTail[a] = w, w
+			sc.touched = append(sc.touched, a)
+		} else {
+			next[sc.bTail[a]] = w
+			sc.bTail[a] = w
+		}
+	}
+	route := func(p parsetree.NodeID, head int32) {
 		for w := head; w != -1; {
 			nw := next[w]
 			word := ws[w]
@@ -212,61 +283,32 @@ func (b *Batch) MatchAll(ws [][]ast.Symbol) []bool {
 			} else {
 				a := word[idx[w]]
 				if a >= ast.FirstUser && int(a) < sigma {
-					bk := touched[a]
-					if bk == nil {
-						bk = &bucket{head: -1, tail: -1}
-						touched[a] = bk
-					}
-					next[w] = -1
-					if bk.head == -1 {
-						bk.head, bk.tail = w, w
-					} else {
-						next[bk.tail] = w
-						bk.tail = w
-					}
+					park(w, a)
 				}
 			}
 			w = nw
 		}
-		for a, bk := range touched {
-			insert(&skels[a], p, bk.head, bk.tail)
-		}
+		flush(p)
 	}
 
 	// Seed: all words sit at # expecting their first symbol.
-	{
-		heads := map[ast.Symbol]*bucket{}
-		for w := range ws {
-			idx[w] = 0
-			next[w] = -1
-			if len(ws[w]) == 0 {
-				res[w] = fol.CheckIfFollow(t.BeginPos(), end)
-				continue
-			}
-			a := ws[w][0]
-			if a < ast.FirstUser || int(a) >= sigma {
-				continue
-			}
-			bk := heads[a]
-			if bk == nil {
-				bk = &bucket{head: -1, tail: -1}
-				heads[a] = bk
-			}
-			if bk.head == -1 {
-				bk.head, bk.tail = int32(w), int32(w)
-			} else {
-				next[bk.tail] = int32(w)
-				bk.tail = int32(w)
-			}
+	for w := range ws {
+		idx[w] = 0
+		next[w] = -1
+		if len(ws[w]) == 0 {
+			res[w] = fol.CheckIfFollow(t.BeginPos(), end)
+			continue
 		}
-		for a, bk := range heads {
-			insert(&skels[a], t.BeginPos(), bk.head, bk.tail)
+		if a := ws[w][0]; a >= ast.FirstUser && int(a) < sigma {
+			park(int32(w), a)
 		}
 	}
+	flush(t.BeginPos())
 
 	// One pass over the user positions in document order.
 	var consumedHead, consumedTail int32
-	var walk []int32
+	walk := sc.walk
+	defer func() { sc.walk = walk }()
 	consumeSubtree := func(rootIdx int32, barrier parsetree.NodeID) {
 		walk = append(walk[:0], rootIdx)
 		for len(walk) > 0 {
@@ -362,28 +404,30 @@ func (b *Batch) MatchAll(ws [][]ast.Symbol) []bool {
 	return res
 }
 
-// MatchAllNames is MatchAll over words given as symbol-name slices.
+// MatchAllNames is MatchAll over words given as symbol-name slices. Words
+// are interned into one pooled flat symbol arena (names outside the user
+// alphabet map to sentinels every routing step skips, so such words simply
+// never reach acceptance), keeping the per-call allocation to the returned
+// verdict slice.
 func (b *Batch) MatchAllNames(ws [][]string) []bool {
 	alpha := b.t.Alpha
-	conv := make([][]ast.Symbol, len(ws))
-	bad := make([]bool, len(ws))
-	for i, w := range ws {
-		conv[i] = make([]ast.Symbol, len(w))
-		for j, name := range w {
-			s, ok := alpha.Lookup(name)
-			if !ok || s == ast.Begin || s == ast.End {
-				bad[i] = true
-				break
-			}
-			conv[i][j] = s
-		}
+	sc := b.getScratch(len(ws))
+	conv := sc.conv[:0]
+	syms := sc.syms[:0]
+	for _, w := range ws {
+		start := len(syms)
+		// LookupWord may grow syms; earlier conv entries keep aliasing the
+		// superseded backing array, which still holds their data.
+		syms = alpha.LookupWord(syms, w)
+		conv = append(conv, syms[start:len(syms):len(syms)])
 	}
-	res := b.MatchAll(conv)
-	for i := range res {
-		if bad[i] {
-			res[i] = false
-		}
+	sc.conv, sc.syms = conv, syms
+	res := b.matchAll(conv, sc)
+	// Drop the interned words before pooling: conv aliases per-call data.
+	for i := range conv {
+		conv[i] = nil
 	}
+	b.scratch.Put(sc)
 	return res
 }
 

@@ -2,6 +2,7 @@ package starfree
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"dregex/internal/ast"
@@ -160,5 +161,72 @@ func TestBatchScale(t *testing.T) {
 		if want := oracle.Match(w); got[i] != want {
 			t.Fatalf("word %d (%v): got %v, want %v", i, w, got[i], want)
 		}
+	}
+}
+
+// TestBatchConcurrentPooledScratch hammers one Batch from many goroutines:
+// pooled scratch must never leak state between concurrent MatchAll calls
+// (run under -race in CI).
+func TestBatchConcurrentPooledScratch(t *testing.T) {
+	alpha := ast.NewAlphabet()
+	tr, fol := compile(t, ast.MustParseMath("((a+ba)(c?))(d?b)", alpha), alpha)
+	b, err := NewBatch(tr, fol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := [][]string{
+		{"b", "c", "d", "b"},
+		{"a", "c", "d", "b", "a"},
+		{"a", "c", "b"},
+		{"b", "a", "d", "a"},
+		{},
+		{"no-such-name"},
+	}
+	want := []bool{false, false, true, false, false, false}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				got := b.MatchAllNames(ws)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("word %d: got %v, want %v", i, got[i], want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestBatchAllocsSteadyState pins the pooled-scratch claim: once the
+// buffers have grown, a MatchAll call allocates only the returned verdict
+// slice (and MatchAllNames one flat interning arena slice header at most).
+func TestBatchAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates closure allocation counts")
+	}
+	alpha := ast.NewAlphabet()
+	tr, fol := compile(t, ast.MustParseMath("((a+ba)(c?))(d?b)", alpha), alpha)
+	b, err := NewBatch(tr, fol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := alpha.Lookup("a")
+	c, _ := alpha.Lookup("c")
+	d, _ := alpha.Lookup("d")
+	bb, _ := alpha.Lookup("b")
+	ws := [][]ast.Symbol{{a, c, bb}, {bb, c, d, bb}, {a, bb}, {}}
+	names := [][]string{{"a", "c", "b"}, {"b", "c", "d", "b"}, {"a", "b"}, {}}
+	b.MatchAll(ws)
+	b.MatchAllNames(names) // warm the pool
+	if n := testing.AllocsPerRun(200, func() { b.MatchAll(ws) }); n > 1 {
+		t.Errorf("MatchAll allocates %v/op in steady state, want <= 1 (the verdict slice)", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { b.MatchAllNames(names) }); n > 1 {
+		t.Errorf("MatchAllNames allocates %v/op in steady state, want <= 1", n)
 	}
 }

@@ -29,6 +29,8 @@
 package numeric
 
 import (
+	"sync"
+
 	"dregex/internal/ast"
 	"dregex/internal/determinism"
 	"dregex/internal/follow"
@@ -49,10 +51,18 @@ type Counted struct {
 	chainOf  [][]parsetree.NodeID
 	maxChain int
 	// bySym[a] lists the positions labeled a, in position order — the
-	// candidate targets of one Feed step.
+	// candidate targets of one Feed step (the phantom $ included, for the
+	// Accepts probe; # is never a target).
 	bySym [][]parsetree.NodeID
 
 	det *determinism.Result
+
+	// tab is the counter-augmented transition table (table.go), built
+	// lazily under tabOnce so determinism-only workloads never pay for it;
+	// noTable disables it (tests force the fallback enumeration).
+	tabOnce sync.Once
+	tab     *transTable
+	noTable bool
 }
 
 // Compile normalizes (ast.Normalize: Min ≥ 1, Max ≥ 2 for every surviving
@@ -88,7 +98,7 @@ func Compile(e *ast.Node, alpha *ast.Alphabet) (*Counted, error) {
 		if len(chain) > c.maxChain {
 			c.maxChain = len(chain)
 		}
-		if s := tree.Sym[p]; s >= ast.FirstUser {
+		if s := tree.Sym[p]; s != ast.Begin {
 			c.bySym[s] = append(c.bySym[s], p)
 		}
 	}

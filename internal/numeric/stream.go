@@ -109,16 +109,10 @@ func (s *Stream) Feed(a ast.Symbol) bool {
 	}
 	s.fed++
 	c := s.c
-	var qs []parsetree.NodeID
-	if int(a) < len(c.bySym) {
-		qs = c.bySym[a]
-	}
 	s.nxt.reset()
 	for i := 0; i < s.cur.n(); i++ {
 		p, pc := s.cur.at(c, i)
-		for _, q := range qs {
-			c.appendSteps(p, pc, q, &s.nxt, s.tmp)
-		}
+		c.stepAll(p, pc, a, &s.nxt, s.tmp)
 	}
 	s.cur, s.nxt = s.nxt, s.cur
 	if s.cur.n() == 0 {
@@ -145,11 +139,10 @@ func (s *Stream) Accepts() bool {
 		return false
 	}
 	c := s.c
-	end := c.Tree.EndPos()
 	s.acc.reset()
 	for i := 0; i < s.cur.n(); i++ {
 		p, pc := s.cur.at(c, i)
-		c.appendSteps(p, pc, end, &s.acc, s.tmp)
+		c.stepAll(p, pc, ast.End, &s.acc, s.tmp)
 		if s.acc.n() > 0 {
 			return true
 		}
@@ -180,11 +173,38 @@ func (s *Stream) Configs() int {
 // with counters). Counter values of unbounded iterations are capped at Min
 // — the behaviour is constant beyond it — so the configuration space is
 // finite. tmp is a caller-provided scratch of at least maxChain entries.
+//
+// The structural half of the work — the LCA query and the
+// InFirst/InLast checks along the loop chain — depends only on (p, q),
+// never on the counters, which is exactly what the counter-augmented
+// transition table precomputes (see table.go). This function is the
+// fallback enumeration for expressions beyond the table budget; both
+// paths funnel into stepVia for the counter checks.
 func (c *Counted) appendSteps(p parsetree.NodeID, pc []int32, q parsetree.NodeID, out *cfgSet, tmp []int32) {
+	t := c.Tree
+	n := c.Fol.LCA.Query(p, q)
+
+	// Concatenation case of Lemma 2.2.
+	if t.Op[n] == parsetree.OpCat &&
+		t.InFirst(q, t.RChild[n]) && t.InLast(p, t.LChild[n]) {
+		c.stepVia(p, pc, q, n, parsetree.Null, out, tmp)
+	}
+	// Loop case, at every loop ancestor of n (not only the lowest: with
+	// counters, different levels have different legality and effects).
+	for s := t.PLoop[n]; s != parsetree.Null; s = nextLoopUp(t, s) {
+		if t.InFirst(q, s) && t.InLast(p, s) {
+			c.stepVia(p, pc, q, n, s, out, tmp)
+		}
+	}
+}
+
+// stepVia applies one structurally-legal candidate transition p→q (pivot
+// Null for the concatenation case at n, else the loop node), checking the
+// counter legality and emitting the successor configuration into out.
+func (c *Counted) stepVia(p parsetree.NodeID, pc []int32, q, n, pivot parsetree.NodeID, out *cfgSet, tmp []int32) {
 	t := c.Tree
 	pChain := c.chainOf[p]
 	qChain := c.chainOf[q]
-	n := c.Fol.LCA.Query(p, q)
 
 	counterOf := func(it parsetree.NodeID) int32 {
 		for i, x := range pChain {
@@ -206,63 +226,52 @@ func (c *Counted) appendSteps(p parsetree.NodeID, pc []int32, q parsetree.NodeID
 		}
 		return true
 	}
-	// emit constructs the successor counters for q given the transition
-	// pivot (loop node, or Null for concatenation at n) — counters of
-	// iterations above the pivot carry over, the pivot increments, and
-	// everything newly entered starts at 1.
-	emit := func(pivot parsetree.NodeID) {
-		dst := tmp[:len(qChain)]
-		for i, it := range qChain {
-			switch {
-			case it == pivot:
-				v := counterOf(it) + 1
-				if t.Max[it] != parsetree.IterUnbounded && v > t.Max[it] {
-					return // loop beyond Max — illegal, checked here
-				}
-				if t.Max[it] == parsetree.IterUnbounded && v > t.Min[it] {
-					v = t.Min[it] // cap: behaviour is constant beyond Min
-				}
-				dst[i] = v
-			case pivot != parsetree.Null && t.IsAncestor(pivot, it):
-				dst[i] = 1 // entered below the loop pivot
-			case pivot == parsetree.Null && t.IsAncestor(n, it) && it != n:
-				dst[i] = 1 // entered below the concatenation point
-			default:
-				// Carried over from p (iteration enclosing the pivot)…
-				if v := counterOf(it); v > 0 {
-					dst[i] = v
-				} else {
-					dst[i] = 1 // …or entered on a path not shared with p
-				}
+
+	if pivot == parsetree.Null {
+		if !exitsLegal(n) {
+			return
+		}
+	} else {
+		if !exitsLegal(pivot) {
+			return
+		}
+		if t.Op[pivot] == parsetree.OpIter {
+			if cnt := counterOf(pivot); t.Max[pivot] != parsetree.IterUnbounded && cnt >= t.Max[pivot] {
+				return // cannot loop past Max
 			}
 		}
-		out.add(q, dst)
 	}
 
-	// Concatenation case of Lemma 2.2.
-	if t.Op[n] == parsetree.OpCat &&
-		t.InFirst(q, t.RChild[n]) && t.InLast(p, t.LChild[n]) &&
-		exitsLegal(n) {
-		emit(parsetree.Null)
-	}
-	// Loop case, at every loop ancestor of n (not only the lowest: with
-	// counters, different levels have different legality and effects).
-	for s := t.PLoop[n]; s != parsetree.Null; s = nextLoopUp(t, s) {
-		if !t.InFirst(q, s) || !t.InLast(p, s) {
-			continue
-		}
-		if !exitsLegal(s) {
-			continue
-		}
-		if t.Op[s] == parsetree.OpIter {
-			if cnt := counterOf(s); t.Max[s] != parsetree.IterUnbounded && cnt >= t.Max[s] {
-				continue // cannot loop past Max
+	// Construct the successor counters for q: counters of iterations above
+	// the pivot carry over, the pivot increments, and everything newly
+	// entered starts at 1. (For a ∗ pivot no counter changes at the pivot
+	// itself — it has no qChain entry.)
+	dst := tmp[:len(qChain)]
+	for i, it := range qChain {
+		switch {
+		case it == pivot:
+			v := counterOf(it) + 1
+			if t.Max[it] != parsetree.IterUnbounded && v > t.Max[it] {
+				return // loop beyond Max — illegal, checked here
+			}
+			if t.Max[it] == parsetree.IterUnbounded && v > t.Min[it] {
+				v = t.Min[it] // cap: behaviour is constant beyond Min
+			}
+			dst[i] = v
+		case pivot != parsetree.Null && t.IsAncestor(pivot, it):
+			dst[i] = 1 // entered below the loop pivot
+		case pivot == parsetree.Null && t.IsAncestor(n, it) && it != n:
+			dst[i] = 1 // entered below the concatenation point
+		default:
+			// Carried over from p (iteration enclosing the pivot)…
+			if v := counterOf(it); v > 0 {
+				dst[i] = v
+			} else {
+				dst[i] = 1 // …or entered on a path not shared with p
 			}
 		}
-		// For a ∗ pivot no counter changes at s itself; emit handles both
-		// cases (an Iter pivot increments, everything below restarts at 1).
-		emit(s)
 	}
+	out.add(q, dst)
 }
 
 // nextLoopUp returns the next loop node strictly above s.

@@ -11,6 +11,7 @@ import (
 	"io"
 	"mime"
 	"net/http"
+	"net/url"
 	"sort"
 	"strings"
 
@@ -161,7 +162,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	} else {
 		// Raw-body mode: the document streams straight from the connection
 		// into the validator — no buffering, O(decoder) memory per request.
-		name = r.URL.Query().Get("schema")
+		name = queryParam(r.URL.RawQuery, "schema")
 		doc = r.Body
 	}
 	if name == "" {
@@ -182,6 +183,25 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, &resp)
+}
+
+// queryParam returns the (unescaped) first value of key in a raw query
+// string. Unlike url.Values it materializes no map, so the hot validate
+// path resolves its ?schema=NAME without per-request allocation.
+func queryParam(rawQuery, key string) string {
+	for q := rawQuery; q != ""; {
+		var kv string
+		kv, q, _ = strings.Cut(q, "&")
+		k, v, _ := strings.Cut(kv, "=")
+		if k != key {
+			continue
+		}
+		if u, err := url.QueryUnescape(v); err == nil {
+			return u
+		}
+		return v
+	}
+	return ""
 }
 
 func (s *Server) handlePutSchema(w http.ResponseWriter, r *http.Request) {

@@ -22,6 +22,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -168,13 +169,54 @@ func (s *Server) counted(name string, h http.HandlerFunc) http.Handler {
 	})
 }
 
+// jsonBuf is a pooled response-encoding buffer with its bound encoder, so
+// the steady-state cost of writing a response is one buffer reset and one
+// Write — no per-request encoder or buffer allocation.
+type jsonBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonBufs = sync.Pool{New: func() any {
+	b := &jsonBuf{}
+	b.enc = json.NewEncoder(&b.buf)
+	return b
+}}
+
+// maxPooledJSONBuf caps what returns to the pool: a pathological response
+// (say, a document yielding tens of thousands of validation errors) must
+// not pin a multi-megabyte buffer behind every future small verdict.
+const maxPooledJSONBuf = 64 << 10
+
+func putJSONBuf(jb *jsonBuf) {
+	if jb.buf.Cap() <= maxPooledJSONBuf {
+		jsonBufs.Put(jb)
+	}
+}
+
+// jsonContentType is the shared Content-Type header value; assigning the
+// same slice per response (the key is already in canonical form) skips the
+// per-request []string allocation of Header.Set. Handlers never mutate it.
+var jsonContentType = []string{"application/json"}
+
 // writeJSON renders v with the given status. Responses are small (verdicts
-// and error lists), so buffered encoding straight to the connection is
-// fine.
+// and error lists); encoding into a pooled buffer makes the response a
+// single Write, which net/http sizes with an automatic Content-Length.
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	jb := jsonBufs.Get().(*jsonBuf)
+	jb.buf.Reset()
+	if err := jb.enc.Encode(v); err != nil {
+		putJSONBuf(jb)
+		// Nothing has been written yet, so a clean 500 is still possible.
+		w.Header()["Content-Type"] = jsonContentType
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, `{"error":%q}`, "encoding response: "+err.Error())
+		return
+	}
+	w.Header()["Content-Type"] = jsonContentType
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	w.Write(jb.buf.Bytes())
+	putJSONBuf(jb)
 }
 
 // writeError renders a client.ErrorResponse. 413 is detected from

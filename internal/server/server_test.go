@@ -492,3 +492,23 @@ func TestSniffKind(t *testing.T) {
 		t.Errorf("nonstandard-prefix XSD sniffed as %s", k)
 	}
 }
+
+func TestQueryParam(t *testing.T) {
+	cases := []struct {
+		raw, key, want string
+	}{
+		{"schema=library", "schema", "library"},
+		{"a=1&schema=lib2&b=2", "schema", "lib2"},
+		{"schema=with%20space", "schema", "with space"},
+		{"schema=a+b", "schema", "a b"},
+		{"other=x", "schema", ""},
+		{"", "schema", ""},
+		{"schema", "schema", ""},
+		{"schema=first&schema=second", "schema", "first"},
+	}
+	for _, c := range cases {
+		if got := queryParam(c.raw, c.key); got != c.want {
+			t.Errorf("queryParam(%q, %q) = %q, want %q", c.raw, c.key, got, c.want)
+		}
+	}
+}

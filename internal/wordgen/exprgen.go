@@ -9,6 +9,7 @@ package wordgen
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"dregex/internal/ast"
 )
@@ -316,4 +317,22 @@ func StarFree(r *rand.Rand, alpha *ast.Alphabet, symbols, maxNodes int) *ast.Nod
 		e = ast.Sym(alpha.Intern(SymbolName(perm[0])))
 	}
 	return ast.Normalize(e)
+}
+
+// OptChainDTD renders the DTD source of a star-free chain of n distinct
+// optional names — (a0?, a1?, …) — with positions = sigma = n. The shape
+// sizes precisely: a dense transition table for it needs exactly (n+2)²
+// entries, which lets tests place expressions on either side of the
+// table-budget cutoff.
+func OptChainDTD(n int) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "a%d?", i)
+	}
+	b.WriteByte(')')
+	return b.String()
 }

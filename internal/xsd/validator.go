@@ -12,6 +12,7 @@
 package xsd
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/xml"
 	"fmt"
@@ -131,6 +132,37 @@ type frame struct {
 // shared schema, so retaining popped frames pins no per-document data.)
 type docState struct {
 	stack []frame
+	// br wraps the document reader; handing the decoder an io.ByteReader
+	// keeps encoding/xml from allocating its own bufio.Reader per document.
+	br *bufio.Reader
+}
+
+// byteReader returns r as an io.ByteReader for the XML decoder, reusing
+// the state's buffered reader unless r already is one.
+func (st *docState) byteReader(r io.Reader) io.Reader {
+	if _, ok := r.(io.ByteReader); ok {
+		return r
+	}
+	if st.br == nil {
+		st.br = bufio.NewReader(r)
+	} else {
+		st.br.Reset(r)
+	}
+	return st.br
+}
+
+// emptyReader is the stateless reader pooled read buffers are parked on
+// between documents, so a retained docState never pins the previous
+// document's reader (an HTTP request body, say) until its next use.
+type emptyReader struct{}
+
+func (emptyReader) Read([]byte) (int, error) { return 0, io.EOF }
+
+// releaseReader detaches the read buffer from the current document.
+func (st *docState) releaseReader() {
+	if st.br != nil {
+		st.br.Reset(emptyReader{})
+	}
 }
 
 // push returns the next frame slot, reusing the slot's buffers when the
@@ -173,7 +205,8 @@ func (s *Schema) ValidateReusing(r io.Reader, st *DocState) ([]ValidationError, 
 }
 
 func (s *Schema) validate(r io.Reader, st *docState) ([]ValidationError, error) {
-	dec := xml.NewDecoder(r)
+	dec := xml.NewDecoder(st.byteReader(r))
+	defer st.releaseReader()
 	var errs []ValidationError
 	st.stack = st.stack[:0]
 	sawRoot := false

@@ -11,17 +11,27 @@ import (
 	"dregex/internal/match/kore"
 	"dregex/internal/match/pathdecomp"
 	"dregex/internal/match/starfree"
+	"dregex/internal/match/table"
 )
 
-// Algorithm selects a transition-simulation engine (§4 of the paper).
+// Algorithm selects a transition-simulation engine (§4 of the paper, plus
+// the dense-table fast path).
 type Algorithm int
 
-// Matching algorithms. Auto picks per the paper's guidance: the k-ORE
-// simulator when every symbol occurs at most twice, the path-decomposition
-// simulator while the alternation depth stays small (it never exceeds 4 in
-// real DTD corpora), and the colored-ancestor simulator otherwise.
+// Matching algorithms. Auto picks the dense-table DFA whenever the
+// expression fits the TableBudget (real-world content models are tiny
+// 1-OREs, where a table transition is one indexed load), then falls back
+// per the paper's guidance: the k-ORE simulator when every symbol occurs
+// at most twice, the path-decomposition simulator while the alternation
+// depth stays small (it never exceeds 4 in real DTD corpora), and the
+// colored-ancestor simulator otherwise.
 const (
 	Auto Algorithm = iota
+	// Table is the flat-table DFA: the Glushkov automaton of a
+	// deterministic expression materialized as a dense transition table
+	// (states = positions, no subset construction), O(1) loads per symbol.
+	// Available only while positions × alphabet stays within TableBudget.
+	Table
 	// KORE is Theorem 4.3: O(k) per symbol.
 	KORE
 	// Colored is Theorem 4.2: O(log log |e|) per symbol via van Emde
@@ -45,10 +55,32 @@ const (
 	numAlgorithms = int(NFA) + 1
 )
 
-// autoSelect resolves Auto from the compile-time stats, per the paper's
-// guidance (see the Algorithm constants).
+// TableBudget caps the dense-table tier: Auto selects Table only while
+// (positions+2) × (alphabet+2) table entries — the phantom # and $ occupy
+// one state and two columns — stay within it. Above the budget the
+// linear-precomputation engines of §4 take over, keeping the paper's
+// O(|e|) preprocessing guarantee for pathological sizes.
+const TableBudget = table.DefaultBudget
+
+// tableEligible reports whether Auto may pick the dense-table tier. Both
+// the table size (positions × alphabet) and the construction work
+// (positions², every pair is probed once) must fit the budget — mirroring
+// table.New exactly, so Auto never selects a tier that would then refuse
+// to build.
+func tableEligible(st Stats) bool {
+	states := st.Positions + 2 // the phantom # and $ are states too
+	return st.Deterministic &&
+		states*(st.Sigma+2) <= TableBudget &&
+		states*states <= TableBudget
+}
+
+// autoSelect resolves Auto from the compile-time stats: the dense-table
+// fast path while it fits TableBudget, then the paper's guidance (see the
+// Algorithm constants).
 func autoSelect(st Stats) Algorithm {
 	switch {
+	case tableEligible(st):
+		return Table
 	case st.K <= 2:
 		return KORE
 	case st.AlternationDepth <= 8:
@@ -62,6 +94,8 @@ func (a Algorithm) String() string {
 	switch a {
 	case Auto:
 		return "auto"
+	case Table:
+		return "table"
 	case KORE:
 		return "kore"
 	case Colored:
@@ -88,6 +122,9 @@ type Matcher struct {
 	algo Algorithm
 	sim  match.TransitionSim
 	nfa  *kore.NFA
+	// tab aliases sim for the Table engine, so MatchWord can take the
+	// devirtualized table loop instead of per-symbol interface calls.
+	tab *table.DFA
 }
 
 // Matcher returns the engine for algo, building it on first use and
@@ -118,6 +155,12 @@ func (e *Expr) buildMatcher(algo Algorithm) (*Matcher, error) {
 	m := &Matcher{expr: e, algo: algo}
 	var err error
 	switch algo {
+	case Table:
+		var d *table.DFA
+		if d, err = table.New(e.tree, e.fol, TableBudget); err == nil {
+			m.tab = d
+			m.sim = d
+		}
 	case KORE:
 		m.sim = kore.New(e.tree, e.fol)
 	case Colored:
@@ -166,6 +209,9 @@ func (m *Matcher) MatchSymbols(names []string) bool {
 // deterministic engines this is the zero-allocation hot path: no map
 // lookups, no per-symbol conversions, O(1) state.
 func (m *Matcher) MatchWord(word []ast.Symbol) bool {
+	if m.tab != nil {
+		return m.tab.MatchWord(word)
+	}
 	if m.nfa != nil {
 		return m.nfa.Match(word)
 	}
@@ -229,14 +275,17 @@ func (m *Matcher) MatchReaderTokens(r io.Reader) (bool, error) {
 	return match.ReaderTokens(m.sim, r)
 }
 
-// MatchAll matches many words at once. Under Auto, star-free expressions
-// take the Theorem 4.12 batch algorithm (combined linear time); an
+// MatchAll matches many words at once. Under Auto, table-eligible
+// expressions ride the dense-table engine word by word (a table step is
+// cheaper than the batch machinery's bookkeeping, and the path allocates
+// nothing beyond the result slice); star-free expressions beyond the table
+// budget take the Theorem 4.12 batch algorithm (combined linear time). An
 // explicitly requested Algorithm is honored and matches each word
 // independently (including NFA on nondeterministic expressions, exactly
 // as through Matcher). The batch engine, like the per-algorithm
 // simulators, is built once and reused across calls.
 func (e *Expr) MatchAll(wordsNames [][]string, algo Algorithm) ([]bool, error) {
-	if algo == Auto && e.det.Deterministic && e.stats.StarFree {
+	if algo == Auto && e.det.Deterministic && e.stats.StarFree && e.auto != Table {
 		if b, err := e.batchEngine(); err == nil {
 			return b.MatchAllNames(wordsNames), nil
 		}
@@ -257,7 +306,7 @@ func (e *Expr) MatchAll(wordsNames [][]string, algo Algorithm) ([]bool, error) {
 
 // MatchAllWords is MatchAll over pre-interned words (see Expr.Intern).
 func (e *Expr) MatchAllWords(words [][]ast.Symbol, algo Algorithm) ([]bool, error) {
-	if algo == Auto && e.det.Deterministic && e.stats.StarFree {
+	if algo == Auto && e.det.Deterministic && e.stats.StarFree && e.auto != Table {
 		if b, err := e.batchEngine(); err == nil {
 			return b.MatchAll(words), nil
 		}
