@@ -33,11 +33,15 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzScanDecls -fuzztime $(FUZZTIME) ./internal/dtd
 	$(GO) test -run xxx -fuzz FuzzXSDContentModel -fuzztime $(FUZZTIME) ./internal/xsd
+	$(GO) test -run xxx -fuzz FuzzXMLTok -fuzztime $(FUZZTIME) ./internal/xmltok
 
 # bench runs the Go benchmark sweep and the benchtab experiment tables,
-# snapshotting both into BENCH_<date>.json for cross-PR comparison.
+# snapshotting both into BENCH_<date>.json for cross-PR comparison. The
+# sweep covers the root package plus the validator hot path (server
+# handlers and the xmltok tokenizer).
+BENCH_PKGS := . ./internal/server ./internal/xmltok
 bench:
-	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -benchmem . \
+	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -benchmem $(BENCH_PKGS) \
 		| tee /tmp/dregex_bench.txt
 	$(GO) run ./cmd/benchtab -exp e1,e5,e7,e9 | tee /tmp/dregex_benchtab.txt
 	@printf '{\n  "date": "%s",\n  "go": "%s",\n  "bench": %s,\n  "benchtab": %s\n}\n' \
@@ -60,12 +64,12 @@ bench-snapshot: bench
 # allocs/op are machine-independent, while ns/op across runner generations
 # is not; run `make bench-check GATE_UNITS=` locally on the machine that
 # wrote the baseline to gate time too.
-BENCH_PINNED := MatcherCached|MatchWordInterned|MatchAllCached|CacheGet|NumericStreamInterned|TableVsKore
+BENCH_PINNED := MatcherCached|MatchWordInterned|MatchAllCached|CacheGet|NumericStreamInterned|TableVsKore|ServerValidateE2E|XMLTok
 BENCH_BASELINE := $(lastword $(sort $(wildcard BENCH_*.json)))
 GATE_UNITS ?= B/op,allocs/op
 bench-check:
 	@test -n "$(BENCH_BASELINE)" || { echo "no committed BENCH_*.json baseline"; exit 1; }
-	$(GO) test -run xxx -bench '$(BENCH_PINNED)' -benchtime 0.5s -benchmem . \
+	$(GO) test -run xxx -bench '$(BENCH_PINNED)' -benchtime 0.5s -benchmem $(BENCH_PKGS) \
 		| tee /tmp/dregex_bench_ci.txt
 	@printf '{\n  "date": "%s",\n  "go": "%s",\n  "bench": %s\n}\n' \
 		"$(DATE)" \

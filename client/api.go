@@ -96,6 +96,10 @@ type ValidationError struct {
 	Path    string `json:"path"`
 	Element string `json:"element"`
 	Msg     string `json:"msg"`
+	// Line and Col locate the violation in the document (1-based; columns
+	// count runes). Zero when the server reported no position.
+	Line int `json:"line,omitempty"`
+	Col  int `json:"col,omitempty"`
 }
 
 // ValidateResponse is the body of a successful POST /v1/validate. A

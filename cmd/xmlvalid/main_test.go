@@ -81,3 +81,28 @@ func TestXmlvalidBOMExternalDTD(t *testing.T) {
 		t.Errorf("exit = %d, want 0; output:\n%s", code, out)
 	}
 }
+
+// Positions in CLI reports are rune-accurate: multi-byte UTF-8 text and a
+// leading BOM must not skew the printed line:col (encoding/xml's offsets
+// used to; the xmltok path counts runes and strips the BOM).
+func TestXmlvalidPositionMultibyteBOM(t *testing.T) {
+	dir := t.TempDir()
+	doc := "\uFEFF" + `<!DOCTYPE r [
+  <!ELEMENT r (#PCDATA | a)*>
+  <!ELEMENT a EMPTY>
+]>
+<r>héllo wörld <b/></r>`
+	path := filepath.Join(dir, "pos.xml")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out := runQuiet(t, path)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	// "<r>héllo wörld " puts <b/> at rune column 16 of line 5 (byte
+	// column 18 — the wrong answer).
+	if !bytes.Contains([]byte(out), []byte("5:16:")) {
+		t.Errorf("report lacks rune-accurate position 5:16:\n%s", out)
+	}
+}

@@ -1,0 +1,205 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAttlistParseTypes(t *testing.T) {
+	d, err := Parse(`
+<!ELEMENT a EMPTY>
+<!ATTLIST a
+  id     ID       #REQUIRED
+  ref    IDREF    #IMPLIED
+  refs   IDREFS   #IMPLIED
+  kind   (x | y | z) "y"
+  note   NOTATION (n1|n2) #IMPLIED
+  tok    NMTOKEN  #IMPLIED
+  toks   NMTOKENS #IMPLIED
+  ent    ENTITY   #IMPLIED
+  fix    CDATA    #FIXED "v"
+>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al := d.Attlists["a"]
+	if al == nil {
+		t.Fatal("no attlist for a")
+	}
+	if len(al.Defs) != 9 {
+		t.Fatalf("parsed %d defs, want 9", len(al.Defs))
+	}
+	want := map[string]AttType{
+		"id": AttID, "ref": AttIDREF, "refs": AttIDREFS, "kind": AttEnum,
+		"note": AttNotation, "tok": AttNmtoken, "toks": AttNmtokens,
+		"ent": AttEntity, "fix": AttCDATA,
+	}
+	for name, typ := range want {
+		def := al.Def(name)
+		if def == nil || def.Type != typ {
+			t.Errorf("attribute %s: def %+v, want type %v", name, def, typ)
+		}
+	}
+	if def := al.Def("kind"); def.Default != AttDefaultValue || def.Value != "y" ||
+		strings.Join(def.Enum, ",") != "x,y,z" {
+		t.Errorf("kind: %+v", def)
+	}
+	if def := al.Def("fix"); def.Default != AttFixed || def.Value != "v" {
+		t.Errorf("fix: %+v", def)
+	}
+	if len(al.required) != 1 || al.required[0].Name != "id" {
+		t.Errorf("required = %v", al.required)
+	}
+}
+
+func TestAttlistDuplicateMergeFirstWins(t *testing.T) {
+	// The XML spec: multiple ATTLIST declarations for one element merge,
+	// and the first declaration of each attribute name is binding.
+	d, err := Parse(`
+<!ELEMENT a EMPTY>
+<!ATTLIST a x CDATA "first" y CDATA #IMPLIED>
+<!ATTLIST a x ID #REQUIRED z NMTOKEN #IMPLIED>
+<!ATTLIST a y ID #IMPLIED>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al := d.Attlists["a"]
+	if len(al.Defs) != 3 {
+		t.Fatalf("merged to %d defs, want 3 (x, y, z)", len(al.Defs))
+	}
+	if x := al.Def("x"); x.Type != AttCDATA || x.Value != "first" {
+		t.Errorf("x redefined: %+v (first declaration must win)", x)
+	}
+	if y := al.Def("y"); y.Type != AttCDATA {
+		t.Errorf("y redefined: %+v", y)
+	}
+	if z := al.Def("z"); z == nil || z.Type != AttNmtoken {
+		t.Errorf("z from second ATTLIST missing: %+v", z)
+	}
+	// The losing redefinition of x was ID #REQUIRED; it must have left no
+	// trace in the required list or the ID slot.
+	if len(al.required) != 0 || al.idAttr != nil {
+		t.Errorf("ignored redefinition leaked: required=%v id=%v", al.required, al.idAttr)
+	}
+}
+
+func TestAttlistXMLSpace(t *testing.T) {
+	if _, err := Parse(`<!ELEMENT a EMPTY>
+<!ATTLIST a xml:space (default|preserve) "preserve">`); err != nil {
+		t.Errorf("valid xml:space rejected: %v", err)
+	}
+	if _, err := Parse(`<!ELEMENT a EMPTY>
+<!ATTLIST a xml:space (preserve) #IMPLIED>`); err != nil {
+		t.Errorf("single-value xml:space rejected: %v", err)
+	}
+	for _, bad := range []string{
+		`<!ATTLIST a xml:space CDATA #IMPLIED>`,
+		`<!ATTLIST a xml:space (default|verbatim) #IMPLIED>`,
+	} {
+		if _, err := Parse(`<!ELEMENT a EMPTY>` + "\n" + bad); err == nil ||
+			!strings.Contains(err.Error(), "xml:space") {
+			t.Errorf("%s: err = %v, want xml:space constraint", bad, err)
+		}
+	}
+}
+
+func TestAttlistValidityConstraints(t *testing.T) {
+	cases := []struct{ name, dtd, frag string }{
+		{"second ID", `<!ATTLIST a i ID #IMPLIED j ID #IMPLIED>`, "one ID attribute"},
+		{"ID with default", `<!ATTLIST a i ID "x">`, "#IMPLIED or #REQUIRED"},
+		{"bad NMTOKEN default", `<!ATTLIST a t NMTOKEN "two words">`, "not a valid name token"},
+		{"default outside enum", `<!ATTLIST a k (x|y) "z">`, "not in enumeration"},
+		{"duplicate enum token", `<!ATTLIST a k (x|y|x) #IMPLIED>`, "duplicate enumeration token"},
+		{"missing default", `<!ATTLIST a x CDATA>`, "missing default"},
+		{"unknown type", `<!ATTLIST a x BOGUS #IMPLIED>`, "unknown type"},
+	}
+	for _, c := range cases {
+		_, err := Parse(`<!ELEMENT a EMPTY>` + "\n" + c.dtd)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: err = %v, want %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestAttlistParameterEntitySkipped(t *testing.T) {
+	// A PE reference hides the declaration's real content; the whole
+	// ATTLIST is skipped rather than misparsed (PEs are not expanded).
+	d, err := Parse(`
+<!ENTITY % common "x CDATA #IMPLIED">
+<!ELEMENT a EMPTY>
+<!ATTLIST a %common;>
+<!ATTLIST %els; y CDATA #IMPLIED>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al := d.Attlists["a"]; al != nil {
+		t.Errorf("PE-bearing ATTLIST parsed anyway: %+v", al)
+	}
+}
+
+func TestAttrValidation(t *testing.T) {
+	d, err := Parse(`
+<!ELEMENT r (a*)>
+<!ELEMENT a (#PCDATA)>
+<!ATTLIST a
+  id   ID      #IMPLIED
+  ref  IDREF   #IMPLIED
+  refs IDREFS  #IMPLIED
+  kind (x|y)   #IMPLIED
+  fix  CDATA   #FIXED "f"
+  req  CDATA   #REQUIRED
+>
+<!ATTLIST r dflt IDREF "a1">`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(doc string, frags ...string) {
+		t.Helper()
+		errs := validateString(t, d, doc)
+		if len(errs) != len(frags) {
+			t.Fatalf("doc %s\n got %d errors %v, want %d", doc, len(errs), errs, len(frags))
+		}
+		for i, frag := range frags {
+			if !strings.Contains(errs[i].Error(), frag) {
+				t.Errorf("error %d = %v, want %q", i, errs[i], frag)
+			}
+		}
+	}
+	// Forward IDREF: the reference precedes the ID declaring element.
+	check(`<r><a req="1" ref="later"/><a req="1" id="later"/><a req="1" id="a1"/></r>`)
+	// Defaulted IDREF on <r> references a1; absent → still resolved.
+	check(`<r><a req="1" id="a1" refs=" a1  a1 "/></r>`)
+	check(`<r><a req="1" id="a1" ref="ghost"/></r>`, `IDREF "ghost" matches no ID`)
+	check(`<r><a req="1"/></r>`, `IDREF "a1" matches no ID`) // the default on r
+	check(`<r><a req="1" id="d" id2="x"/></r>`,
+		"attribute id2 not declared", `IDREF "a1" matches no ID`)
+	check(`<r><a req="1" kind="z" id="a1"/></r>`, `value "z" not in enumeration (x|y)`)
+	check(`<r><a req="1" fix="g" id="a1"/></r>`, `does not match #FIXED value "f"`)
+	check(`<r><a id="a1"/></r>`, "required attribute req missing")
+	check(`<r><a req="1" id="not a name"/></r>`,
+		`value "not a name" is not a valid XML name`, `IDREF "a1" matches no ID`)
+	// xmlns declarations are exempt from ATTLIST validation.
+	check(`<r xmlns="u" xmlns:p="v"><a req="1" id="a1"/></r>`)
+}
+
+func TestAttrErrorPositions(t *testing.T) {
+	d, err := Parse(`
+<!ELEMENT r (a*)>
+<!ELEMENT a EMPTY>
+<!ATTLIST a id ID #IMPLIED>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := "<r>\n  <a id=\"k\"/>\n  <a id=\"k\"/>\n  <a bogus=\"1\"/>\n</r>"
+	errs := validateString(t, d, doc)
+	if len(errs) != 2 {
+		t.Fatalf("errs = %v, want duplicate-ID and undeclared-attribute", errs)
+	}
+	dup, und := errs[0], errs[1]
+	if !strings.Contains(dup.Msg, `ID "k" already used`) || dup.Line != 3 || dup.Col != 6 {
+		t.Errorf("duplicate ID at %d:%d (%q), want 3:6", dup.Line, dup.Col, dup.Msg)
+	}
+	if !strings.Contains(und.Msg, "bogus not declared") || und.Line != 4 || und.Col != 6 {
+		t.Errorf("undeclared attribute at %d:%d (%q), want 4:6", und.Line, und.Col, und.Msg)
+	}
+}

@@ -11,14 +11,17 @@
 // conditional sections (nested ones too) are handled structurally, so a
 // '>' or '<!' inside an attribute default or entity value can never
 // terminate or fabricate a declaration. Supported DTD subset: ELEMENT
-// declarations are compiled; internal general ENTITY declarations with
+// declarations are compiled; ATTLIST declarations are compiled into
+// attribute lists (types, defaults, enumerations — see attlist.go) and
+// enforced during validation, including document-wide ID uniqueness and
+// IDREF/IDREFS resolution; internal general ENTITY declarations with
 // text-only values are collected into DTD.Entities for reference
-// resolution during validation; ATTLIST, NOTATION and all other ENTITY
-// forms (parameter, external, unparsed, markup-bearing values) are
-// tokenized and skipped; INCLUDE sections are processed, IGNORE sections
-// skipped whole. Parameter entities are not expanded — declarations hidden
-// behind PE references are invisible, and a PE conditional-section keyword
-// is an error.
+// resolution during validation; NOTATION and all other ENTITY forms
+// (parameter, external, unparsed, markup-bearing values) are tokenized
+// and skipped; INCLUDE sections are processed, IGNORE sections skipped
+// whole. Parameter entities are not expanded — declarations hidden behind
+// PE references are invisible (an ATTLIST body using one is skipped
+// whole), and a PE conditional-section keyword is an error.
 //
 // Mixed content (#PCDATA | a | b)* is handled by the specialized
 // linear-time procedure the paper attributes to Xerces: determinism of a
@@ -33,9 +36,6 @@
 package dtd
 
 import (
-	"bufio"
-	"bytes"
-	"encoding/xml"
 	"errors"
 	"fmt"
 	"io"
@@ -44,6 +44,7 @@ import (
 
 	"dregex"
 	"dregex/internal/match"
+	"dregex/internal/xmltok"
 )
 
 // ContentKind classifies an element declaration.
@@ -107,6 +108,9 @@ type DTD struct {
 	Elements map[string]*Element
 	// Order preserves declaration order for deterministic reporting.
 	Order []string
+	// Attlists maps element names to their merged attribute lists (nil
+	// when the DTD declares none); see attlist.go.
+	Attlists map[string]*AttList
 	// Entities maps internal general entities (<!ENTITY foo "bar">) to
 	// their replacement text; Validate wires it into the XML decoder so
 	// documents referencing their own entities are not rejected as
@@ -126,11 +130,12 @@ type DTD struct {
 // corpora, so even unrelated Parse calls amortize compilation.
 var defaultCache = dregex.NewCache(4096)
 
-// Parse reads <!ELEMENT …> declarations from DTD text, compiling content
-// models through a shared package-level expression cache. ATTLIST, ENTITY
-// and NOTATION declarations, comments, processing instructions and
-// IGNORE'd conditional sections are skipped (structurally — see ScanDecls);
-// INCLUDE sections are processed. Errors carry line:column positions.
+// Parse reads <!ELEMENT …> and <!ATTLIST …> declarations from DTD text,
+// compiling content models through a shared package-level expression
+// cache. ENTITY and NOTATION declarations, comments, processing
+// instructions and IGNORE'd conditional sections are skipped
+// (structurally — see ScanDecls); INCLUDE sections are processed. Errors
+// carry line:column positions.
 func Parse(src string) (*DTD, error) {
 	return ParseWithCache(src, defaultCache)
 }
@@ -145,6 +150,8 @@ func ParseWithCache(src string, cache *dregex.Cache) (*DTD, error) {
 		switch decl.Kind {
 		case DeclElement:
 			return d.addElement(src, decl)
+		case DeclAttlist:
+			return d.addAttlist(src, decl)
 		case DeclEntity:
 			addEntity(d.Entities, decl)
 		}
@@ -434,68 +441,88 @@ type ValidationError struct {
 	Path    string `json:"path"` // slash-separated element path
 	Element string `json:"element"`
 	Msg     string `json:"msg"`
+	// Line and Col locate the violation in the document (1-based; columns
+	// count runes). Zero when no position is available.
+	Line int `json:"line,omitempty"`
+	Col  int `json:"col,omitempty"`
 }
 
 func (e ValidationError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("%d:%d: %s: <%s>: %s", e.Line, e.Col, e.Path, e.Element, e.Msg)
+	}
 	return fmt.Sprintf("%s: <%s>: %s", e.Path, e.Element, e.Msg)
 }
 
-// frame is the per-open-element state of a validation pass.
+// frame is the per-open-element state of a validation pass. The name
+// aliases the document buffer — no per-element string is materialized.
 type frame struct {
 	el     *Element
-	name   string
+	name   []byte
 	stream match.Stream // value: per-frame, no allocation
 	failed bool
 }
 
+// pendingRef is one IDREF occurrence awaiting document-end resolution
+// (IDs may be declared after the references pointing at them). The value
+// lives in docState.refArena — attribute values can sit in tokenizer
+// scratch that the next token invalidates — and elem aliases the document
+// buffer.
+type pendingRef struct {
+	lo, hi int // value span in refArena
+	off    int // byte offset of the referencing attribute
+	elem   []byte
+}
+
+// maxKeepBuf caps the document buffer a reused docState retains between
+// documents, so one huge outlier does not pin its memory forever.
+const maxKeepBuf = 1 << 20
+
 // docState is the reusable scratch of one validation pass. A zero value is
 // ready; reusing one across documents (one per Validator worker) keeps the
-// element stack's capacity and the read buffer, so steady-state validation
-// allocates nothing beyond the XML decoder itself.
+// element stack, the tokenizer's internal buffers and the read buffer, so
+// steady-state validation performs no per-document allocation.
 type docState struct {
 	stack []frame
-	// br wraps the document reader; handing the decoder an io.ByteReader
-	// keeps encoding/xml from allocating its own bufio.Reader per document.
-	br *bufio.Reader
+	tok   xmltok.Tokenizer
+	// buf holds the whole document when validating from an io.Reader.
+	buf []byte
+	// ids collects the document's ID attribute values; refs/refArena the
+	// IDREF occurrences to resolve once the document has been read.
+	ids      map[string]struct{}
+	refs     []pendingRef
+	refArena []byte
 }
 
-// byteReader returns r as an io.ByteReader for the XML decoder, reusing
-// the state's buffered reader unless r already is one.
-func (st *docState) byteReader(r io.Reader) io.Reader {
-	if _, ok := r.(io.ByteReader); ok {
-		return r
-	}
-	if st.br == nil {
-		st.br = bufio.NewReader(r)
-	} else {
-		st.br.Reset(r)
-	}
-	return st.br
+func (st *docState) addRef(val []byte, off int, elem []byte) {
+	lo := len(st.refArena)
+	st.refArena = append(st.refArena, val...)
+	st.refs = append(st.refs, pendingRef{lo, len(st.refArena), off, elem})
 }
 
-// emptyReader is the stateless reader pooled read buffers are parked on
-// between documents, so a retained docState never pins the previous
-// document's reader (an HTTP request body, say) until its next use.
-type emptyReader struct{}
-
-func (emptyReader) Read([]byte) (int, error) { return 0, io.EOF }
-
-// releaseReader detaches the read buffer from the current document.
-func (st *docState) releaseReader() {
-	if st.br != nil {
-		st.br.Reset(emptyReader{})
-	}
+func (st *docState) addRefString(val string, off int, elem []byte) {
+	lo := len(st.refArena)
+	st.refArena = append(st.refArena, val...)
+	st.refs = append(st.refs, pendingRef{lo, len(st.refArena), off, elem})
 }
 
 // Validate checks an XML document against the DTD: every element must be
 // declared, its children sequence must match its content model (evaluated
-// with a streaming simulator — one pass, no buffering of child lists), and
-// text content must be allowed. When the document carries a <!DOCTYPE>
-// declaration, the root element must match its name. It returns all
-// violations found, or nil.
+// with a streaming simulator — one pass, no buffering of child lists),
+// text content must be allowed, and attributes must conform to the
+// element's <!ATTLIST> declarations (types, required/fixed constraints,
+// document-wide ID uniqueness and IDREF resolution). When the document
+// carries a <!DOCTYPE> declaration, the root element must match its name.
+// It returns all violations found, or nil.
 func (d *DTD) Validate(r io.Reader) ([]ValidationError, error) {
 	var st docState
 	return d.validate(r, &st)
+}
+
+// ValidateBytes is Validate on an in-memory document, skipping the read.
+func (d *DTD) ValidateBytes(doc []byte) ([]ValidationError, error) {
+	var st docState
+	return d.validateBytes(doc, &st)
 }
 
 // DocState is the reusable per-worker scratch of a validation pass, for
@@ -504,20 +531,38 @@ func (d *DTD) Validate(r io.Reader) ([]ValidationError, error) {
 type DocState struct{ st docState }
 
 // ValidateReusing is Validate with caller-managed scratch: reusing one
-// DocState across documents keeps the element stack's capacity, so
-// steady-state validation allocates nothing beyond the XML decoder itself.
-// A DocState must not be used concurrently.
+// DocState across documents keeps every internal buffer — element stack,
+// tokenizer scratch, read buffer — so steady-state validation performs no
+// per-document allocation. A DocState must not be used concurrently.
 func (d *DTD) ValidateReusing(r io.Reader, st *DocState) ([]ValidationError, error) {
 	return d.validate(r, &st.st)
 }
 
+// ValidateBytesReusing is ValidateBytes with caller-managed scratch.
+func (d *DTD) ValidateBytesReusing(doc []byte, st *DocState) ([]ValidationError, error) {
+	return d.validateBytes(doc, &st.st)
+}
+
 func (d *DTD) validate(r io.Reader, st *docState) ([]ValidationError, error) {
-	dec := xml.NewDecoder(st.byteReader(r))
-	defer st.releaseReader()
+	data, err := xmltok.ReadAll(r, st.buf)
+	st.buf = data
+	if err != nil {
+		return nil, fmt.Errorf("dtd: read: %w", err)
+	}
+	errs, verr := d.validateBytes(data, st)
+	if cap(st.buf) > maxKeepBuf {
+		st.buf = nil
+	}
+	return errs, verr
+}
+
+func (d *DTD) validateBytes(data []byte, st *docState) ([]ValidationError, error) {
+	tok := &st.tok
+	tok.Reset(data)
 	// Internal general entities declared by the DTD resolve during
-	// decoding; predefined entities (&lt; &amp; …) work regardless. A nil
-	// or empty map simply adds nothing.
-	dec.Entity = d.Entities
+	// tokenization; predefined entities (&lt; &amp; …) work regardless. A
+	// nil or empty map simply adds nothing.
+	tok.SetEntities(d.Entities)
 	var errs []ValidationError
 	stack := st.stack[:0]
 	defer func() {
@@ -528,26 +573,42 @@ func (d *DTD) validate(r io.Reader, st *docState) ([]ValidationError, error) {
 		clear(stack)
 		st.stack = stack[:0]
 	}()
+	clear(st.ids)
+	st.refs = st.refs[:0]
+	st.refArena = st.refArena[:0]
 	doctype := ""
 	sawRoot := false
+	// path renders the open-element stack; callers composing the current
+	// element's own path append "/"+name themselves, so the empty stack
+	// (root not yet pushed, or just popped) renders as "" — not "/", which
+	// would double the slash in "//root".
 	path := func() string {
+		if len(stack) == 0 {
+			return ""
+		}
 		parts := make([]string, 0, len(stack))
 		for _, f := range stack {
-			parts = append(parts, f.name)
+			parts = append(parts, string(f.name))
 		}
 		return "/" + strings.Join(parts, "/")
 	}
+	// verr stamps a violation with the document position of offset off.
+	verr := func(path, elem string, off int, msg string) ValidationError {
+		line, col := tok.Position(off)
+		return ValidationError{Path: path, Element: elem, Msg: msg, Line: line, Col: col}
+	}
 	for {
-		tok, err := dec.Token()
+		kind, err := tok.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return errs, fmt.Errorf("dtd: malformed XML: %w", err)
 		}
-		switch t := tok.(type) {
-		case xml.Directive:
-			if directive := string(t); !sawRoot {
+		switch kind {
+		case xmltok.Directive:
+			if !sawRoot {
+				directive := string(tok.Text())
 				if name, ok := doctypeName(directive); ok {
 					doctype = name
 					// A document may declare its own entities in the
@@ -555,17 +616,18 @@ func (d *DTD) validate(r io.Reader, st *docState) ([]ValidationError, error) {
 					// external DTD); see docEntities for the precedence
 					// and skip rules.
 					if merged := d.docEntities(directive); merged != nil {
-						dec.Entity = merged
+						tok.SetEntities(merged)
 					}
 				}
 			}
-		case xml.StartElement:
-			name := t.Name.Local
+		case xmltok.StartElement:
+			name := tok.Local()
+			off := tok.Offset()
 			if !sawRoot {
 				sawRoot = true
-				if doctype != "" && name != doctype {
-					errs = append(errs, ValidationError{"/" + name, name,
-						fmt.Sprintf("root element <%s> does not match DOCTYPE %s", name, doctype)})
+				if doctype != "" && string(name) != doctype {
+					errs = append(errs, verr("/"+string(name), string(name), off,
+						fmt.Sprintf("root element <%s> does not match DOCTYPE %s", name, doctype)))
 				}
 			}
 			// Record the child in the parent's model.
@@ -576,48 +638,49 @@ func (d *DTD) validate(r io.Reader, st *docState) ([]ValidationError, error) {
 					// parent already failed; keep descending silently
 				case p.el.Kind == Any:
 				case p.el.Kind == Mixed:
-					if !p.el.allowed[name] {
-						errs = append(errs, ValidationError{path(), p.name,
-							fmt.Sprintf("child <%s> not allowed in mixed model %s", name, p.el.Model)})
+					if !p.el.allowed[string(name)] {
+						errs = append(errs, verr(path(), string(p.name), off,
+							fmt.Sprintf("child <%s> not allowed in mixed model %s", name, p.el.Model)))
 						p.failed = true
 					}
 				case p.el.Kind == Empty:
-					errs = append(errs, ValidationError{path(), p.name,
-						fmt.Sprintf("EMPTY element has child <%s>", name)})
+					errs = append(errs, verr(path(), string(p.name), off,
+						fmt.Sprintf("EMPTY element has child <%s>", name)))
 					p.failed = true
 				default:
-					if !p.stream.FeedName(name) {
-						errs = append(errs, ValidationError{path(), p.name,
-							fmt.Sprintf("child <%s> violates content model %s", name, p.el.Model)})
+					if !p.stream.FeedBytes(name) {
+						errs = append(errs, verr(path(), string(p.name), off,
+							fmt.Sprintf("child <%s> violates content model %s", name, p.el.Model)))
 						p.failed = true
 					}
 				}
 			}
-			el := d.Elements[name]
+			el := d.Elements[string(name)]
 			f := frame{el: el, name: name}
 			if el == nil {
-				errs = append(errs, ValidationError{path() + "/" + name, name,
-					"element not declared"})
+				errs = append(errs, verr(path()+"/"+string(name), string(name), off,
+					"element not declared"))
 			} else if el.Kind == Children {
 				if !el.Deterministic {
-					errs = append(errs, ValidationError{path() + "/" + name, name,
-						"content model is nondeterministic; cannot validate"})
+					errs = append(errs, verr(path()+"/"+string(name), string(name), off,
+						"content model is nondeterministic; cannot validate"))
 					f.failed = true
 				} else {
 					el.matcher.InitStream(&f.stream)
 				}
 			}
+			errs = d.checkAttrs(st, el, name, off, errs, verr, path)
 			stack = append(stack, f)
-		case xml.EndElement:
+		case xmltok.EndElement:
 			f := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			if f.el != nil && f.el.Kind == Children && !f.failed {
 				if !f.stream.Accepts() {
-					errs = append(errs, ValidationError{path() + "/" + f.name, f.name,
-						fmt.Sprintf("children end prematurely for content model %s", f.el.Model)})
+					errs = append(errs, verr(path()+"/"+string(f.name), string(f.name), tok.Offset(),
+						fmt.Sprintf("children end prematurely for content model %s", f.el.Model)))
 				}
 			}
-		case xml.CharData:
+		case xmltok.Text:
 			if len(stack) == 0 {
 				continue
 			}
@@ -625,17 +688,138 @@ func (d *DTD) validate(r io.Reader, st *docState) ([]ValidationError, error) {
 			if p.el == nil || p.failed {
 				continue
 			}
-			if strings.TrimSpace(string(t)) == "" {
+			if len(attTrim(tok.Text())) == 0 {
 				continue
 			}
 			if p.el.Kind == Children || p.el.Kind == Empty {
-				errs = append(errs, ValidationError{path(), p.name,
-					"text content not allowed"})
+				errs = append(errs, verr(path(), string(p.name), tok.Offset(),
+					"text content not allowed"))
 				p.failed = true
 			}
 		}
 	}
+	// IDs can be declared after the IDREFs pointing at them, so resolution
+	// waits until the whole document has been read.
+	for _, ref := range st.refs {
+		if _, ok := st.ids[string(st.refArena[ref.lo:ref.hi])]; !ok {
+			errs = append(errs, verr("/"+string(ref.elem), string(ref.elem), ref.off,
+				fmt.Sprintf("IDREF %q matches no ID in the document", st.refArena[ref.lo:ref.hi])))
+		}
+	}
 	return errs, nil
+}
+
+// isXmlnsAttr reports whether name declares a namespace (xmlns or
+// xmlns:prefix) — namespace declarations are not subject to ATTLIST
+// validation.
+func isXmlnsAttr(name []byte) bool {
+	return len(name) >= 5 && string(name[:5]) == "xmlns" &&
+		(len(name) == 5 || name[5] == ':')
+}
+
+// checkAttrs validates the current start tag's attributes against the
+// element's attribute list: every attribute must be declared and satisfy
+// its type and #FIXED constraints, required attributes must be present,
+// ID values must be unique document-wide, and IDREF/IDREFS values
+// (including defaulted ones) are queued for document-end resolution.
+func (d *DTD) checkAttrs(st *docState, el *Element, name []byte, off int,
+	errs []ValidationError, verr func(string, string, int, string) ValidationError,
+	path func() string) []ValidationError {
+	al := d.Attlists[string(name)]
+	if el == nil && al == nil {
+		return errs // element undeclared: already reported, nothing to check against
+	}
+	tok := &st.tok
+	// The element path is only materialized if a violation is reported —
+	// the error-free hot path must not build strings per element.
+	cached := ""
+	epath := func() string {
+		if cached == "" {
+			cached = path() + "/" + string(name)
+		}
+		return cached
+	}
+	nattr := tok.AttrCount()
+	for i := 0; i < nattr; i++ {
+		aname := tok.AttrName(i)
+		if isXmlnsAttr(aname) {
+			continue
+		}
+		var def *AttDef
+		if al != nil {
+			def = al.defBytes(aname)
+		}
+		if def == nil {
+			errs = append(errs, verr(epath(), string(name), tok.AttrNameOffset(i),
+				fmt.Sprintf("attribute %s not declared", aname)))
+			continue
+		}
+		val := tok.AttrValue(i)
+		if msg := def.checkValue(val); msg != "" {
+			errs = append(errs, verr(epath(), string(name), tok.AttrNameOffset(i),
+				fmt.Sprintf("attribute %s: %s", aname, msg)))
+			continue
+		}
+		switch def.Type {
+		case AttID:
+			id := attTrim(val)
+			if _, dup := st.ids[string(id)]; dup {
+				errs = append(errs, verr(epath(), string(name), tok.AttrNameOffset(i),
+					fmt.Sprintf("ID %q already used in this document", id)))
+			} else {
+				if st.ids == nil {
+					st.ids = map[string]struct{}{}
+				}
+				st.ids[string(id)] = struct{}{}
+			}
+		case AttIDREF:
+			st.addRef(attTrim(val), tok.AttrNameOffset(i), name)
+		case AttIDREFS:
+			aoff := tok.AttrNameOffset(i)
+			eachField(val, func(f []byte) bool {
+				st.addRef(f, aoff, name)
+				return true
+			})
+		}
+	}
+	if al == nil {
+		return errs
+	}
+	for _, req := range al.required {
+		found := false
+		for i := 0; i < nattr; i++ {
+			if string(tok.AttrName(i)) == req.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			errs = append(errs, verr(epath(), string(name), off,
+				fmt.Sprintf("required attribute %s missing", req.Name)))
+		}
+	}
+	// Defaulted IDREF/IDREFS values join the document's reference graph
+	// even when the attribute is absent.
+	for _, def := range al.refDefaults {
+		present := false
+		for i := 0; i < nattr; i++ {
+			if string(tok.AttrName(i)) == def.Name {
+				present = true
+				break
+			}
+		}
+		if present {
+			continue
+		}
+		if def.Type == AttIDREF {
+			st.addRefString(strings.TrimSpace(def.Value), off, name)
+		} else {
+			for _, f := range strings.Fields(def.Value) {
+				st.addRefString(f, off, name)
+			}
+		}
+	}
+	return errs
 }
 
 // doctypeName extracts the root element name from a "DOCTYPE …" directive
@@ -676,24 +860,24 @@ func doctypeSplit(directive string) (name, rest string, ok bool) {
 // DOCTYPE is an error; a DOCTYPE without an internal subset returns the
 // root name and an empty subset.
 func InternalSubset(doc []byte) (root, subset string, err error) {
-	doc = StripBOMBytes(doc)
-	dec := xml.NewDecoder(bytes.NewReader(doc))
+	var tok xmltok.Tokenizer
+	tok.Reset(doc) // strips any BOM
 	for {
-		tok, err := dec.Token()
+		kind, err := tok.Next()
 		if err == io.EOF {
 			return "", "", errors.New("dtd: document has no DOCTYPE")
 		}
 		if err != nil {
 			return "", "", fmt.Errorf("dtd: malformed XML: %w", err)
 		}
-		switch t := tok.(type) {
-		case xml.Directive:
-			s := strings.TrimSpace(string(t))
+		switch kind {
+		case xmltok.Directive:
+			s := strings.TrimSpace(string(tok.Text()))
 			if !strings.HasPrefix(s, "DOCTYPE") {
 				continue
 			}
 			return splitDoctype(s)
-		case xml.StartElement:
+		case xmltok.StartElement:
 			return "", "", errors.New("dtd: document has no DOCTYPE")
 		}
 	}

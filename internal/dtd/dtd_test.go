@@ -102,7 +102,7 @@ func TestValidateDocuments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	good := `<book>
+	good := `<book isbn="i1">
   <title>T</title>
   <author>A</author><author>B</author>
   <chapter><title>C1</title><para>text <em>emph</em> more</para><figure/></chapter>
@@ -117,17 +117,17 @@ func TestValidateDocuments(t *testing.T) {
 		doc  string
 		frag string // expected substring of the first error
 	}{
-		{"missing author", `<book><title>T</title><chapter><title>c</title></chapter></book>`,
+		{"missing author", `<book isbn="i1"><title>T</title><chapter><title>c</title></chapter></book>`,
 			"violates content model"},
-		{"premature end", `<book><title>T</title><author>A</author></book>`,
+		{"premature end", `<book isbn="i1"><title>T</title><author>A</author></book>`,
 			"end prematurely"},
-		{"undeclared child", `<book><title>T</title><author>A</author><chapter><title>c</title><mystery/></chapter></book>`,
+		{"undeclared child", `<book isbn="i1"><title>T</title><author>A</author><chapter><title>c</title><mystery/></chapter></book>`,
 			"not declared"},
-		{"empty with child", `<book><title>T</title><author>A</author><chapter><title>c</title><figure><em>x</em></figure></chapter></book>`,
+		{"empty with child", `<book isbn="i1"><title>T</title><author>A</author><chapter><title>c</title><figure><em>x</em></figure></chapter></book>`,
 			"EMPTY element has child"},
-		{"text in children model", `<book>stray<title>T</title><author>A</author><chapter><title>c</title></chapter></book>`,
+		{"text in children model", `<book isbn="i1">stray<title>T</title><author>A</author><chapter><title>c</title></chapter></book>`,
 			"text content not allowed"},
-		{"mixed violation", `<book><title>T</title><author>A</author><chapter><title>c</title><para><figure/></para></chapter></book>`,
+		{"mixed violation", `<book isbn="i1"><title>T</title><author>A</author><chapter><title>c</title><para><figure/></para></chapter></book>`,
 			"not allowed in mixed model"},
 	}
 	for _, c := range cases {

@@ -1,0 +1,88 @@
+package dtd
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Regression tests for byte-accurate error positions: columns count runes
+// (not bytes), so multi-byte UTF-8 text before a violation must not skew
+// the reported column, and a UTF-8 BOM must not shift line 1.
+
+func TestPositionMultibyteSameLine(t *testing.T) {
+	d, err := Parse(`<!ELEMENT r (#PCDATA | a)*><!ELEMENT a EMPTY>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "héllo wörld " is 12 runes but 14 bytes; the undeclared <b/> starts
+	// at rune column 16 (byte column 18 — the wrong answer).
+	errs := validateString(t, d, `<r>héllo wörld <b/></r>`)
+	if len(errs) != 2 || !strings.Contains(errs[0].Msg, "not allowed") {
+		t.Fatalf("errs = %v, want not-allowed + undeclared", errs)
+	}
+	if errs[0].Line != 1 || errs[0].Col != 16 {
+		t.Errorf("position = %d:%d, want 1:16 (columns count runes, not bytes)",
+			errs[0].Line, errs[0].Col)
+	}
+}
+
+func TestPositionMultibytePriorLines(t *testing.T) {
+	d, err := Parse(`<!ELEMENT r (#PCDATA | a)*><!ELEMENT a EMPTY>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multi-byte runes on earlier lines must not disturb later positions.
+	errs := validateString(t, d, "<r>\n日本語 éèê\n  <b/>\n</r>")
+	if len(errs) != 2 {
+		t.Fatalf("errs = %v, want not-allowed + undeclared", errs)
+	}
+	if errs[0].Line != 3 || errs[0].Col != 3 {
+		t.Errorf("position = %d:%d, want 3:3", errs[0].Line, errs[0].Col)
+	}
+}
+
+func TestPositionBOMDocument(t *testing.T) {
+	d, err := Parse(`<!ELEMENT r (a)><!ELEMENT a EMPTY>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The three BOM bytes precede '<r>' but must not count toward columns.
+	errs := validateString(t, d, "\uFEFF<r><b/></r>")
+	if len(errs) == 0 {
+		t.Fatal("no errors for undeclared <b/>")
+	}
+	if errs[0].Line != 1 || errs[0].Col != 4 {
+		t.Errorf("position = %d:%d, want 1:4 (BOM not counted)", errs[0].Line, errs[0].Col)
+	}
+}
+
+func TestPositionBOMMultibyteFile(t *testing.T) {
+	d, err := Parse(`<!ELEMENT r (#PCDATA | a)*><!ELEMENT a EMPTY>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// File round-trip: BOM plus multi-byte text, read through the
+	// buffered io.Reader path rather than an in-memory string.
+	path := filepath.Join(t.TempDir(), "doc.xml")
+	if err := os.WriteFile(path, []byte("\uFEFF<r>café <b/></r>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	errs, err := d.Validate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 2 {
+		t.Fatalf("errs = %v, want not-allowed + undeclared", errs)
+	}
+	// "<r>café " is 8 runes; <b/> starts at column 9.
+	if errs[0].Line != 1 || errs[0].Col != 9 {
+		t.Errorf("position = %d:%d, want 1:9", errs[0].Line, errs[0].Col)
+	}
+}

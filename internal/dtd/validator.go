@@ -9,7 +9,6 @@
 package dtd
 
 import (
-	"bytes"
 	"os"
 	"runtime"
 
@@ -128,6 +127,6 @@ func (v *Validator) validateOne(name string, data []byte, st *docState) Result {
 			return Result{Name: name, Err: err}
 		}
 	}
-	errs, err := d.validate(bytes.NewReader(data), st)
+	errs, err := d.validateBytes(data, st)
 	return Result{Name: name, Errors: errs, Err: err}
 }

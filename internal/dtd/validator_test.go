@@ -14,7 +14,7 @@ func corpusDocs(n int) []Doc {
 	docs := make([]Doc, n)
 	for i := range docs {
 		var b strings.Builder
-		b.WriteString("<book>\n  <title>T</title>\n")
+		b.WriteString("<book isbn=\"b-7\">\n  <title>T</title>\n")
 		for a := 0; a <= i%3; a++ {
 			fmt.Fprintf(&b, "  <author>A%d</author>\n", a)
 		}

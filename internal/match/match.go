@@ -137,6 +137,18 @@ func (s *Stream) FeedName(name string) bool {
 	return s.Feed(a)
 }
 
+// FeedBytes consumes one symbol named by raw bytes (an element name
+// straight out of a document tokenizer), interned via
+// Alphabet.LookupBytes — no string materialization per symbol.
+func (s *Stream) FeedBytes(name []byte) bool {
+	a, ok := s.sim.Tree().Alpha.LookupBytes(name)
+	if !ok || a == ast.Begin || a == ast.End {
+		s.dead = true
+		return false
+	}
+	return s.Feed(a)
+}
+
 // FeedRune consumes one single-rune symbol (math notation), interned via
 // Alphabet.LookupRune — no per-rune string allocation, unlike
 // FeedName(string(r)).

@@ -131,6 +131,18 @@ func (s *Stream) FeedName(name string) bool {
 	return s.Feed(a)
 }
 
+// FeedBytes consumes one symbol named by raw bytes (an element name
+// straight out of a document tokenizer), interned via
+// Alphabet.LookupBytes — no string materialization per symbol.
+func (s *Stream) FeedBytes(name []byte) bool {
+	a, ok := s.c.Alpha.LookupBytes(name)
+	if !ok || a == ast.Begin || a == ast.End {
+		s.dead = true
+		return false
+	}
+	return s.Feed(a)
+}
+
 // Accepts reports whether the prefix consumed so far is in L(e). It does
 // not consume anything: the probe steps every live configuration to the
 // phantom end position in a scratch set.

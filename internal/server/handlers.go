@@ -160,8 +160,10 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		name = req.Schema
 		doc = strings.NewReader(req.Doc)
 	} else {
-		// Raw-body mode: the document streams straight from the connection
-		// into the validator — no buffering, O(decoder) memory per request.
+		// Raw-body mode: the document reads straight from the connection
+		// into the pooled per-state buffer the tokenizer scans in place —
+		// bounded by MaxBytesReader, reused across requests, zero
+		// steady-state allocation (see TestServerValidateAllocs).
 		name = queryParam(r.URL.RawQuery, "schema")
 		doc = r.Body
 	}

@@ -1,0 +1,883 @@
+// Package xmltok is a purpose-built streaming XML tokenizer for the
+// validation hot path. It tokenizes a document held in a []byte —
+// start/end/empty element tags with attributes, character data, CDATA
+// sections, comments, processing instructions and directives — without
+// allocating in steady state: token names and text are subslices of the
+// input (or of a reusable scratch buffer when entity references or \r
+// normalization force a rewrite), so a pooled Tokenizer revalidates
+// documents with zero per-document garbage.
+//
+// The token stream deliberately mirrors encoding/xml's Strict decoder on
+// well-formed input: the same tag-nesting checks ("element <a> closed by
+// </b>", "unexpected EOF" with open elements), the same text semantics
+// (\r and \r\n rewritten to \n, "]]>" forbidden in plain character data,
+// the five predefined entities plus a caller-supplied internal-entity
+// map, decimal/hex character references capped at unicode.MaxRune with
+// surrogates encoding as U+FFFD), the same character-range validation,
+// and the same directive accumulation (quote-aware, <>-depth-tracked,
+// embedded comments replaced by a space). Where encoding/xml consults
+// the full Unicode name tables, xmltok accepts a strict superset of
+// names (any byte ≥ 0x80 may appear in a name), so a document
+// encoding/xml tokenizes is never rejected for its names here; the
+// differential fuzz target FuzzXMLTok pins the agreement.
+//
+// Positions are byte-accurate: every token records the byte offset of
+// its first character, and Position converts any offset to a 1-based
+// line and rune column — multi-byte UTF-8 text does not skew columns,
+// and a leading byte-order mark is stripped by Reset so offsets match
+// the text an author sees.
+package xmltok
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Kind identifies a token produced by Next.
+type Kind uint8
+
+// Token kinds. Text covers both character data and CDATA sections (one
+// token per section, as encoding/xml emits them). A self-closing tag
+// yields a StartElement with SelfClosing()==true followed by a synthetic
+// EndElement.
+const (
+	Text Kind = iota
+	StartElement
+	EndElement
+	Comment
+	ProcInst
+	Directive
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Text:
+		return "Text"
+	case StartElement:
+		return "StartElement"
+	case EndElement:
+		return "EndElement"
+	case Comment:
+		return "Comment"
+	case ProcInst:
+		return "ProcInst"
+	case Directive:
+		return "Directive"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// SyntaxError is a malformed-XML error with a byte-accurate position.
+type SyntaxError struct {
+	Msg    string
+	Line   int // 1-based line
+	Col    int // 1-based rune column within the line
+	Offset int // byte offset in the (BOM-stripped) input
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// bom is the UTF-8 byte-order mark; Reset strips it so positions are
+// relative to the text an author sees.
+var bom = []byte("\uFEFF")
+
+// maxKeepScratch caps the scratch buffer retained across Reset, so one
+// pathological document cannot pin megabytes behind a pooled Tokenizer.
+const maxKeepScratch = 1 << 20
+
+// valRef locates resolved text: a [lo,hi) range in either the input
+// (zero-copy) or the scratch buffer (entity-expanded / \r-normalized).
+// Ranges index rather than subslice so scratch may grow underneath.
+type valRef struct {
+	lo, hi  int
+	scratch bool
+}
+
+// attrSpan is one attribute: name as a range in the input, value as a
+// valRef, plus the name's byte offset for error positions.
+type attrSpan struct {
+	nameLo, nameHi int
+	val            valRef
+}
+
+// span is a name range in the input (element-stack entries).
+type span struct{ lo, hi int }
+
+// Tokenizer scans one document per Reset. The zero value is ready.
+// Not safe for concurrent use.
+type Tokenizer struct {
+	data     []byte
+	pos      int
+	entities map[string]string
+
+	kind    Kind
+	tokOff  int // byte offset of the token's first byte
+	name    span
+	content valRef
+	self    bool
+	attrs   []attrSpan
+	nattr   int
+
+	scratch []byte
+	stack   []span
+	pending bool // synthetic EndElement of a self-closing tag is due
+	err     error
+
+	// memoized forward position cursor for Position
+	posOff, posLine, lineStart int
+}
+
+// Reset binds the tokenizer to a new document, stripping a leading BOM.
+// The caller must keep data unmodified while tokenizing; returned names
+// and text alias it.
+func (t *Tokenizer) Reset(data []byte) {
+	t.data = bytes.TrimPrefix(data, bom)
+	t.pos = 0
+	t.entities = nil
+	t.kind = Text
+	t.tokOff = 0
+	t.name = span{}
+	t.content = valRef{}
+	t.self = false
+	t.nattr = 0
+	if cap(t.scratch) > maxKeepScratch {
+		t.scratch = nil
+	}
+	t.scratch = t.scratch[:0]
+	t.stack = t.stack[:0]
+	t.pending = false
+	t.err = nil
+	t.posOff, t.posLine, t.lineStart = 0, 1, 0
+}
+
+// SetEntities installs the internal general entities resolvable in this
+// document (on top of the five predefined ones, which cannot be
+// overridden — the same precedence as encoding/xml). The map is read,
+// never written, and may be shared.
+func (t *Tokenizer) SetEntities(ents map[string]string) { t.entities = ents }
+
+// Kind returns the kind of the current token.
+func (t *Tokenizer) Kind() Kind { return t.kind }
+
+// Offset returns the byte offset of the current token's first byte (the
+// '<' of a tag, the first character of text).
+func (t *Tokenizer) Offset() int { return t.tokOff }
+
+// Name returns the full element name (prefix included) of a
+// StartElement or EndElement, or the target of a ProcInst. Valid until
+// the next call to Next.
+func (t *Tokenizer) Name() []byte { return t.data[t.name.lo:t.name.hi] }
+
+// Local returns the local part of the element name: the part after the
+// colon when the name has exactly one with both sides nonempty (the
+// rule encoding/xml applies), the whole name otherwise.
+func (t *Tokenizer) Local() []byte { return localOf(t.Name()) }
+
+// Text returns the current token's content: resolved character data for
+// Text, raw bytes for Comment (without <!-- -->), ProcInst (after the
+// target, without <? ?>) and Directive (between <! and >, embedded
+// comments replaced by a space). Valid until the next call to Next.
+func (t *Tokenizer) Text() []byte { return t.bytesOf(t.content) }
+
+// SelfClosing reports whether the current StartElement came from an
+// empty-element tag (<a/>); its synthetic EndElement follows.
+func (t *Tokenizer) SelfClosing() bool { return t.self }
+
+// AttrCount returns the number of attributes of the current StartElement.
+func (t *Tokenizer) AttrCount() int { return t.nattr }
+
+// AttrName returns the full name of attribute i.
+func (t *Tokenizer) AttrName(i int) []byte {
+	a := &t.attrs[i]
+	return t.data[a.nameLo:a.nameHi]
+}
+
+// AttrLocal returns the local part of attribute i's name.
+func (t *Tokenizer) AttrLocal(i int) []byte { return localOf(t.AttrName(i)) }
+
+// AttrValue returns the resolved value of attribute i (entities
+// expanded, \r normalized). Valid until the next call to Next.
+func (t *Tokenizer) AttrValue(i int) []byte { return t.bytesOf(t.attrs[i].val) }
+
+// AttrNameOffset returns the byte offset of attribute i's name, for
+// error positions.
+func (t *Tokenizer) AttrNameOffset(i int) int { return t.attrs[i].nameLo }
+
+// Depth returns the number of currently open elements.
+func (t *Tokenizer) Depth() int { return len(t.stack) }
+
+func (t *Tokenizer) bytesOf(v valRef) []byte {
+	if v.scratch {
+		return t.scratch[v.lo:v.hi]
+	}
+	return t.data[v.lo:v.hi]
+}
+
+// localOf implements encoding/xml's prefix split: exactly one colon with
+// nonempty prefix and suffix selects the suffix; anything else keeps the
+// whole name.
+func localOf(name []byte) []byte {
+	i := bytes.IndexByte(name, ':')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	if bytes.IndexByte(name[i+1:], ':') >= 0 {
+		return name
+	}
+	return name[i+1:]
+}
+
+// Position converts a byte offset to a 1-based line and rune column. The
+// cursor is memoized forward, so calls with nondecreasing offsets (the
+// common error-reporting order) never rescan the document.
+func (t *Tokenizer) Position(off int) (line, col int) {
+	if off > len(t.data) {
+		off = len(t.data)
+	}
+	if off < 0 {
+		off = 0
+	}
+	if off < t.posOff {
+		t.posOff, t.posLine, t.lineStart = 0, 1, 0
+	}
+	for i := t.posOff; i < off; i++ {
+		if t.data[i] == '\n' {
+			t.posLine++
+			t.lineStart = i + 1
+		}
+	}
+	t.posOff = off
+	return t.posLine, 1 + utf8.RuneCount(t.data[t.lineStart:off])
+}
+
+func (t *Tokenizer) syntaxErr(off int, format string, args ...any) error {
+	line, col := t.Position(off)
+	err := &SyntaxError{Msg: fmt.Sprintf(format, args...), Line: line, Col: col, Offset: off}
+	t.err = err
+	return err
+}
+
+// nameByte marks bytes that may appear in a name: encoding/xml's ASCII
+// name bytes plus every byte ≥ 0x80 (a strict superset of its Unicode
+// name tables, checked there after the fact).
+var nameByte [256]bool
+
+// textOK marks ASCII bytes that pass through character data untouched:
+// tab, newline, and printable ASCII except the bytes that need handling
+// ('&' starts a reference, '\r' normalizes; both are excluded).
+var textOK [256]bool
+
+func init() {
+	for c := 0; c < 256; c++ {
+		b := byte(c)
+		nameByte[c] = 'A' <= b && b <= 'Z' || 'a' <= b && b <= 'z' ||
+			'0' <= b && b <= '9' || b == '_' || b == ':' || b == '.' || b == '-' ||
+			b >= 0x80
+		textOK[c] = b == '\t' || b == '\n' || (b >= 0x20 && b < 0x80 && b != '&')
+	}
+}
+
+// isInCharacterRange is the XML 1.0 Char production (§2.2), byte-for-byte
+// the check encoding/xml applies to resolved character data.
+func isInCharacterRange(r rune) bool {
+	return r == 0x09 ||
+		r == 0x0A ||
+		r == 0x0D ||
+		r >= 0x20 && r <= 0xD7FF ||
+		r >= 0xE000 && r <= 0xFFFD ||
+		r >= 0x10000 && r <= 0x10FFFF
+}
+
+// Next advances to the next token. It returns io.EOF at a clean end of
+// input; any other error is a *SyntaxError (or a sticky earlier error).
+func (t *Tokenizer) Next() (Kind, error) {
+	if t.err != nil {
+		return 0, t.err
+	}
+	if t.pending {
+		// The EndElement half of a self-closing tag: the name span is
+		// still the start tag's, the stack still holds it.
+		t.pending = false
+		t.kind = EndElement
+		t.self = false
+		t.nattr = 0
+		t.stack = t.stack[:len(t.stack)-1]
+		return EndElement, nil
+	}
+	t.self = false
+	t.nattr = 0
+	t.scratch = t.scratch[:0]
+	if t.pos >= len(t.data) {
+		if len(t.stack) > 0 {
+			return 0, t.syntaxErr(t.pos, "unexpected EOF")
+		}
+		t.err = io.EOF
+		return 0, io.EOF
+	}
+	t.tokOff = t.pos
+	if t.data[t.pos] != '<' {
+		return t.scanText()
+	}
+	t.pos++
+	if t.pos >= len(t.data) {
+		return 0, t.syntaxErr(t.pos, "unexpected EOF")
+	}
+	switch t.data[t.pos] {
+	case '/':
+		t.pos++
+		return t.scanEnd()
+	case '?':
+		t.pos++
+		return t.scanProcInst()
+	case '!':
+		t.pos++
+		if t.pos >= len(t.data) {
+			return 0, t.syntaxErr(t.pos, "unexpected EOF")
+		}
+		switch t.data[t.pos] {
+		case '-':
+			t.pos++
+			if t.pos >= len(t.data) {
+				return 0, t.syntaxErr(t.pos, "unexpected EOF")
+			}
+			if t.data[t.pos] != '-' {
+				return 0, t.syntaxErr(t.pos, "invalid sequence <!- not part of <!--")
+			}
+			t.pos++
+			return t.scanComment()
+		case '[':
+			t.pos++
+			return t.scanCDATA()
+		}
+		return t.scanDirective()
+	}
+	return t.scanStart()
+}
+
+func (t *Tokenizer) skipSpace() {
+	d := t.data
+	for t.pos < len(d) {
+		switch d[t.pos] {
+		case ' ', '\t', '\n', '\r':
+			t.pos++
+		default:
+			return
+		}
+	}
+}
+
+// scanName consumes a name at the current position; ok is false when the
+// first byte cannot start one (position unchanged).
+func (t *Tokenizer) scanName() (sp span, ok bool) {
+	d := t.data
+	i := t.pos
+	for i < len(d) && nameByte[d[i]] {
+		i++
+	}
+	if i == t.pos {
+		return span{}, false
+	}
+	sp = span{t.pos, i}
+	t.pos = i
+	return sp, true
+}
+
+func (t *Tokenizer) scanText() (Kind, error) {
+	d := t.data
+	lo := t.pos
+	hi := len(d)
+	if i := bytes.IndexByte(d[lo:], '<'); i >= 0 {
+		hi = lo + i
+	}
+	// "]]>" is an error in plain character data (allowed in CDATA and in
+	// quoted attribute values). The check runs on raw bytes: a reference
+	// breaking up the three bytes hides them, exactly as encoding/xml's
+	// byte tracking (which resets across references) behaves.
+	if i := bytes.Index(d[lo:hi], []byte("]]>")); i >= 0 {
+		return 0, t.syntaxErr(lo+i, "unescaped ]]> not in CDATA section")
+	}
+	v, err := t.resolve(lo, hi, true)
+	if err != nil {
+		return 0, err
+	}
+	t.pos = hi
+	t.kind = Text
+	t.content = v
+	return Text, nil
+}
+
+func (t *Tokenizer) scanCDATA() (Kind, error) {
+	d := t.data
+	const open = "CDATA["
+	for i := 0; i < len(open); i++ {
+		if t.pos >= len(d) {
+			return 0, t.syntaxErr(t.pos, "unexpected EOF")
+		}
+		if d[t.pos] != open[i] {
+			return 0, t.syntaxErr(t.pos, "invalid <![ sequence")
+		}
+		t.pos++
+	}
+	lo := t.pos
+	end := bytes.Index(d[lo:], []byte("]]>"))
+	if end < 0 {
+		return 0, t.syntaxErr(len(d), "unexpected EOF in CDATA section")
+	}
+	v, err := t.resolve(lo, lo+end, false)
+	if err != nil {
+		return 0, err
+	}
+	t.pos = lo + end + 3
+	t.kind = Text
+	t.content = v
+	return Text, nil
+}
+
+func (t *Tokenizer) scanComment() (Kind, error) {
+	d := t.data
+	lo := t.pos
+	i := bytes.Index(d[lo:], []byte("--"))
+	if i < 0 {
+		return 0, t.syntaxErr(len(d), "unexpected EOF")
+	}
+	end := lo + i
+	if end+2 >= len(d) {
+		return 0, t.syntaxErr(len(d), "unexpected EOF")
+	}
+	if d[end+2] != '>' {
+		return 0, t.syntaxErr(end, `invalid sequence "--" not allowed in comments`)
+	}
+	t.pos = end + 3
+	t.kind = Comment
+	t.content = valRef{lo, end, false}
+	return Comment, nil
+}
+
+func (t *Tokenizer) scanProcInst() (Kind, error) {
+	d := t.data
+	name, ok := t.scanName()
+	if !ok {
+		if t.pos >= len(d) {
+			return 0, t.syntaxErr(t.pos, "unexpected EOF")
+		}
+		return 0, t.syntaxErr(t.pos, "expected target name after <?")
+	}
+	t.skipSpace()
+	lo := t.pos
+	i := bytes.Index(d[lo:], []byte("?>"))
+	if i < 0 {
+		return 0, t.syntaxErr(len(d), "unexpected EOF")
+	}
+	end := lo + i
+	t.pos = end + 2
+	t.kind = ProcInst
+	t.name = name
+	t.content = valRef{lo, end, false}
+	if string(d[name.lo:name.hi]) == "xml" {
+		content := d[lo:end]
+		if ver := procInstParam(content, "version"); len(ver) > 0 && string(ver) != "1.0" {
+			return 0, t.syntaxErr(t.tokOff, "unsupported version %q; only version 1.0 is supported", ver)
+		}
+		if enc := procInstParam(content, "encoding"); len(enc) > 0 &&
+			string(enc) != "utf-8" && string(enc) != "UTF-8" {
+			return 0, t.syntaxErr(t.tokOff, "unsupported encoding %q; only UTF-8 is supported", enc)
+		}
+	}
+	return ProcInst, nil
+}
+
+// procInstParam extracts a pseudo-attribute (version=…, encoding=…) from
+// an xml-declaration body, with encoding/xml's exact (lenient) scan.
+func procInstParam(s []byte, param string) []byte {
+	pat := param + "="
+	i := 0
+	var sep byte
+	for i < len(s) {
+		sub := s[i:]
+		k := bytes.Index(sub, []byte(pat))
+		if k < 0 || len(pat)+k >= len(sub) {
+			return nil
+		}
+		i += k + len(pat) + 1
+		if c := sub[k+len(pat)]; c == '\'' || c == '"' {
+			sep = c
+			break
+		}
+	}
+	if sep == 0 {
+		return nil
+	}
+	j := bytes.IndexByte(s[i:], sep)
+	if j < 0 {
+		return nil
+	}
+	return s[i : i+j]
+}
+
+// scanDirective accumulates a <!…> directive with encoding/xml's exact
+// algorithm: the first byte after "<!" is taken raw, quoted '<' and '>'
+// do not nest, unquoted ones track depth, and an embedded comment is
+// replaced by a single space. Content always builds in scratch (a
+// directive is at most once per document on the validation path).
+func (t *Tokenizer) scanDirective() (Kind, error) {
+	d := t.data
+	s := t.scratch
+	slo := len(s)
+	s = append(s, d[t.pos]) // first byte raw, uninspected
+	t.pos++
+	var inquote byte
+	depth := 0
+	var b byte
+	for {
+		if t.pos >= len(d) {
+			t.scratch = s
+			return 0, t.syntaxErr(len(d), "unexpected EOF")
+		}
+		b = d[t.pos]
+		t.pos++
+		if inquote == 0 && b == '>' && depth == 0 {
+			break
+		}
+	handleB:
+		s = append(s, b)
+		switch {
+		case b == inquote && inquote != 0:
+			inquote = 0
+		case inquote != 0:
+			// quoted: no special action
+		case b == '\'' || b == '"':
+			inquote = b
+		case b == '>':
+			depth--
+		case b == '<':
+			// Look for <!-- beginning a comment.
+			const cs = "!--"
+			for i := 0; i < len(cs); i++ {
+				if t.pos >= len(d) {
+					t.scratch = s
+					return 0, t.syntaxErr(len(d), "unexpected EOF")
+				}
+				b = d[t.pos]
+				t.pos++
+				if b != cs[i] {
+					s = append(s, cs[:i]...)
+					depth++
+					goto handleB
+				}
+			}
+			s = s[:len(s)-1] // drop the '<'
+			j := bytes.Index(d[t.pos:], []byte("-->"))
+			if j < 0 {
+				t.scratch = s
+				return 0, t.syntaxErr(len(d), "unexpected EOF")
+			}
+			t.pos += j + 3
+			s = append(s, ' ')
+		}
+	}
+	t.scratch = s
+	t.kind = Directive
+	t.content = valRef{slo, len(s), true}
+	return Directive, nil
+}
+
+func (t *Tokenizer) scanStart() (Kind, error) {
+	d := t.data
+	name, ok := t.scanName()
+	if !ok {
+		return 0, t.syntaxErr(t.pos, "expected element name after <")
+	}
+	t.attrs = t.attrs[:0]
+	empty := false
+	for {
+		t.skipSpace()
+		if t.pos >= len(d) {
+			return 0, t.syntaxErr(t.pos, "unexpected EOF")
+		}
+		b := d[t.pos]
+		if b == '/' {
+			t.pos++
+			if t.pos >= len(d) {
+				return 0, t.syntaxErr(t.pos, "unexpected EOF")
+			}
+			if d[t.pos] != '>' {
+				return 0, t.syntaxErr(t.pos, "expected /> in element")
+			}
+			t.pos++
+			empty = true
+			break
+		}
+		if b == '>' {
+			t.pos++
+			break
+		}
+		aname, ok := t.scanName()
+		if !ok {
+			return 0, t.syntaxErr(t.pos, "expected attribute name in element")
+		}
+		t.skipSpace()
+		if t.pos >= len(d) {
+			return 0, t.syntaxErr(t.pos, "unexpected EOF")
+		}
+		if d[t.pos] != '=' {
+			return 0, t.syntaxErr(t.pos, "attribute name without = in element")
+		}
+		t.pos++
+		t.skipSpace()
+		if t.pos >= len(d) {
+			return 0, t.syntaxErr(t.pos, "unexpected EOF")
+		}
+		q := d[t.pos]
+		if q != '"' && q != '\'' {
+			return 0, t.syntaxErr(t.pos, "unquoted or missing attribute value in element")
+		}
+		t.pos++
+		vlo := t.pos
+		rest := d[vlo:]
+		qi := bytes.IndexByte(rest, q)
+		if qi < 0 {
+			return 0, t.syntaxErr(len(d), "unexpected EOF")
+		}
+		if lt := bytes.IndexByte(rest[:qi], '<'); lt >= 0 {
+			return 0, t.syntaxErr(vlo+lt, "unescaped < inside quoted string")
+		}
+		v, err := t.resolve(vlo, vlo+qi, true)
+		if err != nil {
+			return 0, err
+		}
+		t.pos = vlo + qi + 1
+		t.attrs = append(t.attrs, attrSpan{nameLo: aname.lo, nameHi: aname.hi, val: v})
+	}
+	t.kind = StartElement
+	t.name = name
+	t.nattr = len(t.attrs)
+	t.self = empty
+	t.pending = empty
+	t.stack = append(t.stack, name)
+	return StartElement, nil
+}
+
+func (t *Tokenizer) scanEnd() (Kind, error) {
+	d := t.data
+	name, ok := t.scanName()
+	if !ok {
+		if t.pos >= len(d) {
+			return 0, t.syntaxErr(t.pos, "unexpected EOF")
+		}
+		return 0, t.syntaxErr(t.pos, "expected element name after </")
+	}
+	t.skipSpace()
+	if t.pos >= len(d) {
+		return 0, t.syntaxErr(t.pos, "unexpected EOF")
+	}
+	if d[t.pos] != '>' {
+		return 0, t.syntaxErr(t.pos,
+			"invalid characters between </%s and >", d[name.lo:name.hi])
+	}
+	t.pos++
+	if len(t.stack) == 0 {
+		return 0, t.syntaxErr(t.tokOff,
+			"unexpected end element </%s>", d[name.lo:name.hi])
+	}
+	top := t.stack[len(t.stack)-1]
+	if !bytes.Equal(d[top.lo:top.hi], d[name.lo:name.hi]) {
+		return 0, t.syntaxErr(t.tokOff, "element <%s> closed by </%s>",
+			d[top.lo:top.hi], d[name.lo:name.hi])
+	}
+	t.stack = t.stack[:len(t.stack)-1]
+	t.kind = EndElement
+	t.name = name
+	return EndElement, nil
+}
+
+// resolve produces the character data of [lo,hi): a zero-copy input
+// range when no reference or carriage return occurs, a scratch range
+// otherwise. It validates every rune against the XML character range.
+// entities=false (CDATA) leaves '&' literal.
+func (t *Tokenizer) resolve(lo, hi int, entities bool) (valRef, error) {
+	d := t.data
+	for i := lo; i < hi; {
+		b := d[i]
+		if textOK[b] {
+			i++
+			continue
+		}
+		if b >= 0x80 {
+			r, size := utf8.DecodeRune(d[i:hi])
+			if r == utf8.RuneError && size == 1 {
+				return valRef{}, t.syntaxErr(i, "invalid UTF-8")
+			}
+			if !isInCharacterRange(r) {
+				return valRef{}, t.syntaxErr(i, "illegal character code %U", r)
+			}
+			i += size
+			continue
+		}
+		if b == '&' {
+			if !entities {
+				i++
+				continue
+			}
+			return t.resolveSlow(lo, hi, entities)
+		}
+		if b == '\r' {
+			return t.resolveSlow(lo, hi, entities)
+		}
+		return valRef{}, t.syntaxErr(i, "illegal character code %U", rune(b))
+	}
+	return valRef{lo, hi, false}, nil
+}
+
+// resolveSlow rewrites [lo,hi) into scratch: references expanded, \r and
+// \r\n rewritten to \n (reference replacement text is inserted verbatim,
+// and resets the \r state, exactly as encoding/xml does). The result is
+// then character-range checked as a whole, so entity replacement text is
+// validated too.
+func (t *Tokenizer) resolveSlow(lo, hi int, entities bool) (valRef, error) {
+	d := t.data
+	s := t.scratch
+	slo := len(s)
+	prevCR := false
+	for i := lo; i < hi; {
+		b := d[i]
+		switch {
+		case b == '&' && entities:
+			var err error
+			s, i, err = t.appendReference(s, i, hi)
+			if err != nil {
+				t.scratch = s
+				return valRef{}, err
+			}
+			prevCR = false
+		case b == '\r':
+			s = append(s, '\n')
+			prevCR = true
+			i++
+		case b == '\n' && prevCR:
+			prevCR = false
+			i++
+		default:
+			s = append(s, b)
+			prevCR = false
+			i++
+		}
+	}
+	t.scratch = s
+	if err := t.checkChars(s[slo:], lo); err != nil {
+		return valRef{}, err
+	}
+	return valRef{slo, len(s), true}, nil
+}
+
+// checkChars validates resolved text (the scratch path; the zero-copy
+// path validates inline). Errors position at errOff, the segment start.
+func (t *Tokenizer) checkChars(b []byte, errOff int) error {
+	for len(b) > 0 {
+		r, size := utf8.DecodeRune(b)
+		if r == utf8.RuneError && size == 1 {
+			return t.syntaxErr(errOff, "invalid UTF-8")
+		}
+		if !isInCharacterRange(r) {
+			return t.syntaxErr(errOff, "illegal character code %U", r)
+		}
+		b = b[size:]
+	}
+	return nil
+}
+
+// appendReference expands the reference starting at i ('&') within
+// [i,hi), appending its replacement to s; it returns the position past
+// the ';'. Character references parse in decimal or (with an 'x') hex,
+// cap at unicode.MaxRune, and encode surrogates as U+FFFD — the exact
+// outcome of encoding/xml's string(rune(n)). Named references try the
+// five predefined entities first, then the SetEntities map.
+func (t *Tokenizer) appendReference(s []byte, i, hi int) ([]byte, int, error) {
+	d := t.data
+	j := i + 1
+	if j < hi && d[j] == '#' {
+		j++
+		base := uint64(10)
+		if j < hi && d[j] == 'x' {
+			base = 16
+			j++
+		}
+		start := j
+		var n uint64
+		for j < hi {
+			b := d[j]
+			var v uint64
+			switch {
+			case '0' <= b && b <= '9':
+				v = uint64(b - '0')
+			case base == 16 && 'a' <= b && b <= 'f':
+				v = uint64(b-'a') + 10
+			case base == 16 && 'A' <= b && b <= 'F':
+				v = uint64(b-'A') + 10
+			default:
+				goto doneDigits
+			}
+			n = n*base + v
+			if n > unicode.MaxRune {
+				n = unicode.MaxRune + 1 // saturate: invalid either way
+			}
+			j++
+		}
+	doneDigits:
+		if j == start || j >= hi || d[j] != ';' || n > unicode.MaxRune {
+			return s, 0, t.syntaxErr(i, "invalid character entity")
+		}
+		return utf8.AppendRune(s, rune(n)), j + 1, nil
+	}
+	start := j
+	for j < hi && nameByte[d[j]] {
+		j++
+	}
+	if j == start || j >= hi || d[j] != ';' {
+		return s, 0, t.syntaxErr(i, "invalid character entity")
+	}
+	name := d[start:j]
+	switch string(name) { // compiles to allocation-free comparisons
+	case "lt":
+		return append(s, '<'), j + 1, nil
+	case "gt":
+		return append(s, '>'), j + 1, nil
+	case "amp":
+		return append(s, '&'), j + 1, nil
+	case "apos":
+		return append(s, '\''), j + 1, nil
+	case "quot":
+		return append(s, '"'), j + 1, nil
+	}
+	if v, ok := t.entities[string(name)]; ok { // zero-alloc map probe
+		return append(s, v...), j + 1, nil
+	}
+	return s, 0, t.syntaxErr(i, "invalid character entity &%s;", name)
+}
+
+// ReadAll drains r into buf (reusing its capacity), for validators that
+// stream documents from readers into a pooled buffer. Read errors pass
+// through unwrapped so callers can classify them (e.g. a body-size trip).
+func ReadAll(r io.Reader, buf []byte) ([]byte, error) {
+	buf = buf[:0]
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, 4096)
+	}
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package xsd
+
+import (
+	"strings"
+	"testing"
+)
+
+// Regression: XSD violation positions must count rune columns and ignore a
+// leading BOM, exactly like the DTD validator (both stamp positions from
+// the shared xmltok tokenizer).
+func TestPositionMultibyteBOM(t *testing.T) {
+	s, err := Parse([]byte(catalogSchema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Line 2 holds multi-byte text inside <note> ("héllo wörld…", mixed
+	// content, legal) followed by an out-of-model <bogus/>; the document is
+	// BOM-prefixed. The violation is reported at <bogus/>, whose column
+	// counts runes on its own line.
+	doc := "\uFEFF<catalog><product><sku>X</sku><img>i</img><img>i</img>\n" +
+		"<note>héllo wörld <bogus/></note></product></catalog>"
+	errs, err := s.Validate(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) == 0 {
+		t.Fatal("no errors for out-of-model <bogus/>")
+	}
+	// "<note>héllo wörld " is 18 runes (20 bytes); <bogus/> is column 19.
+	if errs[0].Line != 2 || errs[0].Col != 19 {
+		t.Errorf("position = %d:%d (%v), want 2:19 (runes, BOM ignored)",
+			errs[0].Line, errs[0].Col, errs[0])
+	}
+}

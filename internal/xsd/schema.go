@@ -558,6 +558,15 @@ func (t *Type) Children() []string {
 }
 
 // Child returns the declaration of a child element name, or nil.
+// childBytes is Child for a name straight out of the tokenizer; the map
+// probe does not allocate.
+func (t *Type) childBytes(name []byte) *ElementDecl {
+	if t == nil || t.children == nil {
+		return nil
+	}
+	return t.children[string(name)]
+}
+
 func (t *Type) Child(name string) *ElementDecl {
 	if t == nil || t.children == nil {
 		return nil

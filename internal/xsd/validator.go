@@ -12,9 +12,7 @@
 package xsd
 
 import (
-	"bufio"
 	"bytes"
-	"encoding/xml"
 	"fmt"
 	"io"
 	"os"
@@ -25,6 +23,7 @@ import (
 	"dregex/internal/match"
 	"dregex/internal/numeric"
 	"dregex/internal/pool"
+	"dregex/internal/xmltok"
 )
 
 // ValidationError describes one violation found while validating a
@@ -33,9 +32,16 @@ type ValidationError struct {
 	Path    string `json:"path"` // slash-separated element path
 	Element string `json:"element"`
 	Msg     string `json:"msg"`
+	// Line and Col locate the violation in the document (1-based; columns
+	// count runes). Zero when no position is available.
+	Line int `json:"line,omitempty"`
+	Col  int `json:"col,omitempty"`
 }
 
 func (e ValidationError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("%d:%d: %s: <%s>: %s", e.Line, e.Col, e.Path, e.Element, e.Msg)
+	}
 	return fmt.Sprintf("%s: <%s>: %s", e.Path, e.Element, e.Msg)
 }
 
@@ -79,7 +85,7 @@ func NewValidator(s *Schema, workers int) *Validator {
 func (v *Validator) ValidateDocs(docs []Doc) []Result {
 	results := make([]Result, len(docs))
 	v.run(len(docs), func(i int, st *docState) {
-		errs, err := v.s.validate(bytes.NewReader(docs[i].Data), st)
+		errs, err := v.s.validateBytes(docs[i].Data, st)
 		results[i] = Result{Name: docs[i].Name, Errors: errs, Err: err}
 	})
 	return results
@@ -112,11 +118,12 @@ func (v *Validator) run(n int, job func(i int, st *docState)) {
 	})
 }
 
-// frame is the per-open-element state of a validation pass.
+// frame is the per-open-element state of a validation pass. The name
+// aliases the document buffer — no per-element string is materialized.
 type frame struct {
 	decl   *ElementDecl
 	typ    *Type
-	name   string
+	name   []byte
 	stream match.Stream   // plain Children models (value: no allocation)
 	ctrs   numeric.Stream // numeric Children models (buffers reused per slot)
 	seen   []bool         // AllGroup member presence
@@ -124,45 +131,22 @@ type frame struct {
 	failed bool
 }
 
+// maxKeepBuf caps the document buffer a reused docState retains between
+// documents, so one huge outlier does not pin its memory forever.
+const maxKeepBuf = 1 << 20
+
 // docState is the reusable scratch of one validation pass. A zero value is
 // ready; reusing one across documents (one per Validator worker) keeps the
-// element stack's capacity and every frame's grown stream buffers, so
-// steady-state validation allocates nothing beyond the XML decoder itself.
-// (Unlike the DTD validator's standalone mode, frames reference only the
-// shared schema, so retaining popped frames pins no per-document data.)
+// element stack's capacity, every frame's grown stream buffers and the
+// tokenizer's internal buffers, so steady-state validation performs no
+// per-document allocation. (Unlike the DTD validator's standalone mode,
+// frames reference only the shared schema, so retaining popped frames pins
+// no per-document data.)
 type docState struct {
 	stack []frame
-	// br wraps the document reader; handing the decoder an io.ByteReader
-	// keeps encoding/xml from allocating its own bufio.Reader per document.
-	br *bufio.Reader
-}
-
-// byteReader returns r as an io.ByteReader for the XML decoder, reusing
-// the state's buffered reader unless r already is one.
-func (st *docState) byteReader(r io.Reader) io.Reader {
-	if _, ok := r.(io.ByteReader); ok {
-		return r
-	}
-	if st.br == nil {
-		st.br = bufio.NewReader(r)
-	} else {
-		st.br.Reset(r)
-	}
-	return st.br
-}
-
-// emptyReader is the stateless reader pooled read buffers are parked on
-// between documents, so a retained docState never pins the previous
-// document's reader (an HTTP request body, say) until its next use.
-type emptyReader struct{}
-
-func (emptyReader) Read([]byte) (int, error) { return 0, io.EOF }
-
-// releaseReader detaches the read buffer from the current document.
-func (st *docState) releaseReader() {
-	if st.br != nil {
-		st.br.Reset(emptyReader{})
-	}
+	tok   xmltok.Tokenizer
+	// buf holds the whole document when validating from an io.Reader.
+	buf []byte
 }
 
 // push returns the next frame slot, reusing the slot's buffers when the
@@ -174,7 +158,7 @@ func (st *docState) push() *frame {
 		st.stack = append(st.stack, frame{})
 	}
 	f := &st.stack[len(st.stack)-1]
-	f.decl, f.typ, f.name = nil, nil, ""
+	f.decl, f.typ, f.name = nil, nil, nil
 	f.any, f.failed = false, false
 	return f
 }
@@ -188,6 +172,12 @@ func (st *docState) push() *frame {
 func (s *Schema) Validate(r io.Reader) ([]ValidationError, error) {
 	var st docState
 	return s.validate(r, &st)
+}
+
+// ValidateBytes is Validate on an in-memory document, skipping the read.
+func (s *Schema) ValidateBytes(doc []byte) ([]ValidationError, error) {
+	var st docState
+	return s.validateBytes(doc, &st)
 }
 
 // DocState is the reusable per-worker scratch of a validation pass, for
@@ -204,64 +194,90 @@ func (s *Schema) ValidateReusing(r io.Reader, st *DocState) ([]ValidationError, 
 	return s.validate(r, &st.st)
 }
 
+// ValidateBytesReusing is ValidateBytes with caller-managed scratch.
+func (s *Schema) ValidateBytesReusing(doc []byte, st *DocState) ([]ValidationError, error) {
+	return s.validateBytes(doc, &st.st)
+}
+
 func (s *Schema) validate(r io.Reader, st *docState) ([]ValidationError, error) {
-	dec := xml.NewDecoder(st.byteReader(r))
-	defer st.releaseReader()
+	data, err := xmltok.ReadAll(r, st.buf)
+	st.buf = data
+	if err != nil {
+		return nil, fmt.Errorf("xsd: read: %w", err)
+	}
+	errs, verr := s.validateBytes(data, st)
+	if cap(st.buf) > maxKeepBuf {
+		st.buf = nil
+	}
+	return errs, verr
+}
+
+func (s *Schema) validateBytes(data []byte, st *docState) ([]ValidationError, error) {
+	tok := &st.tok
+	tok.Reset(data)
+	tok.SetEntities(nil)
 	var errs []ValidationError
 	st.stack = st.stack[:0]
 	sawRoot := false
 	path := func() string {
 		parts := make([]string, 0, len(st.stack))
 		for i := range st.stack {
-			parts = append(parts, st.stack[i].name)
+			parts = append(parts, string(st.stack[i].name))
 		}
 		return "/" + strings.Join(parts, "/")
 	}
+	// verr stamps a violation with the document position of offset off.
+	verr := func(path string, elem []byte, off int, msg string) ValidationError {
+		line, col := tok.Position(off)
+		return ValidationError{Path: path, Element: string(elem), Msg: msg, Line: line, Col: col}
+	}
 	for {
-		tok, err := dec.Token()
+		kind, err := tok.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return errs, fmt.Errorf("xsd: malformed XML: %w", err)
 		}
-		switch t := tok.(type) {
-		case xml.Directive:
+		switch kind {
+		case xmltok.Directive:
 			// Instance documents may carry a DOCTYPE whose internal subset
 			// declares general entities (<!ENTITY foo "...">); wire those
-			// into the decoder so &foo; references are resolved rather than
-			// rejected as malformed XML. Predefined entities always work;
-			// parameter and external entities stay out of scope.
+			// into the tokenizer so &foo; references are resolved rather
+			// than rejected as malformed XML. Predefined entities always
+			// work; parameter and external entities stay out of scope.
 			if !sawRoot {
-				if ents := dtd.EntitiesFromDoctype(string(t)); len(ents) > 0 {
-					dec.Entity = ents
+				if ents := dtd.EntitiesFromDoctype(string(tok.Text())); len(ents) > 0 {
+					tok.SetEntities(ents)
 				}
 			}
-		case xml.StartElement:
-			name := t.Name.Local
+		case xmltok.StartElement:
+			name := tok.Local()
+			off := tok.Offset()
 			var decl *ElementDecl
 			if len(st.stack) == 0 {
 				if sawRoot {
-					// encoding/xml tokenizes trailing top-level elements
-					// without complaint; a second root is not well-formed
-					// XML, so report it rather than passing it silently.
-					errs = append(errs, ValidationError{"/" + name, name,
-						"document has more than one root element"})
-					if err := dec.Skip(); err != nil {
-						return errs, fmt.Errorf("xsd: malformed XML: %w", err)
+					// A second top-level element is not well-formed XML;
+					// report it, then skip its subtree.
+					errs = append(errs, verr("/"+string(name), name, off,
+						"document has more than one root element"))
+					for tok.Depth() > 0 {
+						if _, err := tok.Next(); err != nil {
+							return errs, fmt.Errorf("xsd: malformed XML: %w", err)
+						}
 					}
 					continue
 				}
 				sawRoot = true
-				decl = s.Roots[name]
+				decl = s.Roots[string(name)]
 				if decl == nil {
-					errs = append(errs, ValidationError{"/" + name, name,
-						"root element is not declared in the schema"})
+					errs = append(errs, verr("/"+string(name), name, off,
+						"root element is not declared in the schema"))
 				}
 			} else {
 				p := &st.stack[len(st.stack)-1]
-				decl = p.typ.Child(name)
-				errs = feedChild(errs, p, name, path)
+				decl = p.typ.childBytes(name)
+				errs = feedChild(errs, p, name, off, path, verr)
 			}
 			f := st.push()
 			f.decl, f.name = decl, name
@@ -273,8 +289,8 @@ func (s *Schema) validate(r io.Reader, st *docState) ([]ValidationError, error) 
 			switch f.typ.Kind {
 			case Children:
 				if !f.typ.Deterministic {
-					errs = append(errs, ValidationError{path(), name,
-						"content model violates Unique Particle Attribution; cannot validate"})
+					errs = append(errs, verr(path(), name, off,
+						"content model violates Unique Particle Attribution; cannot validate"))
 					f.failed = true
 				} else if f.typ.Numeric {
 					f.typ.nmatcher.InitStream(&f.ctrs)
@@ -292,7 +308,7 @@ func (s *Schema) validate(r io.Reader, st *docState) ([]ValidationError, error) 
 					}
 				}
 			}
-		case xml.EndElement:
+		case xmltok.EndElement:
 			if len(st.stack) == 0 {
 				continue // stray end tag past a skipped extra root
 			}
@@ -307,22 +323,22 @@ func (s *Schema) validate(r io.Reader, st *docState) ([]ValidationError, error) 
 						ok = f.stream.Accepts()
 					}
 					if !ok {
-						errs = append(errs, ValidationError{path(), f.name,
-							fmt.Sprintf("children end prematurely for content model %s", f.typ.Model)})
+						errs = append(errs, verr(path(), f.name, tok.Offset(),
+							fmt.Sprintf("children end prematurely for content model %s", f.typ.Model)))
 					}
 				case AllGroup:
 					if !(f.typ.allOptional && !f.any) {
 						for i, min := range f.typ.allMin {
 							if min > 0 && !f.seen[i] {
-								errs = append(errs, ValidationError{path(), f.name,
-									fmt.Sprintf("missing required child <%s> of %s", f.typ.allDecl[i].Name, f.typ.Model)})
+								errs = append(errs, verr(path(), f.name, tok.Offset(),
+									fmt.Sprintf("missing required child <%s> of %s", f.typ.allDecl[i].Name, f.typ.Model)))
 							}
 						}
 					}
 				}
 			}
 			st.stack = st.stack[:len(st.stack)-1]
-		case xml.CharData:
+		case xmltok.Text:
 			if len(st.stack) == 0 {
 				continue
 			}
@@ -331,11 +347,11 @@ func (s *Schema) validate(r io.Reader, st *docState) ([]ValidationError, error) 
 				f.typ.Kind == TextContent || f.typ.Kind == AnyContent {
 				continue
 			}
-			if len(bytes.TrimSpace(t)) == 0 {
+			if len(bytes.TrimSpace(tok.Text())) == 0 {
 				continue
 			}
-			errs = append(errs, ValidationError{path(), f.name,
-				"text content not allowed by element-only content"})
+			errs = append(errs, verr(path(), f.name, tok.Offset(),
+				"text content not allowed by element-only content"))
 			f.failed = true
 		}
 	}
@@ -346,29 +362,30 @@ func (s *Schema) validate(r io.Reader, st *docState) ([]ValidationError, error) 
 }
 
 // feedChild records child name in the parent frame's content model.
-func feedChild(errs []ValidationError, p *frame, name string, path func() string) []ValidationError {
+func feedChild(errs []ValidationError, p *frame, name []byte, off int,
+	path func() string, verr func(string, []byte, int, string) ValidationError) []ValidationError {
 	if p.typ == nil || p.failed {
 		return errs // parent already failed; keep descending silently
 	}
 	switch p.typ.Kind {
 	case EmptyContent:
-		errs = append(errs, ValidationError{path(), p.name,
-			fmt.Sprintf("child <%s> not allowed: empty content", name)})
+		errs = append(errs, verr(path(), p.name, off,
+			fmt.Sprintf("child <%s> not allowed: empty content", name)))
 		p.failed = true
 	case TextContent:
-		errs = append(errs, ValidationError{path(), p.name,
-			fmt.Sprintf("child <%s> not allowed: simple content", name)})
+		errs = append(errs, verr(path(), p.name, off,
+			fmt.Sprintf("child <%s> not allowed: simple content", name)))
 		p.failed = true
 	case AllGroup:
-		i, ok := p.typ.allIndex[name]
+		i, ok := p.typ.allIndex[string(name)]
 		switch {
 		case !ok:
-			errs = append(errs, ValidationError{path(), p.name,
-				fmt.Sprintf("child <%s> not allowed in %s", name, p.typ.Model)})
+			errs = append(errs, verr(path(), p.name, off,
+				fmt.Sprintf("child <%s> not allowed in %s", name, p.typ.Model)))
 			p.failed = true
 		case p.seen[i]:
-			errs = append(errs, ValidationError{path(), p.name,
-				fmt.Sprintf("child <%s> repeated in %s", name, p.typ.Model)})
+			errs = append(errs, verr(path(), p.name, off,
+				fmt.Sprintf("child <%s> repeated in %s", name, p.typ.Model)))
 			p.failed = true
 		default:
 			p.seen[i] = true
@@ -377,13 +394,13 @@ func feedChild(errs []ValidationError, p *frame, name string, path func() string
 	case Children:
 		ok := false
 		if p.typ.Numeric {
-			ok = p.ctrs.FeedName(name)
+			ok = p.ctrs.FeedBytes(name)
 		} else {
-			ok = p.stream.FeedName(name)
+			ok = p.stream.FeedBytes(name)
 		}
 		if !ok {
-			errs = append(errs, ValidationError{path(), p.name,
-				fmt.Sprintf("child <%s> violates content model %s", name, p.typ.Model)})
+			errs = append(errs, verr(path(), p.name, off,
+				fmt.Sprintf("child <%s> violates content model %s", name, p.typ.Model)))
 			p.failed = true
 		}
 	}
