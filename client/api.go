@@ -74,12 +74,35 @@ type MatchRequest struct {
 	Syntax  string     `json:"syntax,omitempty"`
 	Numeric bool       `json:"numeric,omitempty"`
 	Words   [][]string `json:"words"`
+	// Witness asks for per-word parse results: the response then carries
+	// Parses alongside Results. Witness recording runs the slower recorded
+	// path, so it is opt-in per request.
+	Witness bool `json:"witness,omitempty"`
+}
+
+// WordParse is the per-word parse outcome of a witness-mode match.
+type WordParse struct {
+	Accepted bool `json:"accepted"`
+	// FailedAt is -1 when accepted; otherwise the index of the symbol the
+	// run died on (len(word) when the word ended too early).
+	FailedAt int `json:"failed_at"`
+	// Expected lists the symbols that could have extended the word at the
+	// failure point.
+	Expected []string `json:"expected,omitempty"`
+	// Tree is the parse tree of an accepted word as an s-expression
+	// (leaves are symbol names, inner nodes "(op child …)"); empty for
+	// rejected words and for numeric-pipeline expressions, which report
+	// trace-level results only.
+	Tree string `json:"tree,omitempty"`
 }
 
 // MatchResponse is the body of a successful POST /v1/match; Results[i]
 // reports whether Words[i] matched.
 type MatchResponse struct {
 	Results []bool `json:"results"`
+	// Parses is present when the request set Witness; Parses[i] describes
+	// Words[i].
+	Parses []WordParse `json:"parses,omitempty"`
 }
 
 // ValidateRequest is the JSON body of POST /v1/validate. The endpoint also
@@ -100,6 +123,9 @@ type ValidationError struct {
 	// count runes). Zero when the server reported no position.
 	Line int `json:"line,omitempty"`
 	Col  int `json:"col,omitempty"`
+	// Expected lists the element names that would have been legal at the
+	// failure point (content-model violations only).
+	Expected []string `json:"expected,omitempty"`
 }
 
 // ValidateResponse is the body of a successful POST /v1/validate. A

@@ -18,8 +18,12 @@
 //	            colored-binary, pathdecomp, starfree-scan, climbing, nfa
 //	-numeric    allow numeric occurrence indicators e{m,n} (§3.3 engine)
 //	-explain    print a counterexample word for nondeterministic EXPR
+//	-parse      print the parse tree (accepted) or expected-next symbols
+//	            (rejected) for each WORD instead of a bare verdict
 //	-stats      print structural statistics
 //	-stdin      match tokens from standard input
+//	-lex        treat EXPR as a rule set "tag=expr;tag=expr" (math syntax)
+//	            and tokenize each WORD (and -stdin) by longest match
 package main
 
 import (
@@ -37,8 +41,10 @@ func main() {
 		algoName  = flag.String("algo", "auto", "matching algorithm: auto, table, kore, colored, colored-binary, pathdecomp, starfree-scan, climbing, nfa")
 		numericOn = flag.Bool("numeric", false, "allow numeric occurrence indicators")
 		explain   = flag.Bool("explain", false, "explain nondeterminism")
+		parseTree = flag.Bool("parse", false, "print parse trees / expected-next symbols per word")
 		stats     = flag.Bool("stats", false, "print structural statistics")
 		stdin     = flag.Bool("stdin", false, "match tokens from standard input")
+		lexMode   = flag.Bool("lex", false, `treat EXPR as lexer rules "tag=expr;tag=expr"`)
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -50,6 +56,11 @@ func main() {
 	syntax := dregex.Math
 	if *dtdSyntax {
 		syntax = dregex.DTD
+	}
+
+	if *lexMode {
+		runLex(src, flag.Args()[1:], *stdin)
+		return
 	}
 
 	// Compilation goes through a Cache for parity with how library
@@ -97,13 +108,29 @@ func main() {
 	}
 	fmt.Printf("algorithm: %v\n", m.Algorithm())
 	for _, w := range words {
-		var verdict bool
+		word := []string{}
 		if *dtdSyntax {
-			verdict = m.MatchSymbols(splitWord(w))
+			word = splitWord(w)
 		} else {
-			verdict = m.MatchText(w)
+			for _, r := range w {
+				word = append(word, string(r))
+			}
 		}
-		fmt.Printf("%-30q %v\n", w, verdict)
+		if *parseTree {
+			res, perr := m.Parse(word)
+			if perr != nil {
+				fmt.Fprintln(os.Stderr, "error:", perr)
+				os.Exit(1)
+			}
+			if res.Accepted {
+				fmt.Printf("%-30q true  %s\n", w, res.TreeString())
+			} else {
+				fmt.Printf("%-30q false failed-at=%d expected=[%s]\n",
+					w, res.FailedAt, strings.Join(res.Expected, " "))
+			}
+			continue
+		}
+		fmt.Printf("%-30q %v\n", w, m.MatchSymbols(word))
 	}
 	if *stdin {
 		// Math notation streams runes (Stream.FeedRune: no per-symbol
@@ -119,6 +146,56 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("stdin: %v\n", okStream)
+	}
+}
+
+// runLex compiles a ";"-separated "tag=expr" rule set (math syntax, since
+// lexing is per rune) and tokenizes each word argument — and stdin when
+// requested — by longest match, printing one "POS TAG LEXEME" line per
+// token.
+func runLex(src string, words []string, stdin bool) {
+	var rules []dregex.LexRule
+	for _, spec := range strings.Split(src, ";") {
+		if strings.TrimSpace(spec) == "" {
+			continue
+		}
+		tag, exprSrc, ok := strings.Cut(spec, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "error: lexer rule %q is not tag=expr\n", spec)
+			os.Exit(2)
+		}
+		e, err := dregex.Compile(strings.TrimSpace(exprSrc), dregex.Math)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		rules = append(rules, dregex.LexRule{Tag: strings.TrimSpace(tag), Expr: e})
+	}
+	l, err := dregex.NewLexer(rules...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	printTok := func(t dregex.Token) error {
+		_, err := fmt.Printf("%6d  %-12s %q\n", t.Pos, t.Tag, t.Lexeme)
+		return err
+	}
+	for _, w := range words {
+		fmt.Printf("input %q:\n", w)
+		toks, err := l.Tokens(w)
+		for _, t := range toks {
+			printTok(t)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+	if stdin {
+		if err := l.LexReader(os.Stdin, printTok); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -104,5 +105,47 @@ func TestXmlvalidPositionMultibyteBOM(t *testing.T) {
 	// column 18 — the wrong answer).
 	if !bytes.Contains([]byte(out), []byte("5:16:")) {
 		t.Errorf("report lacks rune-accurate position 5:16:\n%s", out)
+	}
+}
+
+// Content-model violations carry expected-next hints, in both report
+// forms: the JSON "expected" array and the text "(expected one of: …)"
+// suffix. The hints come from probing the failed run's last viable state,
+// so they name exactly the elements that would have been legal.
+func TestXmlvalidExpectedHints(t *testing.T) {
+	dir := t.TempDir()
+	doc := `<!DOCTYPE book [
+  <!ELEMENT book (title, author+, (section | appendix)*)>
+  <!ELEMENT title (#PCDATA)>
+  <!ELEMENT author (#PCDATA)>
+  <!ELEMENT section (#PCDATA)>
+  <!ELEMENT appendix (#PCDATA)>
+]>
+<book><title>t</title><section>s</section></book>`
+	path := filepath.Join(dir, "book.xml")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out := runQuiet(t, path)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !bytes.Contains([]byte(out), []byte("(expected one of: author)")) {
+		t.Errorf("text report lacks expected-next hint:\n%s", out)
+	}
+
+	code, out = runQuiet(t, "-json", path)
+	if code != 1 {
+		t.Fatalf("json: exit = %d, want 1; output:\n%s", code, out)
+	}
+	var reports []map[string]any
+	if err := json.Unmarshal([]byte(out), &reports); err != nil {
+		t.Fatalf("json report does not parse: %v\n%s", err, out)
+	}
+	errs := reports[0]["errors"].([]any)
+	first := errs[0].(map[string]any)
+	if got, _ := first["expected"].([]any); len(got) != 1 || got[0] != "author" {
+		t.Errorf("json expected field = %v, want [author]; full error: %v", got, first)
 	}
 }

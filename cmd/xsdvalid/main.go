@@ -21,8 +21,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dregex"
@@ -31,45 +33,58 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// run is main minus process concerns, so CLI behavior is testable; reports
+// still go to stdout (via cli.PrintReports), diagnostics to stderr.
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xsdvalid", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		xsdPath = flag.String("xsd", "", "XML Schema file (required)")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		jsonOut = flag.Bool("json", false, "emit a JSON report")
-		quiet   = flag.Bool("q", false, "text mode: only report invalid documents and the summary")
+		xsdPath = fs.String("xsd", "", "XML Schema file (required)")
+		workers = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		jsonOut = fs.Bool("json", false, "emit a JSON report")
+		quiet   = fs.Bool("q", false, "text mode: only report invalid documents and the summary")
 	)
-	flag.Parse()
-	if *xsdPath == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: xsdvalid -xsd FILE.xsd [-workers N] [-json] [-q] PATH...")
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
-	paths := cli.CollectFiles(flag.Args(), ".xml")
+	if *xsdPath == "" || fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: xsdvalid -xsd FILE.xsd [-workers N] [-json] [-q] PATH...")
+		return 2
+	}
+	paths := cli.CollectFiles(fs.Args(), ".xml")
 	if len(paths) == 0 {
-		fmt.Fprintln(os.Stderr, "error: no XML documents found")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "error: no XML documents found")
+		return 1
 	}
 
 	data, err := os.ReadFile(*xsdPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
 	}
 	// One cache for the whole run: every distinct content model compiles
 	// exactly once however many types or schema reloads reuse it.
 	s, err := xsd.ParseWithCache(data, dregex.NewCache(4096))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
 	}
 	// Nondeterministic content models cannot drive a one-pass validator;
 	// reject the schema with the full diagnosis rather than skipping the
 	// affected elements silently.
 	if issues := s.Check(); len(issues) > 0 {
-		fmt.Fprintf(os.Stderr, "error: %s is not a valid schema: %d content model(s) violate Unique Particle Attribution\n",
+		fmt.Fprintf(stderr, "error: %s is not a valid schema: %d content model(s) violate Unique Particle Attribution\n",
 			*xsdPath, len(issues))
 		for _, is := range issues {
-			fmt.Fprintf(os.Stderr, "  %s: %s\n", is.Type, is.Msg)
+			fmt.Fprintf(stderr, "  %s: %s\n", is.Type, is.Msg)
 		}
-		os.Exit(1)
+		return 1
 	}
 
 	results := xsd.NewValidator(s, *workers).ValidateFiles(paths)
@@ -84,10 +99,11 @@ func main() {
 	}
 	invalid, err := cli.PrintReports(reports, *jsonOut, *quiet)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
 	}
 	if invalid > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

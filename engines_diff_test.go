@@ -7,6 +7,7 @@ package dregex_test
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"dregex"
@@ -134,6 +135,121 @@ func TestEnginesUnanimous(t *testing.T) {
 						t.Errorf("MatchAll(%v) disagrees on %q / word %v: got %v, want %v",
 							algo, c.source, c.corpus[wi], all[wi], ref[wi])
 					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineWitnessesUnanimous extends the differential test to parse
+// witnesses: every recorded engine must produce the identical position
+// trace, failure point, expected-next set, and parse tree — the trace is
+// the parse, so a disagreement is an engine bug even when the verdicts
+// agree. The counter engine recompiles the same source through the numeric
+// pipeline (the normalized trees are node-for-node identical) and must
+// report config-set-equivalent witnesses: same verdict and failure point,
+// and wherever its configuration set is a singleton, the same position.
+func TestEngineWitnessesUnanimous(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var cases []diffCase
+	for i := 0; i < 12; i++ {
+		alpha := ast.NewAlphabet()
+		root := wordgen.RandomDeterministicExpr(r, alpha, 8+r.Intn(8), 30+r.Intn(30), i%3 == 0)
+		cases = append(cases, buildDiffCase(t, r, root, alpha))
+	}
+	for i := 0; i < 6; i++ {
+		alpha := ast.NewAlphabet()
+		root := ast.DesugarPlus(wordgen.CHARE(r, alpha, 2+r.Intn(5), 4))
+		cases = append(cases, buildDiffCase(t, r, root, alpha))
+	}
+
+	for ci, c := range cases {
+		c := c
+		t.Run(fmt.Sprintf("case%02d", ci), func(t *testing.T) {
+			e, err := dregex.Compile(c.source, dregex.DTD)
+			if err != nil {
+				t.Fatalf("Compile(%q): %v", c.source, err)
+			}
+			refM, err := e.Matcher(dregex.KORE)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := make([]*dregex.ParseResult, len(c.corpus))
+			for wi, names := range c.corpus {
+				if ref[wi], err = refM.Parse(names); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			for _, algo := range []dregex.Algorithm{
+				dregex.Table, dregex.Colored, dregex.ColoredBinary,
+				dregex.PathDecomp, dregex.Climbing,
+			} {
+				m, err := e.Matcher(algo)
+				if err != nil {
+					t.Fatalf("Matcher(%v): %v", algo, err)
+				}
+				for wi, names := range c.corpus {
+					got, err := m.Parse(names)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := ref[wi]
+					if got.Accepted != want.Accepted || got.FailedAt != want.FailedAt {
+						t.Errorf("%v verdict on %q / %v: (%v,%d) want (%v,%d)",
+							algo, c.source, names, got.Accepted, got.FailedAt, want.Accepted, want.FailedAt)
+						continue
+					}
+					if !reflect.DeepEqual(got.Trace, want.Trace) {
+						t.Errorf("%v trace on %q / %v:\n got %v\nwant %v",
+							algo, c.source, names, got.Trace, want.Trace)
+					}
+					if !reflect.DeepEqual(got.Expected, want.Expected) {
+						t.Errorf("%v expected-next on %q / %v: got %v, want %v",
+							algo, c.source, names, got.Expected, want.Expected)
+					}
+					if got.TreeString() != want.TreeString() {
+						t.Errorf("%v tree on %q / %v:\n got %s\nwant %s",
+							algo, c.source, names, got.TreeString(), want.TreeString())
+					}
+				}
+			}
+
+			// Counter engine on the same source: the numeric pipeline
+			// normalizes to the identical tree, so node ids line up.
+			ne, err := dregex.CompileNumeric(c.source, dregex.DTD)
+			if err != nil {
+				t.Fatalf("CompileNumeric(%q): %v", c.source, err)
+			}
+			if !ne.IsDeterministic() {
+				return // the plain pipeline's determinism test is stricter
+			}
+			nm := ne.Matcher()
+			for wi, names := range c.corpus {
+				got, err := nm.Parse(names)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := ref[wi]
+				if got.Accepted != want.Accepted || got.FailedAt != want.FailedAt {
+					t.Errorf("numeric verdict on %q / %v: (%v,%d) want (%v,%d)",
+						c.source, names, got.Accepted, got.FailedAt, want.Accepted, want.FailedAt)
+					continue
+				}
+				if len(got.Trace) != len(want.Trace) {
+					t.Errorf("numeric trace length on %q / %v: %d want %d",
+						c.source, names, len(got.Trace), len(want.Trace))
+					continue
+				}
+				for i := range got.Trace {
+					if got.Trace[i] != parsetree.Null && got.Trace[i] != want.Trace[i] {
+						t.Errorf("numeric trace[%d] on %q / %v: %v want %v",
+							i, c.source, names, got.Trace[i], want.Trace[i])
+					}
+				}
+				if !reflect.DeepEqual(got.Expected, want.Expected) {
+					t.Errorf("numeric expected-next on %q / %v: got %v, want %v",
+						c.source, names, got.Expected, want.Expected)
 				}
 			}
 		})

@@ -1,0 +1,80 @@
+// Lexer: longest-match tokenization over tagged deterministic expressions,
+// and parse witnesses — the position trace of a deterministic run IS the
+// parse, so accepted words come back with their parse tree and rejected
+// ones with the set of symbols that could have continued them.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"dregex"
+)
+
+func main() {
+	// A tiny token language over math-syntax single-rune symbols: binary
+	// numbers, identifiers over a/b, and the letter s as a separator.
+	// Every rule must be deterministic — that is what makes the longest
+	// match unique and the scan single-pass.
+	lex, err := dregex.NewLexer(
+		dregex.LexRule{Tag: "num", Expr: dregex.MustCompile("(0+1)(0+1)*", dregex.Math)},
+		dregex.LexRule{Tag: "id", Expr: dregex.MustCompile("(a+b)(a+b)*", dregex.Math)},
+		dregex.LexRule{Tag: "sep", Expr: dregex.MustCompile("s", dregex.Math)},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	input := "ab01sba11s0"
+	toks, err := lex.Tokens(input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tokens of %q:\n", input)
+	for _, t := range toks {
+		fmt.Printf("  %2d  %-4s %q\n", t.Pos, t.Tag, t.Lexeme)
+	}
+
+	// The same lexer runs incrementally: feed chunks as they arrive
+	// (any chunking, even mid-rune); tokens stream out through the
+	// callback as soon as maximal munch resolves them.
+	fmt.Println("streaming, 3-byte chunks:")
+	s := lex.Stream(func(t dregex.Token) error {
+		fmt.Printf("  %2d  %-4s %q\n", t.Pos, t.Tag, t.Lexeme)
+		return nil
+	})
+	for i := 0; i < len(input); i += 3 {
+		end := i + 3
+		if end > len(input) {
+			end = len(input)
+		}
+		if err := s.FeedBytes([]byte(input[i:end])); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Parse witnesses: recording a run's positions is opt-in (Parse
+	// instead of MatchWord — plain matching stays allocation-free), and
+	// one pass over the trace materializes the parse tree.
+	e := dregex.MustCompile("(ab+b(b?)a)*", dregex.Math)
+	m, err := e.Matcher(dregex.Auto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range []string{"abba", "abab", "abb"} {
+		res, err := m.ParseText(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Accepted {
+			fmt.Printf("parse %-6q -> %s\n", w, res.TreeString())
+		} else {
+			fmt.Printf("parse %-6q -> rejected at symbol %d, expected {%s}\n",
+				w, res.FailedAt, strings.Join(res.Expected, ", "))
+		}
+	}
+}

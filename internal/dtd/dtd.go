@@ -44,6 +44,7 @@ import (
 
 	"dregex"
 	"dregex/internal/match"
+	"dregex/internal/run"
 	"dregex/internal/xmltok"
 )
 
@@ -445,13 +446,21 @@ type ValidationError struct {
 	// count runes). Zero when no position is available.
 	Line int `json:"line,omitempty"`
 	Col  int `json:"col,omitempty"`
+	// Expected lists the element names that would have been legal at the
+	// failure point (content-model violations only): the run.Runner
+	// ExpectedNext set of the element's streaming matcher.
+	Expected []string `json:"expected,omitempty"`
 }
 
 func (e ValidationError) Error() string {
-	if e.Line > 0 {
-		return fmt.Sprintf("%d:%d: %s: <%s>: %s", e.Line, e.Col, e.Path, e.Element, e.Msg)
+	msg := e.Msg
+	if len(e.Expected) > 0 {
+		msg = fmt.Sprintf("%s (expected one of: %s)", msg, strings.Join(e.Expected, ", "))
 	}
-	return fmt.Sprintf("%s: <%s>: %s", e.Path, e.Element, e.Msg)
+	if e.Line > 0 {
+		return fmt.Sprintf("%d:%d: %s: <%s>: %s", e.Line, e.Col, e.Path, e.Element, msg)
+	}
+	return fmt.Sprintf("%s: <%s>: %s", e.Path, e.Element, msg)
 }
 
 // frame is the per-open-element state of a validation pass. The name
@@ -649,8 +658,10 @@ func (d *DTD) validateBytes(data []byte, st *docState) ([]ValidationError, error
 					p.failed = true
 				default:
 					if !p.stream.FeedBytes(name) {
-						errs = append(errs, verr(path(), string(p.name), off,
-							fmt.Sprintf("child <%s> violates content model %s", name, p.el.Model)))
+						ve := verr(path(), string(p.name), off,
+							fmt.Sprintf("child <%s> violates content model %s", name, p.el.Model))
+						ve.Expected = run.ExpectedNames(&p.stream, nil)
+						errs = append(errs, ve)
 						p.failed = true
 					}
 				}
@@ -672,12 +683,18 @@ func (d *DTD) validateBytes(data []byte, st *docState) ([]ValidationError, error
 			errs = d.checkAttrs(st, el, name, off, errs, verr, path)
 			stack = append(stack, f)
 		case xmltok.EndElement:
-			f := stack[len(stack)-1]
+			// Pointer into the backing array, not a copy: ExpectedNames
+			// takes the stream's address, and a copied frame would escape
+			// to the heap on every single EndElement. The popped slot stays
+			// intact until the next push.
+			f := &stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			if f.el != nil && f.el.Kind == Children && !f.failed {
 				if !f.stream.Accepts() {
-					errs = append(errs, verr(path()+"/"+string(f.name), string(f.name), tok.Offset(),
-						fmt.Sprintf("children end prematurely for content model %s", f.el.Model)))
+					ve := verr(path()+"/"+string(f.name), string(f.name), tok.Offset(),
+						fmt.Sprintf("children end prematurely for content model %s", f.el.Model))
+					ve.Expected = run.ExpectedNames(&f.stream, nil)
+					errs = append(errs, ve)
 				}
 			}
 		case xmltok.Text:

@@ -9,16 +9,17 @@
 // straightforward").
 //
 // All matchers are streamable: drivers consume input symbol by symbol in
-// one pass and keep O(1) state beyond the preprocessed expression.
+// one pass and keep O(1) state beyond the preprocessed expression. Stream
+// is the run.Runner adapter over any TransitionSim — the plain §4 engines
+// and the dense table tier all stream through it; the generic drivers
+// (readers, witness recording, expected-next diagnostics) live in
+// internal/run and work on any Runner.
 package match
 
 import (
-	"bufio"
-	"fmt"
-	"io"
-
 	"dregex/internal/ast"
 	"dregex/internal/parsetree"
+	"dregex/internal/run"
 )
 
 // TransitionSim is the §4 transition-simulation procedure.
@@ -37,7 +38,8 @@ type TransitionSim interface {
 // Word matches a word of interned symbols. Symbols outside the user
 // alphabet — ast.None from a failed lookup, or the reserved markers —
 // reject, so words interned against a different (or extended) alphabet are
-// handled gracefully. Word performs no allocation.
+// handled gracefully. Word performs no allocation: it is the devirtualized
+// whole-word fast path; incremental and recorded runs go through Stream.
 func Word(sim TransitionSim, word []ast.Symbol) bool {
 	p := sim.Start()
 	for _, a := range word {
@@ -53,13 +55,13 @@ func Word(sim TransitionSim, word []ast.Symbol) bool {
 }
 
 // Names matches a word of symbol names; names outside the alphabet (or the
-// reserved markers) reject.
+// reserved markers) reject. Allocation-free, like Word.
 func Names(sim TransitionSim, names []string) bool {
 	alpha := sim.Tree().Alpha
 	p := sim.Start()
 	for _, n := range names {
-		a, ok := alpha.Lookup(n)
-		if !ok || a == ast.Begin || a == ast.End {
+		a, ok := run.LookupName(alpha, n)
+		if !ok {
 			return false
 		}
 		p = sim.Next(p, a)
@@ -76,8 +78,8 @@ func Chars(sim TransitionSim, w string) bool {
 	alpha := sim.Tree().Alpha
 	p := sim.Start()
 	for _, r := range w {
-		a, ok := alpha.LookupRune(r)
-		if !ok || a == ast.Begin || a == ast.End {
+		a, ok := run.LookupRune(alpha, r)
+		if !ok {
 			return false
 		}
 		p = sim.Next(p, a)
@@ -89,49 +91,69 @@ func Chars(sim TransitionSim, w string) bool {
 }
 
 // Stream is an incremental matcher: feed symbols one at a time, query
-// acceptance at any prefix. The zero value is unusable; call NewStream.
+// acceptance at any prefix. It adapts any TransitionSim to the run.Runner
+// contract — the engine-independent bookkeeping (liveness, length, the
+// opt-in witness trace) is the embedded run.Core; this type adds only the
+// single-position state the §4 simulators maintain. The zero value is
+// unusable; call NewStream or Init.
 type Stream struct {
-	sim  TransitionSim
-	cur  parsetree.NodeID
-	dead bool
-	fed  int
+	run.Core
+	sim TransitionSim
+	// cur is the current position while alive, and the LAST VIABLE
+	// position once dead — kept so ExpectedNext can report what could
+	// have extended the run at the point of failure.
+	cur parsetree.NodeID
 }
+
+// Stream implements run.Runner.
+var _ run.Runner = (*Stream)(nil)
 
 // NewStream starts a stream at the phantom # position.
 func NewStream(sim TransitionSim) *Stream {
-	return &Stream{sim: sim, cur: sim.Start()}
+	s := &Stream{}
+	s.Init(sim)
+	return s
 }
 
 // Init (re)binds a stream to a simulator and rewinds it to the empty
 // prefix. It lets callers embed Stream by value — one per stack frame or
-// per worker — and restart matches with zero allocation.
+// per worker — and restart matches with zero allocation. An attached
+// witness trace stays attached but is truncated, so a rejected previous
+// word can never leak positions into the next word's witness.
 func (s *Stream) Init(sim TransitionSim) {
 	s.sim = sim
 	s.cur = sim.Start()
-	s.dead = false
-	s.fed = 0
+	s.Rewind()
+}
+
+// Reset rewinds the stream to the empty prefix.
+func (s *Stream) Reset() {
+	s.cur = s.sim.Start()
+	s.Rewind()
 }
 
 // Feed consumes one symbol; it reports whether the prefix read so far is
 // still a viable prefix of some word in L(e).
 func (s *Stream) Feed(a ast.Symbol) bool {
-	if s.dead || a < ast.FirstUser {
-		s.dead = true
+	if !s.Alive() || a < ast.FirstUser {
+		s.Kill()
 		return false
 	}
-	s.fed++
-	s.cur = s.sim.Next(s.cur, a)
-	if s.cur == parsetree.Null {
-		s.dead = true
+	nxt := s.sim.Next(s.cur, a)
+	if nxt == parsetree.Null {
+		s.Kill() // cur keeps the last viable position
+		return false
 	}
-	return !s.dead
+	s.cur = nxt
+	s.Advance(nxt)
+	return true
 }
 
 // FeedName consumes one symbol by name.
 func (s *Stream) FeedName(name string) bool {
-	a, ok := s.sim.Tree().Alpha.Lookup(name)
-	if !ok || a == ast.Begin || a == ast.End {
-		s.dead = true
+	a, ok := run.LookupName(s.Alphabet(), name)
+	if !ok {
+		s.Kill()
 		return false
 	}
 	return s.Feed(a)
@@ -141,9 +163,9 @@ func (s *Stream) FeedName(name string) bool {
 // straight out of a document tokenizer), interned via
 // Alphabet.LookupBytes — no string materialization per symbol.
 func (s *Stream) FeedBytes(name []byte) bool {
-	a, ok := s.sim.Tree().Alpha.LookupBytes(name)
-	if !ok || a == ast.Begin || a == ast.End {
-		s.dead = true
+	a, ok := run.LookupBytes(s.Alphabet(), name)
+	if !ok {
+		s.Kill()
 		return false
 	}
 	return s.Feed(a)
@@ -153,9 +175,9 @@ func (s *Stream) FeedBytes(name []byte) bool {
 // Alphabet.LookupRune — no per-rune string allocation, unlike
 // FeedName(string(r)).
 func (s *Stream) FeedRune(r rune) bool {
-	a, ok := s.sim.Tree().Alpha.LookupRune(r)
-	if !ok || a == ast.Begin || a == ast.End {
-		s.dead = true
+	a, ok := run.LookupRune(s.Alphabet(), r)
+	if !ok {
+		s.Kill()
 		return false
 	}
 	return s.Feed(a)
@@ -163,73 +185,35 @@ func (s *Stream) FeedRune(r rune) bool {
 
 // Accepts reports whether the prefix consumed so far is in L(e).
 func (s *Stream) Accepts() bool {
-	return !s.dead && s.sim.Accept(s.cur)
+	return s.Alive() && s.sim.Accept(s.cur)
 }
 
-// Alive reports whether some extension of the consumed prefix could still
-// be accepted (false once a symbol had no follower).
-func (s *Stream) Alive() bool { return !s.dead }
-
-// Len returns the number of symbols consumed.
-func (s *Stream) Len() int { return s.fed }
-
-// Reset rewinds the stream to the empty prefix.
-func (s *Stream) Reset() {
-	s.cur = s.sim.Start()
-	s.dead = false
-	s.fed = 0
-}
+// Alphabet implements run.Runner.
+func (s *Stream) Alphabet() *ast.Alphabet { return s.sim.Tree().Alpha }
 
 // Position returns the current position (for diagnostics); Null when dead.
 func (s *Stream) Position() parsetree.NodeID {
-	if s.dead {
+	if !s.Alive() {
 		return parsetree.Null
 	}
 	return s.cur
 }
 
-// ReaderRunes matches the runes of r as single-character symbols, reading
-// the input in one sequential pass (the §1 "streamable" claim: w is never
-// stored). ASCII whitespace is skipped, so both "aba" and "a b a" (the
-// token-separated form) stream the same word. Malformed input returns an
-// error.
-func ReaderRunes(sim TransitionSim, r io.Reader) (bool, error) {
-	br := bufio.NewReader(r)
-	var s Stream
-	s.Init(sim)
-	for {
-		ch, _, err := br.ReadRune()
-		if err == io.EOF {
-			return s.Accepts(), nil
-		}
-		if err != nil {
-			return false, fmt.Errorf("match: read: %w", err)
-		}
-		if ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r' {
-			continue
-		}
-		if !s.FeedRune(ch) {
-			// Drain is unnecessary: the verdict is already final.
-			return false, nil
-		}
-	}
-}
+// LastPosition returns the position of the longest viable prefix — the
+// current position while alive, the position just before the killing
+// symbol once dead. This is the failure point ExpectedNext reports from.
+func (s *Stream) LastPosition() parsetree.NodeID { return s.cur }
 
-// ReaderTokens matches whitespace-separated symbol names from r in one
-// sequential pass.
-func ReaderTokens(sim TransitionSim, r io.Reader) (bool, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 1<<20)
-	sc.Split(bufio.ScanWords)
-	var s Stream
-	s.Init(sim)
-	for sc.Scan() {
-		if !s.FeedName(sc.Text()) {
-			return false, sc.Err()
+// ExpectedNext implements run.Runner: the symbols with a follower from the
+// last viable position, i.e. exactly the legal continuations at (or, once
+// dead, just before) the failure point. O(σ) Next probes — an error-path
+// diagnostic, not a hot path.
+func (s *Stream) ExpectedNext(dst []ast.Symbol) []ast.Symbol {
+	alpha := s.sim.Tree().Alpha
+	for a := ast.FirstUser; int(a) < alpha.Size(); a++ {
+		if s.sim.Next(s.cur, a) != parsetree.Null {
+			dst = append(dst, a)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return false, err
-	}
-	return s.Accepts(), nil
+	return dst
 }

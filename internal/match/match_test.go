@@ -2,6 +2,8 @@ package match_test
 
 import (
 	"math/rand"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -13,6 +15,7 @@ import (
 	"dregex/internal/match/kore"
 	"dregex/internal/match/pathdecomp"
 	"dregex/internal/parsetree"
+	"dregex/internal/run"
 	"dregex/internal/wordgen"
 	"dregex/internal/words"
 )
@@ -270,16 +273,20 @@ func TestFeedRuneZeroAlloc(t *testing.T) {
 func TestReaders(t *testing.T) {
 	tr, fol := compileDet(t, "(ab+b(b?)a)*")
 	m := kore.New(tr, fol)
-	ok, err := match.ReaderRunes(m, strings.NewReader("abba\nab"))
+	var s match.Stream
+	s.Init(m)
+	ok, err := run.ReaderRunes(&s, strings.NewReader("abba\nab"))
 	if err != nil || !ok {
 		t.Fatalf("ReaderRunes: %v %v", ok, err)
 	}
 	// Token-separated input streams the same word: whitespace is skipped.
-	ok, err = match.ReaderRunes(m, strings.NewReader("a b\tb a\nab"))
+	s.Init(m)
+	ok, err = run.ReaderRunes(&s, strings.NewReader("a b\tb a\nab"))
 	if err != nil || !ok {
 		t.Fatalf("ReaderRunes with spaces: %v %v", ok, err)
 	}
-	ok, err = match.ReaderRunes(m, strings.NewReader("abx"))
+	s.Init(m)
+	ok, err = run.ReaderRunes(&s, strings.NewReader("abx"))
 	if err != nil || ok {
 		t.Fatalf("ReaderRunes reject: %v %v", ok, err)
 	}
@@ -292,12 +299,102 @@ func TestReaders(t *testing.T) {
 		t.Fatal(err)
 	}
 	m2 := kore.New(tr2, follow.New(tr2))
-	ok, err = match.ReaderTokens(m2, strings.NewReader("title author author section section appendix"))
+	s.Init(m2)
+	ok, err = run.ReaderTokens(&s, strings.NewReader("title author author section section appendix"))
 	if err != nil || !ok {
 		t.Fatalf("ReaderTokens: %v %v", ok, err)
 	}
-	ok, err = match.ReaderTokens(m2, strings.NewReader("title section"))
+	s.Init(m2)
+	ok, err = run.ReaderTokens(&s, strings.NewReader("title section"))
 	if err != nil || ok {
 		t.Fatalf("ReaderTokens reject: %v %v", ok, err)
+	}
+}
+
+// TestExpectedNext pins the failure diagnostics: the legal continuations
+// reported from a live prefix, and from the last viable prefix once dead.
+func TestExpectedNext(t *testing.T) {
+	alpha := ast.NewAlphabet()
+	e := ast.Normalize(ast.MustParseDTD("title, author+, (section | appendix)*", alpha))
+	e = ast.Normalize(ast.DesugarPlus(e))
+	tr, err := parsetree.Build(e, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := kore.New(tr, follow.New(tr))
+	var s match.Stream
+	s.Init(m)
+	if got := run.ExpectedNames(&s, nil); !reflect.DeepEqual(got, []string{"title"}) {
+		t.Fatalf("expected at start: %v", got)
+	}
+	s.FeedName("title")
+	if got := run.ExpectedNames(&s, nil); !reflect.DeepEqual(got, []string{"author"}) {
+		t.Fatalf("expected after title: %v", got)
+	}
+	s.FeedName("author")
+	want := []string{"author", "section", "appendix"}
+	sortStrings(want)
+	got := run.ExpectedNames(&s, nil)
+	sortStrings(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("expected after author: %v, want %v", got, want)
+	}
+	// Kill the stream: expectations must report from the last viable prefix.
+	if s.FeedName("title") || s.Alive() {
+		t.Fatal("title after author must kill")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len after kill = %d, want 2 (killing symbol not counted)", s.Len())
+	}
+	got = run.ExpectedNames(&s, nil)
+	sortStrings(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("expected after death: %v, want %v", got, want)
+	}
+}
+
+func sortStrings(s []string) {
+	sort.Strings(s)
+}
+
+// TestWitnessTrace pins the opt-in parse-witness recording: the trace of an
+// accepted word is its position sequence, and Reset/Init truncate it.
+func TestWitnessTrace(t *testing.T) {
+	tr, fol := compileDet(t, "(ab+b(b?)a)*")
+	m := kore.New(tr, fol)
+	var s match.Stream
+	s.Init(m)
+	if s.Witness() != nil {
+		t.Fatal("witness must be nil before a trace is attached")
+	}
+	var trace run.Trace
+	s.SetTrace(&trace)
+	for _, r := range "abba" {
+		s.FeedRune(r)
+	}
+	w := s.Witness()
+	if len(w) != 4 {
+		t.Fatalf("witness length %d, want 4", len(w))
+	}
+	for i, p := range w {
+		if p == parsetree.Null {
+			t.Fatalf("witness[%d] is Null", i)
+		}
+		if got, want := tr.Alpha.Name(tr.Sym[p]), string("abba"[i]); got != want {
+			t.Fatalf("witness[%d] labeled %q, want %q", i, got, want)
+		}
+	}
+	// A rejected word, then Init: no stale positions may leak.
+	s.Init(m)
+	s.SetTrace(&trace)
+	s.FeedRune('a')
+	s.FeedRune('x') // dies
+	s.Init(m)
+	if len(s.Witness()) != 0 {
+		t.Fatalf("witness after Init = %v, want empty", s.Witness())
+	}
+	s.FeedRune('b')
+	if w := s.Witness(); len(w) != 1 || tr.Alpha.Name(tr.Sym[w[0]]) != "b" {
+		t.Fatalf("witness after reuse = %v", w)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"dregex/internal/follow"
 	"dregex/internal/glushkov"
 	"dregex/internal/parsetree"
+	"dregex/internal/run"
 	"dregex/internal/wordgen"
 	"dregex/internal/words"
 )
@@ -275,5 +276,48 @@ func TestStatsAndUnbounded(t *testing.T) {
 	w = append(w, "c", "c")
 	if !ct.MatchNames(w) {
 		t.Error("unbounded repetition rejected")
+	}
+}
+
+// TestStreamWitnessReuse pins that Init after a rejected word fully
+// resets the witness-trace state: the attached trace is truncated, a
+// fresh run records from scratch, and the dead stream kept its last
+// viable configuration set (Len counts consumed symbols only).
+func TestStreamWitnessReuse(t *testing.T) {
+	c, err := CompileString("(ab){2,3}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Stream
+	s.Init(c)
+	var tr run.Trace
+	s.SetTrace(&tr)
+
+	if s.FeedName("a") != true || s.FeedName("a") != false {
+		t.Fatal("aa must die on the second a")
+	}
+	if s.Alive() || s.Len() != 1 {
+		t.Fatalf("after death: alive=%v len=%d, want dead len 1", s.Alive(), s.Len())
+	}
+	if len(tr.Pos) != 1 {
+		t.Fatalf("trace after rejected word: %v", tr.Pos)
+	}
+
+	s.Init(c)
+	if len(tr.Pos) != 0 {
+		t.Fatalf("Init must truncate the attached trace, got %v", tr.Pos)
+	}
+	for _, n := range []string{"a", "b", "a", "b"} {
+		if !s.FeedName(n) {
+			t.Fatalf("abab rejected at %q", n)
+		}
+	}
+	if !s.Accepts() || len(tr.Pos) != 4 {
+		t.Fatalf("fresh run: accepts=%v trace=%v", s.Accepts(), tr.Pos)
+	}
+	for _, p := range tr.Pos {
+		if p == parsetree.Null {
+			t.Fatalf("deterministic singleton run recorded Null: %v", tr.Pos)
+		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"dregex/internal/ast"
 	"dregex/internal/parsetree"
+	"dregex/internal/run"
 )
 
 // cfgSet is a deduplicated set of configurations stored in flat slices: one
@@ -61,18 +62,25 @@ outer:
 }
 
 // Stream is an incremental counter matcher: feed symbols one at a time,
-// query acceptance at any prefix. It mirrors match.Stream for the plain
-// engines — the zero value is unusable, call NewStream or Init — and is
-// built for reuse: one Stream per worker or stack frame, re-Init (or Reset)
-// per word, with all internal buffers retained across words.
+// query acceptance at any prefix. It is the counter engine's run.Runner —
+// the engine-independent bookkeeping (liveness, length, the opt-in witness
+// trace) is the embedded run.Core; this type adds the configuration-set
+// state of the §3.3 simulation. The zero value is unusable, call NewStream
+// or Init; built for reuse: one Stream per worker or stack frame, re-Init
+// (or Reset) per word, with all internal buffers retained across words.
 type Stream struct {
-	c        *Counted
+	run.Core
+	c *Counted
+	// cur is the live configuration set while alive, and the LAST VIABLE
+	// set once dead — kept so ExpectedNext can report what could have
+	// extended the run at the point of failure.
 	cur, nxt cfgSet
 	acc      cfgSet  // scratch for the non-destructive Accepts probe
 	tmp      []int32 // successor counter vector under construction
-	dead     bool
-	fed      int
 }
+
+// Stream implements run.Runner.
+var _ run.Runner = (*Stream)(nil)
 
 // NewStream starts a stream on c at the empty prefix.
 func NewStream(c *Counted) *Stream {
@@ -96,36 +104,44 @@ func (s *Stream) Init(c *Counted) {
 func (s *Stream) Reset() {
 	s.cur.reset()
 	s.cur.add(s.c.Tree.BeginPos(), nil)
-	s.dead = false
-	s.fed = 0
+	s.Rewind()
 }
 
 // Feed consumes one symbol; it reports whether the prefix read so far is
 // still a viable prefix of some word in L(e).
 func (s *Stream) Feed(a ast.Symbol) bool {
-	if s.dead || a < ast.FirstUser {
-		s.dead = true
+	if !s.Alive() || a < ast.FirstUser {
+		s.Kill()
 		return false
 	}
-	s.fed++
 	c := s.c
 	s.nxt.reset()
 	for i := 0; i < s.cur.n(); i++ {
 		p, pc := s.cur.at(c, i)
 		c.stepAll(p, pc, a, &s.nxt, s.tmp)
 	}
-	s.cur, s.nxt = s.nxt, s.cur
-	if s.cur.n() == 0 {
-		s.dead = true
+	if s.nxt.n() == 0 {
+		s.Kill() // cur keeps the last viable configuration set
+		return false
 	}
-	return !s.dead
+	s.cur, s.nxt = s.nxt, s.cur
+	// The witness position: for a deterministic expression the live set is
+	// a singleton, so the trace is the unique position sequence — exactly
+	// the plain engines' witness. A nondeterministic set records Null
+	// (no single position consumed the symbol).
+	if s.cur.n() == 1 {
+		s.Advance(s.cur.pos[0])
+	} else {
+		s.Advance(parsetree.Null)
+	}
+	return true
 }
 
 // FeedName consumes one symbol by name.
 func (s *Stream) FeedName(name string) bool {
-	a, ok := s.c.Alpha.Lookup(name)
-	if !ok || a == ast.Begin || a == ast.End {
-		s.dead = true
+	a, ok := run.LookupName(s.c.Alpha, name)
+	if !ok {
+		s.Kill()
 		return false
 	}
 	return s.Feed(a)
@@ -135,9 +151,20 @@ func (s *Stream) FeedName(name string) bool {
 // straight out of a document tokenizer), interned via
 // Alphabet.LookupBytes — no string materialization per symbol.
 func (s *Stream) FeedBytes(name []byte) bool {
-	a, ok := s.c.Alpha.LookupBytes(name)
-	if !ok || a == ast.Begin || a == ast.End {
-		s.dead = true
+	a, ok := run.LookupBytes(s.c.Alpha, name)
+	if !ok {
+		s.Kill()
+		return false
+	}
+	return s.Feed(a)
+}
+
+// FeedRune consumes one single-rune symbol (math notation), interned via
+// Alphabet.LookupRune — no per-rune string allocation.
+func (s *Stream) FeedRune(r rune) bool {
+	a, ok := run.LookupRune(s.c.Alpha, r)
+	if !ok {
+		s.Kill()
 		return false
 	}
 	return s.Feed(a)
@@ -147,7 +174,7 @@ func (s *Stream) FeedBytes(name []byte) bool {
 // not consume anything: the probe steps every live configuration to the
 // phantom end position in a scratch set.
 func (s *Stream) Accepts() bool {
-	if s.dead {
+	if !s.Alive() {
 		return false
 	}
 	c := s.c
@@ -162,17 +189,32 @@ func (s *Stream) Accepts() bool {
 	return false
 }
 
-// Alive reports whether some extension of the consumed prefix could still
-// be accepted (false once a symbol had no legal successor configuration).
-func (s *Stream) Alive() bool { return !s.dead }
+// Alphabet implements run.Runner.
+func (s *Stream) Alphabet() *ast.Alphabet { return s.c.Alpha }
 
-// Len returns the number of symbols consumed.
-func (s *Stream) Len() int { return s.fed }
+// ExpectedNext implements run.Runner: the symbols with at least one legal
+// successor configuration from the last viable set, i.e. exactly the legal
+// continuations at (or, once dead, just before) the failure point. O(σ)
+// trial steps — an error-path diagnostic, not a hot path.
+func (s *Stream) ExpectedNext(dst []ast.Symbol) []ast.Symbol {
+	c := s.c
+	for a := ast.FirstUser; int(a) < c.Alpha.Size(); a++ {
+		s.acc.reset()
+		for i := 0; i < s.cur.n() && s.acc.n() == 0; i++ {
+			p, pc := s.cur.at(c, i)
+			c.stepAll(p, pc, a, &s.acc, s.tmp)
+		}
+		if s.acc.n() > 0 {
+			dst = append(dst, a)
+		}
+	}
+	return dst
+}
 
 // Configs returns the number of live configurations (diagnostics; 1 for
 // deterministic expressions on viable prefixes).
 func (s *Stream) Configs() int {
-	if s.dead {
+	if !s.Alive() {
 		return 0
 	}
 	return s.cur.n()

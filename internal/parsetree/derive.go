@@ -1,0 +1,314 @@
+// Witness materialization: from a run's position trace to the parse tree
+// of the word (Bille–Gørtz, "From Regular Expression Matching to
+// Parsing"). The positions of a deterministic expression are the states of
+// its Glushkov automaton, so the position sequence recorded by run.Trace
+// determines how every symbol was consumed; Derive replays the sequence
+// structurally — closing and opening subexpressions along Lemma 2.2's two
+// transition shapes — and rebuilds the derivation in one pass over the
+// trace, O(depth) amortized per symbol.
+//
+// Expressions like ((ab)*)* are deterministic yet parse-ambiguous (the
+// positions are unique, the bracketing is not); Derive resolves them
+// greedily, preferring the lowest route — the concatenation at the LCA,
+// else the innermost loop — which keeps inner iterations running as long
+// as possible.
+package parsetree
+
+import (
+	"fmt"
+	"strings"
+
+	"dregex/internal/ast"
+)
+
+// ParseNode is one node of a derivation: how the subexpression Expr (a
+// node of the compiled Tree) produced its slice of the word.
+//
+// Children by operator: a concatenation has exactly two (left and right
+// derivation), a union exactly one (the chosen branch), an option zero (ε)
+// or one, a star/iteration one child per iteration (each a derivation of
+// the body). A leaf has none; its WordIndex is the index of the word
+// symbol it consumed (-1 on every inner node and on ε-derived leaves'
+// ancestors — ε derivations contain no leaves at all).
+type ParseNode struct {
+	Expr      NodeID
+	WordIndex int
+	Children  []*ParseNode
+}
+
+// Derive materializes the parse tree of an ACCEPTED word from its witness
+// trace (run.Trace.Pos: trace[i] is the position that consumed symbol i).
+// The caller is responsible for having checked acceptance; an inconsistent
+// trace — not a legal position sequence of t, or a Null entry from a
+// nondeterministic counter run — returns an error, never a wrong tree.
+// The empty trace derives ε from the user expression.
+func Derive(t *Tree, trace []NodeID) (*ParseNode, error) {
+	for i, p := range trace {
+		if p == Null {
+			return nil, fmt.Errorf("parsetree: trace[%d] is unresolved (nondeterministic run?)", i)
+		}
+		if int(p) >= t.N() || !t.IsPos(p) || t.Sym[p] < ast.FirstUser {
+			return nil, fmt.Errorf("parsetree: trace[%d] = %d is not a user position", i, p)
+		}
+	}
+	if len(trace) == 0 {
+		return epsilonDerive(t, t.UserRoot)
+	}
+	d := deriver{t: t}
+	if !t.InFirst(trace[0], t.UserRoot) {
+		return nil, fmt.Errorf("parsetree: trace[0] = %d is not in First(e)", trace[0])
+	}
+	root, err := d.open(t.UserRoot, trace[0], 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(trace); i++ {
+		prev, cur := trace[i-1], trace[i]
+		n := lca(t, prev, cur)
+		// Lemma 2.2, concatenation shape: prev ends the left part, cur
+		// starts the right part of the cat at the LCA.
+		if t.Op[n] == OpCat && t.InLast(prev, t.LChild[n]) && t.InFirst(cur, t.RChild[n]) {
+			if err := d.closeTo(n); err != nil {
+				return nil, err
+			}
+			if _, err := d.open(t.RChild[n], cur, i, d.top()); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Loop shape: prev ends and cur restarts an iteration of the
+		// lowest (innermost — the greedy choice) loop ancestor that both
+		// sides agree on.
+		s := t.PLoop[n]
+		for ; s != Null; s = nextLoopAbove(t, s) {
+			if t.InFirst(cur, s) && t.InLast(prev, s) {
+				break
+			}
+		}
+		if s == Null {
+			return nil, fmt.Errorf("parsetree: trace[%d→%d]: no route from position %d to %d", i-1, i, prev, cur)
+		}
+		if err := d.closeTo(s); err != nil {
+			return nil, err
+		}
+		if _, err := d.open(t.LChild[s], cur, i, d.top()); err != nil {
+			return nil, err
+		}
+	}
+	if !t.InLast(trace[len(trace)-1], t.UserRoot) {
+		return nil, fmt.Errorf("parsetree: final position %d is not in Last(e)", trace[len(trace)-1])
+	}
+	if err := d.closeTo(Null); err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+// deriver carries the open path: the ParseNodes from the user root down to
+// the leaf that consumed the latest symbol, all still accepting children.
+type deriver struct {
+	t     *Tree
+	stack []*ParseNode
+}
+
+func (d *deriver) top() *ParseNode { return d.stack[len(d.stack)-1] }
+
+// open descends from tree node n to the position leaf, creating a
+// ParseNode per step (appended to parent's Children and pushed on the open
+// path). Concatenations entered through their right child get their left
+// part ε-derived first; a star/iteration entered here starts with this
+// descent as its first iteration.
+func (d *deriver) open(n, leaf NodeID, idx int, parent *ParseNode) (*ParseNode, error) {
+	t := d.t
+	first := (*ParseNode)(nil)
+	for {
+		pn := &ParseNode{Expr: n, WordIndex: -1}
+		if parent != nil {
+			parent.Children = append(parent.Children, pn)
+		}
+		if first == nil {
+			first = pn
+		}
+		d.stack = append(d.stack, pn)
+		if n == leaf {
+			pn.WordIndex = idx
+			return first, nil
+		}
+		next := Null
+		switch t.Op[n] {
+		case OpCat:
+			switch {
+			case t.IsAncestor(t.LChild[n], leaf):
+				next = t.LChild[n]
+			case t.IsAncestor(t.RChild[n], leaf):
+				eps, err := epsilonDerive(t, t.LChild[n])
+				if err != nil {
+					return nil, err
+				}
+				pn.Children = append(pn.Children, eps)
+				next = t.RChild[n]
+			}
+		case OpUnion:
+			switch {
+			case t.IsAncestor(t.LChild[n], leaf):
+				next = t.LChild[n]
+			case t.IsAncestor(t.RChild[n], leaf):
+				next = t.RChild[n]
+			}
+		case OpOpt, OpStar, OpIter:
+			if t.IsAncestor(t.LChild[n], leaf) {
+				next = t.LChild[n]
+			}
+		}
+		if next == Null {
+			return nil, fmt.Errorf("parsetree: position %d is not below %d", leaf, n)
+		}
+		parent, n = pn, next
+	}
+}
+
+// closeTo pops completed subexpressions off the open path until upto is on
+// top (Null pops everything — the final close). A popped concatenation
+// that consumed input only in its left part gets its right part ε-derived.
+func (d *deriver) closeTo(upto NodeID) error {
+	t := d.t
+	for len(d.stack) > 0 {
+		pn := d.top()
+		if pn.Expr == upto {
+			return nil
+		}
+		if t.Op[pn.Expr] == OpCat && len(pn.Children) == 1 {
+			eps, err := epsilonDerive(t, t.RChild[pn.Expr])
+			if err != nil {
+				return err
+			}
+			pn.Children = append(pn.Children, eps)
+		}
+		d.stack = d.stack[:len(d.stack)-1]
+	}
+	if upto == Null {
+		return nil
+	}
+	return fmt.Errorf("parsetree: route node %d is not on the open path", upto)
+}
+
+// lca returns the lowest common ancestor by depth-balanced parent walks —
+// O(depth), only on the witness path, where the per-symbol engines use the
+// preprocessed constant-time structures instead.
+func lca(t *Tree, a, b NodeID) NodeID {
+	for t.Depth[a] > t.Depth[b] {
+		a = t.Parent[a]
+	}
+	for t.Depth[b] > t.Depth[a] {
+		b = t.Parent[b]
+	}
+	for a != b {
+		a, b = t.Parent[a], t.Parent[b]
+	}
+	return a
+}
+
+// nextLoopAbove returns the next loop node strictly above s.
+func nextLoopAbove(t *Tree, s NodeID) NodeID {
+	if p := t.Parent[s]; p != Null {
+		return t.PLoop[p]
+	}
+	return Null
+}
+
+// epsilonDerive builds the derivation of ε from subexpression n: unions
+// pick a nullable branch (left preferred), concatenations derive both
+// parts, options and stars take zero occurrences, iterations take the
+// minimum count.
+func epsilonDerive(t *Tree, n NodeID) (*ParseNode, error) {
+	if !t.Nullable[n] {
+		return nil, fmt.Errorf("parsetree: %s cannot derive the empty word", t.SubexprString(n))
+	}
+	pn := &ParseNode{Expr: n, WordIndex: -1}
+	switch t.Op[n] {
+	case OpCat:
+		l, err := epsilonDerive(t, t.LChild[n])
+		if err != nil {
+			return nil, err
+		}
+		r, err := epsilonDerive(t, t.RChild[n])
+		if err != nil {
+			return nil, err
+		}
+		pn.Children = append(pn.Children, l, r)
+	case OpUnion:
+		branch := t.LChild[n]
+		if !t.Nullable[branch] {
+			branch = t.RChild[n]
+		}
+		c, err := epsilonDerive(t, branch)
+		if err != nil {
+			return nil, err
+		}
+		pn.Children = append(pn.Children, c)
+	case OpOpt, OpStar:
+		// zero occurrences
+	case OpIter:
+		for k := int32(0); k < t.Min[n]; k++ {
+			c, err := epsilonDerive(t, t.LChild[n])
+			if err != nil {
+				return nil, err
+			}
+			pn.Children = append(pn.Children, c)
+		}
+	}
+	return pn, nil
+}
+
+// Render writes the derivation as an s-expression — leaves as their symbol
+// name, inner nodes as (op child …): "abba" against (ab+b(b?)a)* renders
+// (star (union (cat a b)) (union (cat (cat b (opt)) a))). Stable, compact,
+// and diffable: the differential tests compare engines on this form.
+func (p *ParseNode) Render(t *Tree) string {
+	var b strings.Builder
+	p.render(t, &b)
+	return b.String()
+}
+
+func (p *ParseNode) render(t *Tree, b *strings.Builder) {
+	if t.Op[p.Expr] == OpSym {
+		b.WriteString(t.Label(p.Expr))
+		return
+	}
+	b.WriteByte('(')
+	b.WriteString(opKeyword(t.Op[p.Expr]))
+	for _, c := range p.Children {
+		b.WriteByte(' ')
+		c.render(t, b)
+	}
+	b.WriteByte(')')
+}
+
+func opKeyword(o Op) string {
+	switch o {
+	case OpCat:
+		return "cat"
+	case OpUnion:
+		return "union"
+	case OpOpt:
+		return "opt"
+	case OpStar:
+		return "star"
+	case OpIter:
+		return "iter"
+	}
+	return "?"
+}
+
+// Leaves appends the derivation's leaves in left-to-right order — the
+// consumed word as positions. On a tree built by Derive the i-th leaf has
+// WordIndex i; tests use this to cross-check witnesses.
+func (p *ParseNode) Leaves(t *Tree, dst []*ParseNode) []*ParseNode {
+	if t.Op[p.Expr] == OpSym {
+		return append(dst, p)
+	}
+	for _, c := range p.Children {
+		dst = c.Leaves(t, dst)
+	}
+	return dst
+}

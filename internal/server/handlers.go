@@ -115,15 +115,41 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	var results []bool
+	var resp client.MatchResponse
 	if e != nil {
-		// Batch path: MatchAll reuses one engine across the whole word set
-		// (and the Theorem 4.12 batch engine for star-free expressions
-		// under Auto).
-		results, err = e.MatchAll(req.Words, dregex.Auto)
-		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, "%v", err)
-			return
+		if req.Witness {
+			// Witness mode: one recorded run per word — trace, parse tree,
+			// and expected-next hints at the failure point.
+			m, merr := e.Matcher(dregex.Auto)
+			if merr != nil {
+				writeError(w, http.StatusUnprocessableEntity, "%v", merr)
+				return
+			}
+			resp.Results = make([]bool, len(req.Words))
+			resp.Parses = make([]client.WordParse, len(req.Words))
+			for i, word := range req.Words {
+				res, perr := m.Parse(word)
+				if perr != nil {
+					writeError(w, http.StatusInternalServerError, "%v", perr)
+					return
+				}
+				resp.Results[i] = res.Accepted
+				resp.Parses[i] = client.WordParse{
+					Accepted: res.Accepted,
+					FailedAt: res.FailedAt,
+					Expected: res.Expected,
+					Tree:     res.TreeString(),
+				}
+			}
+		} else {
+			// Batch path: MatchAll reuses one engine across the whole word
+			// set (and the Theorem 4.12 batch engine for star-free
+			// expressions under Auto).
+			resp.Results, err = e.MatchAll(req.Words, dregex.Auto)
+			if err != nil {
+				writeError(w, http.StatusUnprocessableEntity, "%v", err)
+				return
+			}
 		}
 	} else {
 		// Mirror the plain pipeline's refusal (MatchAll → errNondet): the
@@ -136,12 +162,29 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		m := ne.Matcher()
-		results = make([]bool, len(req.Words))
+		resp.Results = make([]bool, len(req.Words))
+		if req.Witness {
+			resp.Parses = make([]client.WordParse, len(req.Words))
+		}
 		for i, word := range req.Words {
-			results[i] = m.MatchSymbols(word)
+			if req.Witness {
+				res, perr := m.Parse(word)
+				if perr != nil {
+					writeError(w, http.StatusInternalServerError, "%v", perr)
+					return
+				}
+				resp.Results[i] = res.Accepted
+				resp.Parses[i] = client.WordParse{
+					Accepted: res.Accepted,
+					FailedAt: res.FailedAt,
+					Expected: res.Expected,
+				}
+			} else {
+				resp.Results[i] = m.MatchSymbols(word)
+			}
 		}
 	}
-	writeJSON(w, http.StatusOK, &client.MatchResponse{Results: results})
+	writeJSON(w, http.StatusOK, &resp)
 }
 
 func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {

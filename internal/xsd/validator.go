@@ -23,6 +23,7 @@ import (
 	"dregex/internal/match"
 	"dregex/internal/numeric"
 	"dregex/internal/pool"
+	"dregex/internal/run"
 	"dregex/internal/xmltok"
 )
 
@@ -36,13 +37,21 @@ type ValidationError struct {
 	// count runes). Zero when no position is available.
 	Line int `json:"line,omitempty"`
 	Col  int `json:"col,omitempty"`
+	// Expected lists the element names that would have been legal at the
+	// failure point (content-model violations only): the run.Runner
+	// ExpectedNext set of the type's streaming matcher.
+	Expected []string `json:"expected,omitempty"`
 }
 
 func (e ValidationError) Error() string {
-	if e.Line > 0 {
-		return fmt.Sprintf("%d:%d: %s: <%s>: %s", e.Line, e.Col, e.Path, e.Element, e.Msg)
+	msg := e.Msg
+	if len(e.Expected) > 0 {
+		msg = fmt.Sprintf("%s (expected one of: %s)", msg, strings.Join(e.Expected, ", "))
 	}
-	return fmt.Sprintf("%s: <%s>: %s", e.Path, e.Element, e.Msg)
+	if e.Line > 0 {
+		return fmt.Sprintf("%d:%d: %s: <%s>: %s", e.Line, e.Col, e.Path, e.Element, msg)
+	}
+	return fmt.Sprintf("%s: <%s>: %s", e.Path, e.Element, msg)
 }
 
 // Doc is one in-memory document to validate.
@@ -399,8 +408,14 @@ func feedChild(errs []ValidationError, p *frame, name []byte, off int,
 			ok = p.stream.FeedBytes(name)
 		}
 		if !ok {
-			errs = append(errs, verr(path(), p.name, off,
-				fmt.Sprintf("child <%s> violates content model %s", name, p.typ.Model)))
+			ve := verr(path(), p.name, off,
+				fmt.Sprintf("child <%s> violates content model %s", name, p.typ.Model))
+			if p.typ.Numeric {
+				ve.Expected = run.ExpectedNames(&p.ctrs, nil)
+			} else {
+				ve.Expected = run.ExpectedNames(&p.stream, nil)
+			}
+			errs = append(errs, ve)
 			p.failed = true
 		}
 	}

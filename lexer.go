@@ -1,0 +1,322 @@
+package dregex
+
+// Lexer: longest-match streaming tokenization over a set of tagged
+// deterministic expressions (the dre exemplar's workload, powered by the
+// same run machinery as matching). Maximal munch with last-accept
+// backtracking: every rule runs in lockstep over the input, the longest
+// prefix any rule accepts becomes the next token (first rule wins ties),
+// and scanning resumes right after it — the symbols read past the accept
+// point are re-fed from an internal buffer, so feeding stays strictly
+// incremental (runes or raw UTF-8 chunks) with no access to the input
+// after the fact. Rules that compiled to the dense-table tier step through
+// raw int32 DFA states, one table load per rune.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"unicode/utf8"
+
+	"dregex/internal/match"
+	"dregex/internal/match/table"
+	"dregex/internal/parsetree"
+	"dregex/internal/run"
+)
+
+// LexRule tags one deterministic expression. Symbols are matched per rune
+// (the paper's math notation — compile rules with Math syntax), so a rule
+// whose alphabet has multi-rune symbol names never matches.
+type LexRule struct {
+	Tag  string
+	Expr *Expr
+}
+
+// Token is one lexeme: the input slice [Pos, Pos+len(Lexeme)) matched by
+// the rule named Tag.
+type Token struct {
+	Tag    string
+	Lexeme string
+	Pos    int // byte offset in the overall input
+}
+
+// Lexer is an immutable compiled rule set, safe for concurrent use;
+// per-input state lives in LexStream values.
+type Lexer struct {
+	rules []lexRule
+}
+
+// lexRule is one compiled rule: the table fast path when the expression's
+// Auto tier built one, the generic §4 simulator otherwise.
+type lexRule struct {
+	tag string
+	e   *Expr
+	tab *table.DFA
+	sim match.TransitionSim
+}
+
+// NewLexer compiles a rule set. Every rule must be deterministic (that is
+// the paper's premise and what makes the longest match unique) and must
+// not accept the empty word (an ε-token would make "longest" meaningless).
+func NewLexer(rules ...LexRule) (*Lexer, error) {
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("dregex: lexer needs at least one rule")
+	}
+	l := &Lexer{rules: make([]lexRule, len(rules))}
+	for i, r := range rules {
+		if r.Expr == nil {
+			return nil, fmt.Errorf("dregex: lexer rule %q has no expression", r.Tag)
+		}
+		m, err := r.Expr.Matcher(Auto)
+		if err != nil {
+			return nil, fmt.Errorf("dregex: lexer rule %q: %w", r.Tag, err)
+		}
+		if m.MatchWord(nil) {
+			return nil, fmt.Errorf("dregex: lexer rule %q accepts the empty word", r.Tag)
+		}
+		l.rules[i] = lexRule{tag: r.Tag, e: r.Expr, tab: m.tab, sim: m.sim}
+	}
+	return l, nil
+}
+
+// ruleState is one rule's live run: a raw DFA state on the table fast
+// path, a tree position otherwise.
+type ruleState struct {
+	state int32
+	cur   parsetree.NodeID
+	alive bool
+}
+
+// step advances one rule by one rune; it reports whether the prefix up to
+// and including ch is accepted by the rule. A rune outside the rule's
+// alphabet (or past every follower) kills just that rule.
+func (r *lexRule) step(st *ruleState, ch rune) bool {
+	if r.tab != nil {
+		a, ok := run.LookupRune(r.e.alpha, ch)
+		if !ok {
+			st.alive = false
+			return false
+		}
+		st.state = r.tab.Step(st.state, a)
+		if st.state == table.Dead {
+			st.alive = false
+			return false
+		}
+		return r.tab.AcceptState(st.state)
+	}
+	a, ok := run.LookupRune(r.e.alpha, ch)
+	if !ok {
+		st.alive = false
+		return false
+	}
+	nxt := r.sim.Next(st.cur, a)
+	if nxt == parsetree.Null {
+		st.alive = false
+		return false
+	}
+	st.cur = nxt
+	return r.sim.Accept(st.cur)
+}
+
+// LexStream is the incremental tokenizer state over one input. Feed bytes
+// or runes as they arrive; tokens are emitted through the callback as soon
+// as maximal munch resolves them, and Flush settles the tail at EOF. A
+// LexStream is single-goroutine state; Reset reuses it (buffers retained)
+// on a new input.
+type LexStream struct {
+	l    *Lexer
+	emit func(Token) error
+	st   []ruleState
+	// buf holds the bytes of the current candidate token plus lookahead:
+	// everything since the last emitted token. scan is the offset of the
+	// next undecoded rune in buf; pos the byte offset of buf[0] in the
+	// overall input.
+	buf      []byte
+	scan     int
+	pos      int
+	alive    int // rules still live on buf[:scan]
+	lastEnd  int // byte length of the longest accepted prefix (-1: none)
+	lastRule int
+	flushing bool
+}
+
+// Stream starts a tokenization run; emitted tokens flow to emit, whose
+// error (if any) aborts the run and surfaces from Feed*/Flush.
+func (l *Lexer) Stream(emit func(Token) error) *LexStream {
+	s := &LexStream{l: l, emit: emit, st: make([]ruleState, len(l.rules))}
+	s.Reset()
+	return s
+}
+
+// Reset rewinds the stream for a new input, retaining buffers.
+func (s *LexStream) Reset() {
+	s.buf = s.buf[:0]
+	s.scan, s.pos = 0, 0
+	s.restart()
+}
+
+// restart rewinds every rule to its start state for the next token.
+func (s *LexStream) restart() {
+	for i := range s.st {
+		s.st[i] = ruleState{state: 0, cur: parsetree.Null, alive: true}
+		if s.l.rules[i].tab == nil {
+			s.st[i].cur = s.l.rules[i].sim.Start()
+		}
+	}
+	s.alive = len(s.st)
+	s.lastEnd, s.lastRule = -1, -1
+}
+
+// FeedBytes consumes a chunk of UTF-8 input (any chunking, including
+// mid-rune splits: an incomplete trailing sequence waits for more bytes).
+func (s *LexStream) FeedBytes(b []byte) error {
+	s.buf = append(s.buf, b...)
+	return s.drain()
+}
+
+// FeedString is FeedBytes over a string chunk.
+func (s *LexStream) FeedString(str string) error {
+	s.buf = append(s.buf, str...)
+	return s.drain()
+}
+
+// FeedRune consumes one rune.
+func (s *LexStream) FeedRune(r rune) error {
+	s.buf = utf8.AppendRune(s.buf, r)
+	return s.drain()
+}
+
+// Flush settles the buffered tail at end of input: the pending longest
+// accept is emitted even though more input could have extended it, then
+// the lookahead re-lexes, until the buffer empties. A tail no rule
+// accepts any prefix of is a lexical error.
+func (s *LexStream) Flush() error {
+	s.flushing = true
+	defer func() { s.flushing = false }()
+	for len(s.buf) > 0 {
+		if err := s.drain(); err != nil {
+			return err
+		}
+		if len(s.buf) == 0 {
+			break
+		}
+		if err := s.cut(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drain decodes buffered runes from scan onward, stepping every live rule;
+// when all rules die the pending token is cut and the lookahead re-lexed
+// (including a lookahead left by a cut at the very end of the buffer).
+func (s *LexStream) drain() error {
+	for {
+		for s.scan < len(s.buf) {
+			if s.alive == 0 {
+				if err := s.cut(); err != nil {
+					return err
+				}
+				continue
+			}
+			ch, size := utf8.DecodeRune(s.buf[s.scan:])
+			if ch == utf8.RuneError && size == 1 && !s.flushing && !utf8.FullRune(s.buf[s.scan:]) {
+				return nil // incomplete trailing sequence: wait for more bytes
+			}
+			s.scan += size
+			for i := range s.st {
+				if !s.st[i].alive {
+					continue
+				}
+				accepted := s.l.rules[i].step(&s.st[i], ch)
+				if !s.st[i].alive {
+					s.alive--
+					continue
+				}
+				// First rule accepting at a new length wins the tie.
+				if accepted && s.scan > s.lastEnd {
+					s.lastEnd, s.lastRule = s.scan, i
+				}
+			}
+		}
+		if s.alive == 0 && len(s.buf) > 0 {
+			if err := s.cut(); err != nil {
+				return err
+			}
+			continue // rescan the lookahead the cut left behind
+		}
+		return nil
+	}
+}
+
+// cut emits the pending longest-accepted prefix as a token and rewinds the
+// rules over the remaining lookahead (last-accept backtracking).
+func (s *LexStream) cut() error {
+	if s.lastEnd < 0 {
+		ch, _ := utf8.DecodeRune(s.buf)
+		return fmt.Errorf("dregex: no token matches at byte %d (%q)", s.pos, ch)
+	}
+	tok := Token{Tag: s.l.rules[s.lastRule].tag, Lexeme: string(s.buf[:s.lastEnd]), Pos: s.pos}
+	s.pos += s.lastEnd
+	n := copy(s.buf, s.buf[s.lastEnd:])
+	s.buf = s.buf[:n]
+	s.scan = 0
+	s.restart()
+	if err := s.emit(tok); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Tokens lexes a whole input into its token sequence.
+func (l *Lexer) Tokens(input string) ([]Token, error) {
+	var out []Token
+	s := l.Stream(func(t Token) error {
+		out = append(out, t)
+		return nil
+	})
+	if err := s.FeedString(input); err != nil {
+		return out, err
+	}
+	if err := s.Flush(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// TokensBytes is Tokens over raw UTF-8 bytes.
+func (l *Lexer) TokensBytes(b []byte) ([]Token, error) {
+	var out []Token
+	s := l.Stream(func(t Token) error {
+		out = append(out, t)
+		return nil
+	})
+	if err := s.FeedBytes(b); err != nil {
+		return out, err
+	}
+	if err := s.Flush(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// LexReader streams tokens from rd through emit in one sequential pass —
+// the input is never buffered beyond the current token's lookahead.
+func (l *Lexer) LexReader(rd io.Reader, emit func(Token) error) error {
+	s := l.Stream(emit)
+	br := bufio.NewReader(rd)
+	var chunk [4096]byte
+	for {
+		n, err := br.Read(chunk[:])
+		if n > 0 {
+			if ferr := s.FeedBytes(chunk[:n]); ferr != nil {
+				return ferr
+			}
+		}
+		if err == io.EOF {
+			return s.Flush()
+		}
+		if err != nil {
+			return fmt.Errorf("dregex: lex read: %w", err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package dregex
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// fuzzRules is the fixed rule set FuzzLexer runs: a backtracking-heavy
+// rule (x reads past its accepts hoping to close another (bca) round),
+// two classic token shapes, and single-letter fallbacks so most inputs
+// over the alphabet lex cleanly.
+func fuzzRules(t testing.TB) []LexRule {
+	mk := func(src string) *Expr {
+		e, err := Compile(src, Math)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	return []LexRule{
+		{Tag: "x", Expr: mk("a(bca)*")},
+		{Tag: "num", Expr: mk("(0+1)(0+1)*")},
+		{Tag: "b", Expr: mk("b")},
+		{Tag: "c", Expr: mk("c")},
+	}
+}
+
+// refLex is the quadratic reference: at each position, probe every prefix
+// of the rest of the input against every rule with Matcher.MatchText and
+// take the longest accepted one (first rule wins ties) — the defining
+// property of maximal munch, computed without any of the streaming
+// machinery under test. It returns the tokens and the byte offset of the
+// first lexical error (-1 if none).
+func refLex(t testing.TB, rules []LexRule, input string) ([]Token, int) {
+	matchers := make([]*Matcher, len(rules))
+	for i, r := range rules {
+		m, err := r.Expr.Matcher(Auto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matchers[i] = m
+	}
+	var toks []Token
+	for pos := 0; pos < len(input); {
+		best, bestRule := 0, -1
+		for i, m := range matchers {
+			end := pos
+			for end < len(input) {
+				_, size := utf8.DecodeRuneInString(input[end:])
+				end += size
+				if m.MatchText(input[pos:end]) && end-pos > best {
+					best, bestRule = end-pos, i
+				}
+			}
+		}
+		if bestRule < 0 {
+			return toks, pos
+		}
+		toks = append(toks, Token{Tag: rules[bestRule].Tag, Lexeme: input[pos : pos+best], Pos: pos})
+		pos += best
+	}
+	return toks, -1
+}
+
+// FuzzLexer checks the streaming lexer against the quadratic reference on
+// arbitrary inputs and arbitrary chunkings: same tokens, and an error
+// exactly when (and where) the reference finds one.
+func FuzzLexer(f *testing.F) {
+	f.Add("abca", uint8(1))
+	f.Add("abc", uint8(2))
+	f.Add("abcabcab", uint8(3))
+	f.Add("a01bca", uint8(4))
+	f.Add("bc01a", uint8(0))
+	f.Add("abcabq", uint8(5))
+	f.Add("ab\xffca", uint8(1))
+	f.Fuzz(func(t *testing.T, input string, chunk uint8) {
+		if len(input) > 256 {
+			t.Skip() // the reference is cubic; keep fuzz throughput up
+		}
+		rules := fuzzRules(t)
+		l, err := NewLexer(rules...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantErrAt := refLex(t, rules, input)
+
+		check := func(mode string, got []Token, err error) {
+			t.Helper()
+			if wantErrAt >= 0 {
+				if err == nil {
+					t.Fatalf("%s: reference errors at byte %d, lexer succeeded: %v", mode, wantErrAt, got)
+				}
+				if !strings.Contains(err.Error(), fmt.Sprintf("byte %d (", wantErrAt)) {
+					t.Fatalf("%s: reference errors at byte %d, lexer: %v", mode, wantErrAt, err)
+				}
+			} else if err != nil {
+				t.Fatalf("%s: reference lexes %v, lexer errors: %v", mode, want, err)
+			}
+			// Tokens before the error point must agree too.
+			if len(got) != len(want) {
+				t.Fatalf("%s: got %v, want %v", mode, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: token %d: got %+v, want %+v", mode, i, got[i], want[i])
+				}
+			}
+		}
+
+		got, err := l.Tokens(input)
+		check("whole", got, err)
+
+		// Same input fed in fixed-size chunks (1 + chunk%7 bytes, so rune
+		// splits and token boundaries land mid-chunk), through one reused
+		// stream that lexed — and possibly errored on — a prior input.
+		size := 1 + int(chunk%7)
+		var chunked []Token
+		s := l.Stream(func(tok Token) error { chunked = append(chunked, tok); return nil })
+		_ = s.FeedString("a0") // stale state a Reset must clear
+		s.Reset()
+		chunked = nil
+		err = nil
+		for i := 0; i < len(input) && err == nil; i += size {
+			end := i + size
+			if end > len(input) {
+				end = len(input)
+			}
+			err = s.FeedBytes([]byte(input[i:end]))
+		}
+		if err == nil {
+			err = s.Flush()
+		}
+		check("chunked", chunked, err)
+	})
+}

@@ -1,0 +1,239 @@
+package dregex
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustLexer(t *testing.T, rules ...LexRule) *Lexer {
+	t.Helper()
+	l, err := NewLexer(rules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func mustExpr(t *testing.T, src string) *Expr {
+	t.Helper()
+	e, err := Compile(src, Math)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	return e
+}
+
+// arithLexer is a tiny token set over Math syntax's single-rune symbols:
+// numbers, identifiers made of a/b, and the letter s as an "operator".
+func arithLexer(t *testing.T) *Lexer {
+	t.Helper()
+	return mustLexer(t,
+		LexRule{Tag: "num", Expr: mustExpr(t, "(0+1+2+3+4+5+6+7+8+9)(0+1+2+3+4+5+6+7+8+9)*")},
+		LexRule{Tag: "id", Expr: mustExpr(t, "(a+b)(a+b)*")},
+		LexRule{Tag: "op", Expr: mustExpr(t, "s")},
+	)
+}
+
+func TestLexerTokens(t *testing.T) {
+	l := arithLexer(t)
+	toks, err := l.Tokens("ab42sbbs7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Token{
+		{Tag: "id", Lexeme: "ab", Pos: 0},
+		{Tag: "num", Lexeme: "42", Pos: 2},
+		{Tag: "op", Lexeme: "s", Pos: 4},
+		{Tag: "id", Lexeme: "bb", Pos: 5},
+		{Tag: "op", Lexeme: "s", Pos: 7},
+		{Tag: "num", Lexeme: "7", Pos: 8},
+	}
+	if !reflect.DeepEqual(toks, want) {
+		t.Fatalf("tokens:\n got %v\nwant %v", toks, want)
+	}
+}
+
+// TestLexerLongestMatch pins maximal munch with last-accept backtracking:
+// a rule that reads past its last accept hoping for a longer match must
+// fall back to that accept and re-lex the lookahead.
+func TestLexerLongestMatch(t *testing.T) {
+	l := mustLexer(t,
+		// Accepts a, abca, abcabca, ...: after "a" the rule stays alive
+		// through "bc" hoping for the closing a of a (bca) round.
+		LexRule{Tag: "x", Expr: mustExpr(t, "a(bca)*")},
+		LexRule{Tag: "b", Expr: mustExpr(t, "b")},
+		LexRule{Tag: "c", Expr: mustExpr(t, "c")},
+	)
+	toks, err := l.Tokens("abca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 1 || toks[0].Lexeme != "abca" || toks[0].Tag != "x" {
+		t.Fatalf("abca: %v", toks)
+	}
+	// "abc" never completes the round: backtrack two runes to "a" and
+	// re-lex "bc" as separate tokens.
+	toks, err = l.Tokens("abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Token{
+		{Tag: "x", Lexeme: "a", Pos: 0},
+		{Tag: "b", Lexeme: "b", Pos: 1},
+		{Tag: "c", Lexeme: "c", Pos: 2},
+	}
+	if !reflect.DeepEqual(toks, want) {
+		t.Fatalf("abc: %v", toks)
+	}
+	// "abcabcab": two full rounds are impossible (trailing ab), so the
+	// longest munch is abcabca, then b.
+	toks, err = l.Tokens("abcabcab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []Token{
+		{Tag: "x", Lexeme: "abcabca", Pos: 0},
+		{Tag: "b", Lexeme: "b", Pos: 7},
+	}
+	if !reflect.DeepEqual(toks, want) {
+		t.Fatalf("abcabcab: %v", toks)
+	}
+}
+
+func TestLexerFirstRuleWinsTies(t *testing.T) {
+	l := mustLexer(t,
+		LexRule{Tag: "first", Expr: mustExpr(t, "ab")},
+		LexRule{Tag: "second", Expr: mustExpr(t, "a(b+c)")},
+	)
+	toks, err := l.Tokens("ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 1 || toks[0].Tag != "first" {
+		t.Fatalf("tie: %v", toks)
+	}
+	toks, err = l.Tokens("ac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 1 || toks[0].Tag != "second" {
+		t.Fatalf("ac: %v", toks)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	l := arithLexer(t)
+	if _, err := l.Tokens("ab!cd"); err == nil ||
+		!strings.Contains(err.Error(), "byte 2") {
+		t.Fatalf("lexical error: %v", err)
+	}
+	// A viable-but-unaccepted tail at EOF is an error too.
+	l2 := mustLexer(t, LexRule{Tag: "x", Expr: mustExpr(t, "abc")})
+	if _, err := l2.Tokens("ab"); err == nil {
+		t.Fatal("incomplete final token must error")
+	}
+
+	if _, err := NewLexer(); err == nil {
+		t.Fatal("empty rule set must error")
+	}
+	if _, err := NewLexer(LexRule{Tag: "eps", Expr: mustExpr(t, "a*")}); err == nil {
+		t.Fatal("ε-accepting rule must error")
+	}
+	nondet, err := Compile("(a+b)*a", Math)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLexer(LexRule{Tag: "nd", Expr: nondet}); err == nil {
+		t.Fatal("nondeterministic rule must error")
+	}
+}
+
+// TestLexerChunkedFeeding pins that token boundaries are independent of
+// how the input is chunked — byte-at-a-time (splitting multi-byte runes),
+// rune-at-a-time — and that LexReader agrees.
+func TestLexerChunkedFeeding(t *testing.T) {
+	l := mustLexer(t,
+		LexRule{Tag: "word", Expr: mustExpr(t, "(α+β)(α+β)*")},
+		LexRule{Tag: "sep", Expr: mustExpr(t, "s")},
+	)
+	input := "αβsβsαα"
+	want, err := l.Tokens(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 5 {
+		t.Fatalf("reference tokens: %v", want)
+	}
+
+	// Byte-at-a-time (splits every multi-byte rune).
+	var got []Token
+	s := l.Stream(func(tok Token) error { got = append(got, tok); return nil })
+	for i := 0; i < len(input); i++ {
+		if err := s.FeedBytes([]byte{input[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("byte-at-a-time:\n got %v\nwant %v", got, want)
+	}
+
+	// Rune-at-a-time, reusing the stream.
+	got = nil
+	s.Reset()
+	for _, r := range input {
+		if err := s.FeedRune(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rune-at-a-time:\n got %v\nwant %v", got, want)
+	}
+
+	// LexReader.
+	got = nil
+	if err := l.LexReader(strings.NewReader(input),
+		func(tok Token) error { got = append(got, tok); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("LexReader:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestLexerTableAndGenericAgree compares the table fast path against the
+// generic §4-simulator path by rebuilding the same rule set on the KORE
+// engine (NewLexer always takes the table tier when Auto built one, so the
+// generic branch is swapped in directly).
+func TestLexerTableAndGenericAgree(t *testing.T) {
+	src := []LexRule{
+		{Tag: "num", Expr: mustExpr(t, "(0+1)(0+1)*")},
+		{Tag: "id", Expr: mustExpr(t, "(a+b)(a+b)*")},
+	}
+	auto := mustLexer(t, src...)
+	gl := mustLexer(t, src...)
+	for i := range gl.rules {
+		if gl.rules[i].tab == nil {
+			t.Fatalf("rule %d: expected the table tier under Auto", i)
+		}
+		m, err := gl.rules[i].e.Matcher(KORE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gl.rules[i].tab = nil
+		gl.rules[i].sim = m.sim
+	}
+	for _, input := range []string{"ab01", "0a1b", "aa00bb11", "b0b1"} {
+		a, aerr := auto.Tokens(input)
+		g, gerr := gl.Tokens(input)
+		if (aerr == nil) != (gerr == nil) || !reflect.DeepEqual(a, g) {
+			t.Fatalf("%q: table %v (%v) vs generic %v (%v)", input, a, aerr, g, gerr)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"dregex/internal/match/pathdecomp"
 	"dregex/internal/match/starfree"
 	"dregex/internal/match/table"
+	"dregex/internal/run"
 )
 
 // Algorithm selects a transition-simulation engine (§4 of the paper, plus
@@ -264,7 +265,9 @@ func (m *Matcher) MatchReaderRunes(r io.Reader) (bool, error) {
 	if m.sim == nil {
 		return false, fmt.Errorf("dregex: streaming requires a deterministic engine")
 	}
-	return match.ReaderRunes(m.sim, r)
+	var s match.Stream
+	s.Init(m.sim)
+	return run.ReaderRunes(&s, r)
 }
 
 // MatchReaderTokens streams whitespace-separated symbol names from r.
@@ -272,7 +275,9 @@ func (m *Matcher) MatchReaderTokens(r io.Reader) (bool, error) {
 	if m.sim == nil {
 		return false, fmt.Errorf("dregex: streaming requires a deterministic engine")
 	}
-	return match.ReaderTokens(m.sim, r)
+	var s match.Stream
+	s.Init(m.sim)
+	return run.ReaderTokens(&s, r)
 }
 
 // MatchAll matches many words at once. Under Auto, table-eligible

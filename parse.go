@@ -1,0 +1,159 @@
+package dregex
+
+// From matching to parsing (Bille–Gørtz, "From Regular Expression Matching
+// to Parsing"): a deterministic expression's positions are the states of
+// its Glushkov automaton, so the position sequence of a run — recorded
+// opt-in by run.Trace — is the unique parse of the word. Parse drives one
+// recorded run and materializes the derivation via parsetree.Derive; on
+// rejection it reports where the run died and which symbols could have
+// continued it instead, the diagnostics the validators and the server
+// surface as "expected ..." hints.
+
+import (
+	"fmt"
+
+	"dregex/internal/ast"
+	"dregex/internal/match"
+	"dregex/internal/parsetree"
+	"dregex/internal/run"
+)
+
+// ParseResult is the outcome of one recorded run over one word.
+type ParseResult struct {
+	// Accepted reports word ∈ L(e).
+	Accepted bool
+	// Trace is the witness: Trace[i] is the position (Glushkov state, a
+	// leaf of the compiled tree) that consumed symbol i. On rejection it
+	// covers the viable prefix only. Counter-engine runs over
+	// nondeterministic expressions record Null where no single position
+	// consumed the symbol.
+	Trace []parsetree.NodeID
+	// Tree is the word's parse tree, materialized from the trace; nil on
+	// rejection, and nil for counter-engine parses (the counters constrain
+	// iteration structure beyond what the plain derivation rules check, so
+	// the numeric pipeline reports the trace without a materialized tree).
+	Tree *parsetree.ParseNode
+	// FailedAt is -1 when accepted; otherwise the index of the symbol the
+	// run died on, or len(word) when the word ended where the expression
+	// required more.
+	FailedAt int
+	// Expected lists the symbols that could have extended the run at the
+	// failure point (empty when accepted).
+	Expected []string
+
+	t *parsetree.Tree
+}
+
+// TreeString renders the parse tree as an s-expression — leaves as symbol
+// names, inner nodes as (op child …); "" when Tree is nil.
+func (r *ParseResult) TreeString() string {
+	if r.Tree == nil {
+		return ""
+	}
+	return r.Tree.Render(r.t)
+}
+
+// ParseWord matches a word of interned symbols with witness recording: the
+// result carries the position trace and, on acceptance, the word's parse
+// tree. Recording is opt-in per call — plain MatchWord stays the zero
+// allocation hot path — and costs one append per symbol on top of the
+// match. The NFA engine has no single-position runs and cannot parse.
+func (m *Matcher) ParseWord(word []ast.Symbol) (*ParseResult, error) {
+	if m.sim == nil {
+		return nil, fmt.Errorf("dregex: parsing requires a deterministic engine")
+	}
+	var s match.Stream
+	s.Init(m.sim)
+	return finishParse(&s, m.expr.tree, true, func(i int) bool { return s.Feed(word[i]) }, len(word))
+}
+
+// Parse is ParseWord over symbol names (see Expr.Intern for the interned
+// hot path). An unknown name rejects at its index, like any other symbol
+// with no follower.
+func (m *Matcher) Parse(names []string) (*ParseResult, error) {
+	if m.sim == nil {
+		return nil, fmt.Errorf("dregex: parsing requires a deterministic engine")
+	}
+	var s match.Stream
+	s.Init(m.sim)
+	return finishParse(&s, m.expr.tree, true, func(i int) bool { return s.FeedName(names[i]) }, len(names))
+}
+
+// ParseText is Parse over a math-notation word (one rune per symbol).
+func (m *Matcher) ParseText(w string) (*ParseResult, error) {
+	if m.sim == nil {
+		return nil, fmt.Errorf("dregex: parsing requires a deterministic engine")
+	}
+	runes := []rune(w)
+	var s match.Stream
+	s.Init(m.sim)
+	return finishParse(&s, m.expr.tree, true, func(i int) bool { return s.FeedRune(runes[i]) }, len(runes))
+}
+
+// ParseWord records the counter engine's witness for a word of interned
+// symbols. For a deterministic expression the live configuration set stays
+// a singleton, so the trace is the same position sequence the plain
+// engines record (the differential tests pin this); the parse tree is not
+// materialized — see ParseResult.Tree.
+func (m *NumericMatcher) ParseWord(word []ast.Symbol) (*ParseResult, error) {
+	var s NumericStream
+	s.Init(m.c)
+	return finishParse(&s, m.c.Tree, false, func(i int) bool { return s.Feed(word[i]) }, len(word))
+}
+
+// Parse is NumericMatcher.ParseWord over symbol names.
+func (m *NumericMatcher) Parse(names []string) (*ParseResult, error) {
+	var s NumericStream
+	s.Init(m.c)
+	return finishParse(&s, m.c.Tree, false, func(i int) bool { return s.FeedName(names[i]) }, len(names))
+}
+
+// finishParse drives one recorded run (feed(i) consumes symbol i of n) and
+// assembles the result; derive materializes the tree on acceptance.
+func finishParse(r run.Runner, t *parsetree.Tree, derive bool, feed func(int) bool, n int) (*ParseResult, error) {
+	var tr run.Trace
+	r.SetTrace(&tr)
+	res := &ParseResult{FailedAt: -1, t: t}
+	for i := 0; i < n; i++ {
+		if !feed(i) {
+			res.FailedAt = i
+			res.Trace = tr.Pos
+			res.Expected = run.ExpectedNames(r, nil)
+			return res, nil
+		}
+	}
+	if !r.Accepts() {
+		res.FailedAt = n
+		res.Trace = tr.Pos
+		res.Expected = run.ExpectedNames(r, nil)
+		return res, nil
+	}
+	res.Accepted = true
+	res.Trace = tr.Pos
+	if derive {
+		tree, err := parsetree.Derive(t, res.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("dregex: witness derivation failed: %w", err)
+		}
+		res.Tree = tree
+	}
+	return res, nil
+}
+
+// ExpectedAfter reports the symbols that can legally follow the given
+// viable prefix — a convenience over a one-off recorded run, used by
+// tooling; validators keep their own streams and call run.ExpectedNames at
+// the failure point instead.
+func (m *Matcher) ExpectedAfter(prefix []ast.Symbol) ([]string, error) {
+	if m.sim == nil {
+		return nil, fmt.Errorf("dregex: parsing requires a deterministic engine")
+	}
+	var s match.Stream
+	s.Init(m.sim)
+	for _, a := range prefix {
+		if !s.Feed(a) {
+			break
+		}
+	}
+	return run.ExpectedNames(&s, nil), nil
+}

@@ -1,0 +1,202 @@
+package dregex
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"dregex/internal/parsetree"
+)
+
+func mustMatcher(t *testing.T, src string, syntax Syntax, algo Algorithm) *Matcher {
+	t.Helper()
+	e, err := Compile(src, syntax)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	m, err := e.Matcher(algo)
+	if err != nil {
+		t.Fatalf("Matcher(%v): %v", algo, err)
+	}
+	return m
+}
+
+func TestParseAccepted(t *testing.T) {
+	m := mustMatcher(t, "(ab+b(b?)a)*", Math, Auto)
+	res, err := m.ParseText("abba")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted || res.FailedAt != -1 || len(res.Expected) != 0 {
+		t.Fatalf("abba: %+v", res)
+	}
+	if len(res.Trace) != 4 {
+		t.Fatalf("trace length %d, want 4", len(res.Trace))
+	}
+	want := "(star (union (cat a b)) (union (cat (cat b (opt)) a)))"
+	if got := res.TreeString(); got != want {
+		t.Fatalf("tree %s, want %s", got, want)
+	}
+	// The parse leaves are the word, in order, with word indices 0..n-1.
+	leaves := res.Tree.Leaves(m.expr.tree, nil)
+	if len(leaves) != 4 {
+		t.Fatalf("leaves %d, want 4", len(leaves))
+	}
+	for i, l := range leaves {
+		if l.WordIndex != i {
+			t.Fatalf("leaf %d has WordIndex %d", i, l.WordIndex)
+		}
+		if l.Expr != res.Trace[i] {
+			t.Fatalf("leaf %d is node %d, trace says %d", i, l.Expr, res.Trace[i])
+		}
+	}
+}
+
+func TestParseEmptyWord(t *testing.T) {
+	m := mustMatcher(t, "(ab)*", Math, Auto)
+	res, err := m.ParseText("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted || res.TreeString() != "(star)" {
+		t.Fatalf("empty word: %+v tree=%s", res, res.TreeString())
+	}
+}
+
+func TestParseRejected(t *testing.T) {
+	e, err := Compile("title, author+, (section | appendix)*", DTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.Matcher(Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dies mid-word: title then title.
+	res, err := m.Parse([]string{"title", "title", "author"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted || res.FailedAt != 1 || res.Tree != nil {
+		t.Fatalf("mid-word reject: %+v", res)
+	}
+	if len(res.Trace) != 1 {
+		t.Fatalf("trace of viable prefix: %v", res.Trace)
+	}
+	if !reflect.DeepEqual(res.Expected, []string{"author"}) {
+		t.Fatalf("expected hint: %v", res.Expected)
+	}
+
+	// Ends prematurely: FailedAt == len(word).
+	res, err = m.Parse([]string{"title"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted || res.FailedAt != 1 {
+		t.Fatalf("premature end: %+v", res)
+	}
+	if !reflect.DeepEqual(res.Expected, []string{"author"}) {
+		t.Fatalf("expected hint at end: %v", res.Expected)
+	}
+
+	// Unknown symbol rejects at its index.
+	res, err = m.Parse([]string{"title", "author", "price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted || res.FailedAt != 2 {
+		t.Fatalf("unknown symbol: %+v", res)
+	}
+	sort.Strings(res.Expected)
+	if !reflect.DeepEqual(res.Expected, []string{"appendix", "author", "section"}) {
+		t.Fatalf("expected after author: %v", res.Expected)
+	}
+}
+
+// TestParseAllEnginesAgree is the quick in-package witness cross-check; the
+// exhaustive randomized matrix lives in engines_diff_test.go.
+func TestParseAllEnginesAgree(t *testing.T) {
+	src := "((a(b+c))*d)?e"
+	ref := mustMatcher(t, src, Math, KORE)
+	for _, algo := range []Algorithm{Table, Colored, ColoredBinary, PathDecomp, Climbing} {
+		m := mustMatcher(t, src, Math, algo)
+		for _, w := range []string{"e", "abde", "acabde", "abx", "", "ab"} {
+			want, err := ref.ParseText(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.ParseText(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Accepted != got.Accepted || want.FailedAt != got.FailedAt ||
+				!reflect.DeepEqual(want.Trace, got.Trace) ||
+				want.TreeString() != got.TreeString() {
+				t.Fatalf("%v on %q: got %+v (%s), want %+v (%s)",
+					algo, w, got, got.TreeString(), want, want.TreeString())
+			}
+		}
+	}
+}
+
+func TestNumericParse(t *testing.T) {
+	e, err := CompileNumeric("(ab){2,3}", Math)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := e.Matcher()
+	res, err := m.Parse([]string{"a", "b", "a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted || res.Tree != nil {
+		t.Fatalf("abab: %+v", res)
+	}
+	if len(res.Trace) != 4 {
+		t.Fatalf("trace: %v", res.Trace)
+	}
+	for _, p := range res.Trace {
+		if p == parsetree.Null {
+			t.Fatalf("deterministic counter run recorded Null: %v", res.Trace)
+		}
+	}
+	// One iteration short: the counters demand another (ab).
+	res, err = m.Parse([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted || res.FailedAt != 2 {
+		t.Fatalf("ab: %+v", res)
+	}
+	if !reflect.DeepEqual(res.Expected, []string{"a"}) {
+		t.Fatalf("expected: %v", res.Expected)
+	}
+	// Overrun: a fifth symbol has no viable configuration.
+	res, err = m.Parse([]string{"a", "b", "a", "b", "a", "b", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted || res.FailedAt != 6 {
+		t.Fatalf("overrun: %+v", res)
+	}
+	if len(res.Expected) != 0 {
+		t.Fatalf("nothing can follow three iterations: %v", res.Expected)
+	}
+}
+
+func TestParseNFAEngineErrors(t *testing.T) {
+	e, err := Compile("(a+b)*a", Math)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.Matcher(NFA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Parse([]string{"a"}); err == nil ||
+		!strings.Contains(err.Error(), "deterministic") {
+		t.Fatalf("NFA Parse error: %v", err)
+	}
+}

@@ -164,3 +164,62 @@ func BenchmarkNumericStreamInterned(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(word)), "ns/sym")
 }
+
+func BenchmarkParseWord(b *testing.B) {
+	// Witness-recorded matching: same cached engine and interned word as
+	// BenchmarkMatchWordInterned, but recording the position trace and
+	// materializing the parse tree. The gap between the two benchmarks is
+	// the full cost of opting into parsing.
+	e := dregex.MustCompile(benchModel, dregex.DTD)
+	m, err := e.Matcher(dregex.Auto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	word := e.Intern(benchSession)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := m.ParseWord(word)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Accepted {
+			b.Fatal("session must parse")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(word)), "ns/sym")
+}
+
+func BenchmarkLexerStream(b *testing.B) {
+	// Streaming longest-match tokenization over a reused stream: number,
+	// identifier, and separator rules on the table tier.
+	lex, err := dregex.NewLexer(
+		dregex.LexRule{Tag: "num", Expr: dregex.MustCompile("(0+1+2+3+4+5+6+7+8+9)(0+1+2+3+4+5+6+7+8+9)*", dregex.Math)},
+		dregex.LexRule{Tag: "id", Expr: dregex.MustCompile("(a+b+c)(a+b+c)*", dregex.Math)},
+		dregex.LexRule{Tag: "sep", Expr: dregex.MustCompile("s", dregex.Math)},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := ""
+	for i := 0; i < 32; i++ {
+		input += "abc123scba0s99aabbs"
+	}
+	toks := 0
+	s := lex.Stream(func(dregex.Token) error { toks++; return nil })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		if err := s.FeedString(input); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if toks == 0 {
+		b.Fatal("no tokens")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(input)), "ns/byte")
+}
