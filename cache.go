@@ -33,6 +33,7 @@ type Cache struct {
 	negPerShard int
 	hits        atomic.Uint64
 	misses      atomic.Uint64
+	evictions   atomic.Uint64
 }
 
 const cacheShards = 16
@@ -45,6 +46,9 @@ type CacheStats struct {
 	// Negative is how many of the resident entries are cached compile
 	// errors; they live in a segregated, separately bounded LRU.
 	Negative int
+	// Evictions counts entries displaced by capacity pressure (on either
+	// LRU list) over the cache's lifetime; Purge is not an eviction.
+	Evictions uint64
 }
 
 // HitRate returns the fraction of Gets served from the cache (0 when no
@@ -230,11 +234,13 @@ func (c *Cache) finish(s *cacheShard, e *cacheEntry) {
 		s.nNeg++
 		if s.nNeg > c.negPerShard {
 			s.evict(s.neg.prev)
+			c.evictions.Add(1)
 		}
 	} else {
 		s.nPos++
 		if s.nPos > c.perShard {
 			s.evict(s.head.prev)
+			c.evictions.Add(1)
 		}
 	}
 }
@@ -282,8 +288,9 @@ func (c *Cache) Len() int {
 // Stats returns a snapshot of the hit/miss counters and residency.
 func (c *Cache) Stats() CacheStats {
 	st := CacheStats{
-		Hits:   c.hits.Load(),
-		Misses: c.misses.Load(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
 	}
 	for i := range c.shards {
 		s := &c.shards[i]

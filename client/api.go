@@ -136,6 +136,10 @@ type ValidateResponse struct {
 	Valid    bool              `json:"valid"`
 	Errors   []ValidationError `json:"errors,omitempty"`
 	DocError string            `json:"doc_error,omitempty"`
+	// RequestID is the server's trace id for this request — the same id
+	// carried by the X-Request-Id response header and the access-log line
+	// when access logging is enabled on the server.
+	RequestID uint64 `json:"request_id,omitempty"`
 }
 
 // SchemaInfo describes one registered schema (PUT/GET /v1/schemas/{name}).
@@ -165,13 +169,40 @@ type CacheStats struct {
 	HitRate  float64 `json:"hit_rate"`
 	Entries  int     `json:"entries"`
 	Negative int     `json:"negative"`
+	// Evictions counts entries displaced by capacity pressure over the
+	// cache's lifetime.
+	Evictions uint64 `json:"evictions"`
 }
 
 // EndpointStats counts requests per endpoint; Errors counts 4xx/5xx
-// responses.
+// responses. The latency quantiles come from the same histograms GET
+// /metrics exposes, in milliseconds (0 before the first request).
 type EndpointStats struct {
-	Requests int64 `json:"requests"`
-	Errors   int64 `json:"errors"`
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	P50Millis float64 `json:"p50_ms"`
+	P90Millis float64 `json:"p90_ms"`
+	P99Millis float64 `json:"p99_ms"`
+}
+
+// SchemaTraffic is the per-schema validation traffic summary of GET
+// /v1/stats: verdict counts, volume, and the live cost estimate.
+type SchemaTraffic struct {
+	Kind      string `json:"kind"`
+	Version   int    `json:"version"`
+	Valid     uint64 `json:"valid"`
+	Invalid   uint64 `json:"invalid"`
+	DocErrors uint64 `json:"doc_errors"`
+	// Symbols counts content-model symbols fed to the streaming engines;
+	// DocBytes counts document bytes tokenized.
+	Symbols  uint64 `json:"symbols"`
+	DocBytes uint64 `json:"doc_bytes"`
+	// NsPerSymbol is validation time over symbols fed — the live
+	// per-schema cost estimate (0 before any symbols).
+	NsPerSymbol float64 `json:"ns_per_symbol,omitempty"`
+	// Models counts the schema's content models per engine tier (which
+	// rung of the Auto ladder each compiled model landed on).
+	Models map[string]int `json:"models,omitempty"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -181,9 +212,18 @@ type StatsResponse struct {
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
 	SchemaCount   int                      `json:"schema_count"`
 	SchemaSwaps   uint64                   `json:"schema_swaps"`
+	// EngineTiers counts Auto-ladder tier selections process-wide (every
+	// compile through this server's cache, plus batch builds, counter
+	// compiles, and table-budget refusals).
+	EngineTiers map[string]uint64 `json:"engine_tiers,omitempty"`
+	// Schemas maps schema name to its validation-traffic summary.
+	Schemas map[string]SchemaTraffic `json:"schemas,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx API response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// RequestID is the server's trace id for the failed request (0 when
+	// the error was produced outside the instrumented middleware).
+	RequestID uint64 `json:"request_id,omitempty"`
 }

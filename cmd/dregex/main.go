@@ -20,7 +20,8 @@
 //	-explain    print a counterexample word for nondeterministic EXPR
 //	-parse      print the parse tree (accepted) or expected-next symbols
 //	            (rejected) for each WORD instead of a bare verdict
-//	-stats      print structural statistics
+//	-stats      print structural statistics, plus an end-of-run metrics
+//	            summary (words/sec, engine-tier selections) on stderr
 //	-stdin      match tokens from standard input
 //	-lex        treat EXPR as a rule set "tag=expr;tag=expr" (math syntax)
 //	            and tokenize each WORD (and -stdin) by longest match
@@ -31,8 +32,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dregex"
+	"dregex/internal/cli"
 )
 
 func main() {
@@ -96,6 +99,7 @@ func main() {
 	if len(words) == 0 && !*stdin {
 		return
 	}
+	runStart := time.Now()
 	algo, ok := parseAlgo(*algoName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "error: unknown algorithm %q\n", *algoName)
@@ -146,6 +150,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("stdin: %v\n", okStream)
+	}
+	if *stats {
+		// The one-shot metrics summary: same encoder as dregexd's /metrics
+		// (see internal/obs), with the run's engine-tier selections.
+		n := len(words)
+		if *stdin {
+			n++
+		}
+		rs := cli.RunStats{Unit: "words", Count: n, Elapsed: time.Since(runStart)}
+		if err := rs.Write(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	dregexd [-addr :8480] [-cache 4096] [-max-body 4194304]
+//	        [-log off|text|json] [-pprof ADDR]
 //
 // Endpoints:
 //
@@ -16,7 +17,16 @@
 //	GET    /v1/schemas/{name} schema metadata
 //	DELETE /v1/schemas/{name} unregister
 //	GET    /v1/stats          cache hit/negative stats, per-endpoint counters
+//	GET    /metrics           Prometheus text exposition (latency histograms,
+//	                          verdict counters, cache gauges, engine tiers)
 //	GET    /debug/vars        expvar (includes the same stats snapshot)
+//
+// With -log text or -log json, every request emits one structured
+// access-log line (request id, method, path, status, bytes, duration,
+// remote addr, and — for validations — schema and verdict) on stderr; the
+// default -log off skips all logging work on the hot path. With -pprof
+// ADDR, net/http/pprof is served on its own listener (never on the public
+// address).
 //
 // All expressions and schema content models compile through one shared
 // cache; validation requests reuse pooled per-schema state. The server
@@ -28,8 +38,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,6 +63,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		cacheSize = fs.Int("cache", 4096, "compiled-expression cache capacity")
 		maxBody   = fs.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
 		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		logMode   = fs.String("log", "off", "access log format: off, text or json (one line per request, on stderr)")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (own listener; empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -58,10 +72,16 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		return 2
 	}
+	accessLog, err := buildAccessLog(*logMode, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 2
+	}
 
 	srv := server.New(server.Config{
 		Cache:        dregex.NewCache(*cacheSize),
 		MaxBodyBytes: *maxBody,
+		AccessLog:    accessLog,
 	})
 	srv.Publish()
 	hs := srv.NewHTTPServer(*addr)
@@ -74,6 +94,17 @@ func run(args []string, stdout, stderr *os.File) int {
 	// The resolved address line is the startup handshake: tooling (the
 	// smoke test, scripts) reads it to learn the port when -addr :0.
 	fmt.Fprintf(stdout, "dregexd listening on %s\n", ln.Addr())
+
+	if *pprofAddr != "" {
+		pln, perr := net.Listen("tcp", *pprofAddr)
+		if perr != nil {
+			fmt.Fprintln(stderr, "error:", perr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "dregexd pprof on %s\n", pln.Addr())
+		go http.Serve(pln, pprofMux())
+		defer pln.Close()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -97,4 +128,32 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		return 0
 	}
+}
+
+// buildAccessLog maps the -log flag to a slog.Logger on w (nil for "off",
+// which keeps the server's logging branch false — zero overhead).
+func buildAccessLog(mode string, w *os.File) (*slog.Logger, error) {
+	switch mode {
+	case "off", "":
+		return nil, nil
+	case "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	}
+	return nil, fmt.Errorf("unknown -log mode %q (want off, text or json)", mode)
+}
+
+// pprofMux routes the net/http/pprof handlers on a dedicated mux (the
+// package's init also touches DefaultServeMux, but the daemon never
+// serves that) — the profiler binds only to the -pprof listener, never
+// the public address.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -2,7 +2,13 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -11,6 +17,7 @@ import (
 	"time"
 
 	"dregex/client"
+	"dregex/internal/obs"
 )
 
 // TestDregexdSmoke is the CI server smoke test (make smoke-server): it
@@ -107,4 +114,151 @@ func TestDregexdSmoke(t *testing.T) {
 	case <-time.After(15 * time.Second):
 		t.Error("server did not shut down within 15s")
 	}
+}
+
+// TestDregexdDrainObservability exercises graceful drain end to end with
+// the observability layer on: a slow /v1/validate is mid-body when SIGTERM
+// arrives, and must still complete with a 200; a /metrics scrape riding a
+// connection that was active at shutdown returns coherent totals
+// mid-drain; the access log (-log json) carries the final request line
+// before the process exits 0.
+func TestDregexdDrainObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping binary drain test")
+	}
+	bin := filepath.Join(t.TempDir(), "dregexd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	srv := exec.Command(bin, "-addr", "127.0.0.1:0", "-log", "json")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	srv.Stderr = &stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no startup line: %v", sc.Err())
+	}
+	addr := strings.TrimPrefix(sc.Text(), "dregexd listening on ")
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c := client.New("http://"+addr, nil)
+	schema := `<!ELEMENT note (to, body)>
+<!ELEMENT to (#PCDATA)>
+<!ELEMENT body (#PCDATA)>`
+	if _, err := c.PutSchema(ctx, "note", client.KindDTD, []byte(schema)); err != nil {
+		t.Fatalf("PutSchema: %v", err)
+	}
+
+	// Connection A: a validate request whose body is only half sent — the
+	// handler sits in the body read when the signal lands, so the
+	// connection is active and Shutdown must wait for it.
+	doc := `<note><to>alice</to><body>hello</body></note>`
+	connA, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer connA.Close()
+	fmt.Fprintf(connA, "POST /v1/validate?schema=note HTTP/1.1\r\nHost: %s\r\nContent-Type: application/xml\r\nContent-Length: %d\r\n\r\n", addr, len(doc))
+	half := len(doc) / 2
+	if _, err := connA.Write([]byte(doc[:half])); err != nil {
+		t.Fatal(err)
+	}
+
+	// Connection B: a /metrics request with the final header CRLF
+	// withheld — active at shutdown, released mid-drain.
+	connB, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer connB.Close()
+	fmt.Fprintf(connB, "GET /metrics HTTP/1.1\r\nHost: %s\r\n", addr)
+
+	// Let the server read both partial requests, then signal.
+	time.Sleep(300 * time.Millisecond)
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	// The in-flight validate completes during the drain.
+	if _, err := connA.Write([]byte(doc[half:])); err != nil {
+		t.Fatalf("completing body mid-drain: %v", err)
+	}
+	respA, err := http.ReadResponse(bufio.NewReader(connA), nil)
+	if err != nil {
+		t.Fatalf("reading drained validate response: %v", err)
+	}
+	var vr client.ValidateResponse
+	if respA.StatusCode != http.StatusOK {
+		t.Fatalf("drained validate: status %d", respA.StatusCode)
+	}
+	if err := jsonDecode(respA.Body, &vr); err != nil || !vr.Valid {
+		t.Fatalf("drained validate verdict: %+v err=%v", vr, err)
+	}
+	respA.Body.Close()
+
+	// A /metrics scrape mid-drain: strictly parseable, histogram
+	// invariants hold, and the just-completed validate is counted — the
+	// counter and its histogram agree.
+	if _, err := connB.Write([]byte("\r\n")); err != nil {
+		t.Fatalf("releasing metrics request mid-drain: %v", err)
+	}
+	respB, err := http.ReadResponse(bufio.NewReader(connB), nil)
+	if err != nil {
+		t.Fatalf("reading mid-drain metrics: %v", err)
+	}
+	exp, err := obs.ParseExposition(respB.Body)
+	respB.Body.Close()
+	if err != nil {
+		t.Fatalf("mid-drain exposition: %v", err)
+	}
+	if err := exp.CheckHistograms(); err != nil {
+		t.Fatalf("mid-drain histograms: %v", err)
+	}
+	ep := obs.L("endpoint", "validate")
+	reqs, ok1 := exp.Get("dregexd_requests_total", ep)
+	durs, ok2 := exp.Get("dregexd_request_duration_seconds_count", ep)
+	if !ok1 || !ok2 || reqs != 1 || durs != 1 {
+		t.Errorf("mid-drain totals: requests=%v(%v) durations=%v(%v), want 1/1", reqs, ok1, durs, ok2)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("server exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain within 15s")
+	}
+
+	// The final access-log line flushed before exit: the drained validate
+	// with its schema and verdict.
+	logs := stderr.String()
+	if !strings.Contains(logs, `"path":"/v1/validate"`) ||
+		!strings.Contains(logs, `"schema":"note"`) ||
+		!strings.Contains(logs, `"verdict":"valid"`) {
+		t.Errorf("access log missing drained request line:\n%s", logs)
+	}
+}
+
+// jsonDecode decodes one JSON value from r.
+func jsonDecode(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
 }

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	xmlvalid [-dtd FILE.dtd] [-workers N] [-json] [-q] PATH...
+//	xmlvalid [-dtd FILE.dtd] [-workers N] [-json] [-q] [-stats] PATH...
 //
 // Each PATH is an XML file or a directory walked recursively for *.xml
 // files. With -dtd, every document validates against that DTD; without it,
@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"dregex"
 	"dregex/internal/cli"
@@ -44,6 +45,7 @@ func run(args []string, stderr io.Writer) int {
 		workers = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		jsonOut = fs.Bool("json", false, "emit a JSON report")
 		quiet   = fs.Bool("q", false, "text mode: only report invalid documents and the summary")
+		stats   = fs.Bool("stats", false, "print an end-of-run metrics summary (docs/sec, bytes/sec, engine tiers) to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -82,7 +84,9 @@ func run(args []string, stderr io.Writer) int {
 		v = dtd.NewStandaloneValidator(cache, *workers)
 	}
 
+	start := time.Now()
 	results := v.ValidateFiles(paths)
+	elapsed := time.Since(start)
 	reports := make([]cli.DocReport[dtd.ValidationError], len(results))
 	for i, r := range results {
 		reports[i] = cli.DocReport[dtd.ValidationError]{
@@ -96,6 +100,18 @@ func run(args []string, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "error:", err)
 		return 1
+	}
+	if *stats {
+		rs := cli.RunStats{
+			Count:   len(paths),
+			Invalid: invalid,
+			Bytes:   cli.SumFileSizes(paths),
+			Elapsed: elapsed,
+		}
+		if err := rs.Write(stderr); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
 	}
 	if invalid > 0 {
 		return 1

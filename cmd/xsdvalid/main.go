@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	xsdvalid -xsd FILE.xsd [-workers N] [-json] [-q] PATH...
+//	xsdvalid -xsd FILE.xsd [-workers N] [-json] [-q] [-stats] PATH...
 //
 // Each PATH is an XML file or a directory walked recursively for *.xml
 // files. A schema whose content models violate Unique Particle
@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"dregex"
 	"dregex/internal/cli"
@@ -46,6 +47,7 @@ func run(args []string, stderr io.Writer) int {
 		workers = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		jsonOut = fs.Bool("json", false, "emit a JSON report")
 		quiet   = fs.Bool("q", false, "text mode: only report invalid documents and the summary")
+		stats   = fs.Bool("stats", false, "print an end-of-run metrics summary (docs/sec, bytes/sec, engine tiers) to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -87,7 +89,9 @@ func run(args []string, stderr io.Writer) int {
 		return 1
 	}
 
+	start := time.Now()
 	results := xsd.NewValidator(s, *workers).ValidateFiles(paths)
+	elapsed := time.Since(start)
 	reports := make([]cli.DocReport[xsd.ValidationError], len(results))
 	for i, r := range results {
 		reports[i] = cli.DocReport[xsd.ValidationError]{
@@ -101,6 +105,18 @@ func run(args []string, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "error:", err)
 		return 1
+	}
+	if *stats {
+		rs := cli.RunStats{
+			Count:   len(paths),
+			Invalid: invalid,
+			Bytes:   cli.SumFileSizes(paths),
+			Elapsed: elapsed,
+		}
+		if err := rs.Write(stderr); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
 	}
 	if invalid > 0 {
 		return 1

@@ -172,6 +172,7 @@ func compileAST(source string, syntax Syntax, root *ast.Node, alpha *ast.Alphabe
 	}
 	e.stats = computeStats(e)
 	e.auto = autoSelect(e.stats)
+	recordAutoSelection(e.auto, e.stats)
 	return e, nil
 }
 

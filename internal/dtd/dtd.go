@@ -501,6 +501,12 @@ type docState struct {
 	ids      map[string]struct{}
 	refs     []pendingRef
 	refArena []byte
+	// symbols and docBytes meter the last validation for observability:
+	// content-model symbols fed to streaming engines, and tokenized
+	// document bytes. Plain ints — bumping them costs nothing on the
+	// 0-alloc hot path; callers aggregate them into shared counters.
+	symbols  int
+	docBytes int
 }
 
 func (st *docState) addRef(val []byte, off int, elem []byte) {
@@ -552,6 +558,16 @@ func (d *DTD) ValidateBytesReusing(doc []byte, st *DocState) ([]ValidationError,
 	return d.validateBytes(doc, &st.st)
 }
 
+// Symbols reports how many content-model symbols (child elements fed to
+// the streaming engines) the last validation through this DocState
+// consumed — the |w| of the paper's O(|e| + |w|·f) bound, for live
+// ns-per-symbol estimates.
+func (st *DocState) Symbols() int { return st.st.symbols }
+
+// DocBytes reports the size of the last document validated through this
+// DocState (the bytes the tokenizer scanned).
+func (st *DocState) DocBytes() int { return st.st.docBytes }
+
 func (d *DTD) validate(r io.Reader, st *docState) ([]ValidationError, error) {
 	data, err := xmltok.ReadAll(r, st.buf)
 	st.buf = data
@@ -585,6 +601,8 @@ func (d *DTD) validateBytes(data []byte, st *docState) ([]ValidationError, error
 	clear(st.ids)
 	st.refs = st.refs[:0]
 	st.refArena = st.refArena[:0]
+	st.symbols = 0
+	st.docBytes = len(data)
 	doctype := ""
 	sawRoot := false
 	// path renders the open-element stack; callers composing the current
@@ -657,6 +675,7 @@ func (d *DTD) validateBytes(data []byte, st *docState) ([]ValidationError, error
 						fmt.Sprintf("EMPTY element has child <%s>", name)))
 					p.failed = true
 				default:
+					st.symbols++
 					if !p.stream.FeedBytes(name) {
 						ve := verr(path(), string(p.name), off,
 							fmt.Sprintf("child <%s> violates content model %s", name, p.el.Model))

@@ -1,0 +1,153 @@
+// Exposition encoders: the Prometheus text format (version 0.0.4) for the
+// live /metrics endpoint, and a compact human-readable summary for
+// one-shot CLI -stats reports. Both render the same registry snapshot.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// quantiles are the extraction points exposed alongside every histogram.
+var quantiles = []struct {
+	q     float64
+	label string
+}{
+	{0.5, "0.5"}, {0.9, "0.9"}, {0.99, "0.99"}, {0.999, "0.999"},
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format: # HELP and # TYPE headers, one sample line per series.
+// Histograms render as native histogram families (cumulative _bucket
+// series with `le` bounds, _sum, _count; only non-empty buckets are
+// emitted, plus +Inf) followed by a companion <name>_quantiles gauge
+// family carrying the extracted p50/p90/p99/p999, so scrapes see tail
+// latency directly without PromQL.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFams() {
+		if len(f.series) == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		series := f.sortedSeries()
+		for _, m := range series {
+			switch f.kind {
+			case KindCounter:
+				v := uint64(0)
+				if m.cf != nil {
+					v = m.cf()
+				} else if m.c != nil {
+					v = m.c.Value()
+				}
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, m.labels, v)
+			case KindGauge:
+				v := 0.0
+				if m.gf != nil {
+					v = m.gf()
+				}
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, m.labels, formatFloat(v))
+			case KindHistogram:
+				writeHistProm(bw, f, m)
+			}
+		}
+		if f.kind == KindHistogram {
+			writeHistQuantiles(bw, f, series)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistProm renders one histogram series as cumulative buckets.
+func writeHistProm(w *bufio.Writer, f *family, m *metric) {
+	s := m.h.Snapshot()
+	cum := uint64(0)
+	for i := range s.buckets {
+		if s.buckets[i] == 0 {
+			continue
+		}
+		cum += s.buckets[i]
+		bound := float64(bucketUpper(i)) * f.scale
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+			withLabel(m.labels, "le", formatFloat(bound)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLabel(m.labels, "le", "+Inf"), s.Count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, m.labels, formatFloat(float64(s.Sum)*f.scale))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, m.labels, s.Count)
+}
+
+// writeHistQuantiles renders the companion gauge family with extracted
+// quantiles for each series of a histogram family.
+func writeHistQuantiles(w *bufio.Writer, f *family, series []*metric) {
+	name := f.name + "_quantiles"
+	fmt.Fprintf(w, "# HELP %s Extracted quantiles of %s.\n", name, f.name)
+	fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+	for _, m := range series {
+		s := m.h.Snapshot()
+		for _, q := range quantiles {
+			fmt.Fprintf(w, "%s%s %s\n", name,
+				withLabel(m.labels, "quantile", q.label),
+				formatFloat(s.Quantile(q.q)*f.scale))
+		}
+	}
+}
+
+// withLabel splices one more label into a rendered label set.
+func withLabel(labels, name, value string) string {
+	extra := name + `="` + value + `"`
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteSummary renders a compact one-shot report: one line per series,
+// histograms as count/mean/quantiles in the family's exposition unit.
+// This is the encoder the CLI -stats flags share with the server's
+// /metrics endpoint — same registry, two renderings.
+func (r *Registry) WriteSummary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFams() {
+		for _, m := range f.sortedSeries() {
+			switch f.kind {
+			case KindCounter:
+				v := uint64(0)
+				if m.cf != nil {
+					v = m.cf()
+				} else if m.c != nil {
+					v = m.c.Value()
+				}
+				if v == 0 {
+					continue // one-shot reports: drop never-hit series
+				}
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, m.labels, v)
+			case KindGauge:
+				v := 0.0
+				if m.gf != nil {
+					v = m.gf()
+				}
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, m.labels, formatFloat(v))
+			case KindHistogram:
+				s := m.h.Snapshot()
+				if s.Count == 0 {
+					continue
+				}
+				fmt.Fprintf(bw, "%s%s count=%d mean=%s p50=%s p90=%s p99=%s p999=%s\n",
+					f.name, m.labels, s.Count,
+					formatFloat(s.Mean()*f.scale),
+					formatFloat(s.Quantile(0.5)*f.scale),
+					formatFloat(s.Quantile(0.9)*f.scale),
+					formatFloat(s.Quantile(0.99)*f.scale),
+					formatFloat(s.Quantile(0.999)*f.scale))
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,137 @@
+// Lock-free log-bucketed histogram (HDR-style): fixed log-linear buckets —
+// exact below 8, then 8 linear sub-buckets per power of two, so every
+// bucket's width is at most 1/8 of its lower bound (quantiles are accurate
+// to ~12% at any magnitude). Recording is two uncontended atomic adds;
+// there is no lock anywhere, so a histogram can sit on a path pinned at
+// zero allocations and be scraped concurrently from any goroutine.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+const (
+	// histSubBits sets the sub-bucket resolution: 1<<histSubBits linear
+	// buckets per octave, i.e. relative bucket width 2^-histSubBits.
+	histSubBits = 3
+	histSub     = 1 << histSubBits
+	// histBuckets covers the whole uint64 range: values 0..histSub-1
+	// exactly, then (64-histSubBits) octaves of histSub sub-buckets.
+	histBuckets = (64-histSubBits)<<histSubBits + histSub
+)
+
+// Histogram records non-negative integer observations (durations in
+// nanoseconds, sizes in bytes). The zero value is ready. All methods are
+// safe for concurrent use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	sum     atomic.Int64
+}
+
+// Observe records one value; negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIdx(uint64(v))].Add(1)
+	h.sum.Add(v)
+}
+
+// bucketIdx maps a value to its bucket: identity below histSub, then
+// (octave, sub-bucket) with sub-bucket = the histSubBits bits below the
+// top bit. The mapping is monotone.
+func bucketIdx(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	l := uint(bits.Len64(v)) - 1 // top-bit position, >= histSubBits
+	sub := (v >> (l - histSubBits)) & (histSub - 1)
+	return int(l-histSubBits+1)<<histSubBits + int(sub)
+}
+
+// bucketUpper returns the largest value landing in bucket i (the
+// inclusive upper bound, i.e. the Prometheus `le` bound).
+func bucketUpper(i int) uint64 {
+	if i < histSub {
+		return uint64(i)
+	}
+	o := uint(i>>histSubBits) + histSubBits - 1 // octave: top-bit position
+	width := uint64(1) << (o - histSubBits)
+	lower := uint64(1)<<o + uint64(i&(histSub-1))*width
+	return lower + width - 1
+}
+
+// HistSnapshot is a point-in-time copy of a histogram, for quantile
+// extraction and encoding. Counts are read bucket by bucket while
+// recording may continue, so totals are approximate to within the
+// observations that land mid-scrape — fine for monitoring.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     int64
+	buckets [histBuckets]uint64
+}
+
+// Snapshot copies the current bucket counts and sum.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.buckets[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the recorded values,
+// interpolating linearly within the containing bucket. It returns 0 for
+// an empty histogram.
+func (s *HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			upper := float64(bucketUpper(i))
+			lower := upper
+			if i >= histSub {
+				lower = upper - float64(uint64(1)<<(uint(i>>histSubBits)-1)) + 1
+			}
+			frac := 1.0
+			if c > 0 {
+				frac = (rank - cum) / float64(c)
+			}
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + frac*(upper-lower)
+		}
+		cum = next
+	}
+	return float64(bucketUpper(histBuckets - 1))
+}
+
+// Mean returns the arithmetic mean of the recorded values (0 when empty).
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Sum64 returns the histogram's running sum without a full snapshot — the
+// cheap read for derived gauges like ns-per-symbol.
+func (h *Histogram) Sum64() int64 { return h.sum.Load() }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -136,6 +137,58 @@ func BenchmarkServerCompileCached(b *testing.B) {
 		rb.Seek(0, io.SeekStart)
 		req.Body = rb
 		h.ServeHTTP(w, req)
+	}
+}
+
+// BenchmarkServerValidateMetrics measures the validate handler path with
+// the full observability layer exercised the expensive way: structured
+// JSON access logging on (to io.Discard, so the cost measured is the
+// logging machinery, not a file descriptor). The gap to
+// BenchmarkServerValidate/serial is the price of -log json; the metrics
+// instruments themselves (histograms, counters) are always on in both.
+func BenchmarkServerValidateMetrics(b *testing.B) {
+	s := New(Config{AccessLog: slog.New(slog.NewJSONHandler(io.Discard, nil))})
+	req := httptest.NewRequest("PUT", "/v1/schemas/library", strings.NewReader(benchSchemaDTD))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusCreated {
+		b.Fatalf("schema registration: %d %s", rec.Code, rec.Body)
+	}
+	h := s.Handler()
+	doc := []byte(benchDoc)
+	vreq := httptest.NewRequest("POST", "/v1/validate?schema=library", nil)
+	rb := &resetBody{bytes.NewReader(doc)}
+	w := &discardWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rb.Seek(0, io.SeekStart)
+		vreq.Body = rb
+		h.ServeHTTP(w, vreq)
+	}
+}
+
+// BenchmarkServerMetricsScrape measures a full /metrics render+parse-free
+// scrape against a server with live per-endpoint and per-schema series —
+// the cost a Prometheus poll imposes on the daemon.
+func BenchmarkServerMetricsScrape(b *testing.B) {
+	s := newBenchServer(b)
+	h := s.Handler()
+	// Populate histograms so the scrape renders non-trivial bucket sets.
+	doc := []byte(benchDoc)
+	vreq := httptest.NewRequest("POST", "/v1/validate?schema=library", nil)
+	rb := &resetBody{bytes.NewReader(doc)}
+	w := &discardWriter{h: make(http.Header)}
+	for i := 0; i < 100; i++ {
+		rb.Seek(0, io.SeekStart)
+		vreq.Body = rb
+		h.ServeHTTP(w, vreq)
+	}
+	mreq := httptest.NewRequest("GET", "/metrics", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, mreq)
 	}
 }
 

@@ -227,6 +227,21 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge, "document exceeds the request size limit")
 		return
 	}
+	if sw, ok := w.(*statusWriter); ok {
+		// Trace context for the access log: which schema this request hit
+		// and what the verdict was. Stored on the middleware's writer, so
+		// off-path (no allocation, no context values).
+		sw.schema = name
+		switch {
+		case verr != nil:
+			sw.verdict = "doc_error"
+		case !resp.Valid:
+			sw.verdict = "invalid"
+		default:
+			sw.verdict = "valid"
+		}
+		resp.RequestID = sw.id
+	}
 	writeJSON(w, http.StatusOK, &resp)
 }
 

@@ -1,0 +1,197 @@
+// Server observability: the obs.Registry behind GET /metrics, the
+// per-endpoint and per-schema instruments, and the structured access log.
+//
+// Everything here honors the hot path's allocation pin
+// (TestServerValidateAllocs): recording a request is a time.Now, a few
+// lock-free atomic adds into pre-resolved instruments, and nothing else.
+// Instruments are resolved once — per-endpoint ones at New, per-schema
+// ones at registration time (get-or-create, so a hot-swapped schema keeps
+// its series) — and the access log and trace-id header are nil-checked
+// opt-ins, exactly like run.Trace on the engine side: off means one
+// predictable branch, not a disabled code path.
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dregex"
+	"dregex/internal/obs"
+)
+
+// Metric family names and help strings.
+const (
+	mRequests    = "dregexd_requests_total"
+	mErrors      = "dregexd_request_errors_total"
+	mDuration    = "dregexd_request_duration_seconds"
+	mReqBytes    = "dregexd_request_bytes"
+	mRespBytes   = "dregexd_response_bytes"
+	mVerdicts    = "dregexd_validate_verdicts_total"
+	mValDur      = "dregexd_validate_duration_seconds"
+	mValSymbols  = "dregexd_validate_symbols_total"
+	mValBytes    = "dregexd_validate_document_bytes_total"
+	mSchemaTiers = "dregexd_schema_models"
+	mNsPerSym    = "dregexd_schema_ns_per_symbol"
+	mEngineSel   = "dregexd_engine_selections_total"
+)
+
+// endpointMetrics are the pre-resolved instruments of one endpoint; the
+// middleware records into them with no lookups.
+type endpointMetrics struct {
+	requests  *obs.Counter
+	errors    *obs.Counter
+	duration  *obs.Histogram // nanoseconds, exposed as seconds
+	reqBytes  *obs.Histogram // Content-Length when declared
+	respBytes *obs.Histogram // bytes written
+}
+
+// schemaMetrics are the per-schema instruments, resolved at registration
+// time and carried on the schemaEntry. Get-or-create resolution means a
+// hot swap of the same name continues the same series.
+type schemaMetrics struct {
+	valid     *obs.Counter
+	invalid   *obs.Counter
+	docErrors *obs.Counter
+	duration  *obs.Histogram // nanoseconds, exposed as seconds
+	symbols   *obs.Counter
+	docBytes  *obs.Counter
+}
+
+// initMetrics builds the registry: per-endpoint instruments plus the
+// cache, registry, and engine-tier gauges. Called once from New.
+func (s *Server) initMetrics() {
+	r := obs.NewRegistry()
+	s.metrics = r
+	s.endpoints = make(map[string]*endpointMetrics, len(endpointNames))
+	for _, name := range endpointNames {
+		l := obs.L("endpoint", name)
+		s.endpoints[name] = &endpointMetrics{
+			requests:  r.Counter(mRequests, "Requests served, by endpoint.", l),
+			errors:    r.Counter(mErrors, "4xx/5xx responses, by endpoint.", l),
+			duration:  r.Histogram(mDuration, "Request latency, by endpoint.", obs.Seconds, l),
+			reqBytes:  r.Histogram(mReqBytes, "Declared request body sizes, by endpoint.", 1, l),
+			respBytes: r.Histogram(mRespBytes, "Response body sizes, by endpoint.", 1, l),
+		}
+	}
+
+	r.GaugeFunc("dregexd_uptime_seconds", "Seconds since server start.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	// Cache gauges ride dregex.Cache's own counters — the registry is a
+	// read-only window, no double accounting.
+	r.CounterFunc("dregexd_cache_hits_total", "Expression cache hits.",
+		func() uint64 { return s.cache.Stats().Hits })
+	r.CounterFunc("dregexd_cache_misses_total", "Expression cache misses (compiles).",
+		func() uint64 { return s.cache.Stats().Misses })
+	r.CounterFunc("dregexd_cache_evictions_total", "Expression cache evictions (capacity pressure).",
+		func() uint64 { return s.cache.Stats().Evictions })
+	r.GaugeFunc("dregexd_cache_hit_rate", "Fraction of cache gets served from residency (0 before any get).",
+		func() float64 { return s.cache.Stats().HitRate() })
+	r.GaugeFunc("dregexd_cache_entries", "Resident cache entries (compiled plus negative).",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	r.GaugeFunc("dregexd_cache_negative_entries", "Resident negatively cached compile errors.",
+		func() float64 { return float64(s.cache.Stats().Negative) })
+
+	r.GaugeFunc("dregexd_schemas", "Registered schemas.",
+		func() float64 { return float64(len(*s.schemas.Load())) })
+	r.CounterFunc("dregexd_schema_swaps_total", "Registry mutations (registrations, hot swaps, deletes).",
+		func() uint64 { return s.swaps.Load() })
+
+	// Engine-tier selection counts: which Auto tier each compile resolved
+	// to, batch-engine builds, counter-pipeline compiles, and table-budget
+	// refusals — process-wide, from the dregex package counters.
+	for _, tier := range dregex.EngineTiers() {
+		r.CounterFunc(mEngineSel,
+			"Engine-tier selections by the Auto ladder (compiles per tier, plus batch builds, counter compiles, and table-budget refusals).",
+			func() uint64 { return dregex.EngineSelectionCount(tier) },
+			obs.L("tier", tier))
+	}
+}
+
+// schemaMetricsFor resolves (creating on first registration) the
+// per-schema instruments and derived gauges for name.
+func (s *Server) schemaMetricsFor(name string) *schemaMetrics {
+	r := s.metrics
+	l := obs.L("schema", name)
+	m := &schemaMetrics{
+		valid:     r.Counter(mVerdicts, "Validation verdicts, by schema.", l, obs.L("verdict", "valid")),
+		invalid:   r.Counter(mVerdicts, "Validation verdicts, by schema.", l, obs.L("verdict", "invalid")),
+		docErrors: r.Counter(mVerdicts, "Validation verdicts, by schema.", l, obs.L("verdict", "doc_error")),
+		duration:  r.Histogram(mValDur, "Validation latency, by schema.", obs.Seconds, l),
+		symbols:   r.Counter(mValSymbols, "Content-model symbols fed to streaming engines, by schema.", l),
+		docBytes:  r.Counter(mValBytes, "Document bytes tokenized, by schema.", l),
+	}
+	// ns/symbol: the live per-schema throughput estimate — validation time
+	// over symbols fed. Derived at scrape time from the histogram sum, so
+	// the hot path records nothing extra.
+	r.GaugeFunc(mNsPerSym, "Live validation cost estimate: duration sum / symbols fed.",
+		func() float64 {
+			syms := m.symbols.Value()
+			if syms == 0 {
+				return 0
+			}
+			return float64(m.duration.Sum64()) / float64(syms)
+		}, l)
+	return m
+}
+
+// registerTierGauges publishes the per-tier content-model counts of a
+// schema (how many of its models the Auto ladder placed on each engine
+// tier). The closure reads the live registry entry, so a hot swap that
+// changes the model mix is reflected at the next scrape and a deleted
+// schema reads 0.
+func (s *Server) registerTierGauges(name string, tiers map[string]int) {
+	for tier := range tiers {
+		s.metrics.GaugeFunc(mSchemaTiers, "Content models per engine tier, by schema.",
+			func() float64 {
+				if e := s.lookupSchema(name); e != nil {
+					return float64(e.tiers[tier])
+				}
+				return 0
+			},
+			obs.L("schema", name), obs.L("tier", tier))
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition of the registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}
+
+// logAccess emits one structured line per request. Only called when the
+// access log is configured; the whole call is behind a nil check in the
+// middleware, so -log off costs one branch.
+func (s *Server) logAccess(r *http.Request, sw *statusWriter, d time.Duration) {
+	attrs := make([]slog.Attr, 0, 9)
+	attrs = append(attrs,
+		slog.Uint64("id", sw.id),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", sw.code),
+		slog.Int64("bytes", sw.bytes),
+		slog.Duration("duration", d),
+		slog.String("remote", r.RemoteAddr),
+	)
+	if sw.schema != "" {
+		attrs = append(attrs, slog.String("schema", sw.schema))
+	}
+	if sw.verdict != "" {
+		attrs = append(attrs, slog.String("verdict", sw.verdict))
+	}
+	s.accessLog.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+}
+
+// requestIDHeader is the response header carrying the per-request trace
+// id when access logging is on, so a logged line can be joined with the
+// response a client saw.
+const requestIDHeader = "X-Request-Id"
+
+// setRequestID stamps the trace id header. Called only when access
+// logging is enabled (the strconv allocation stays off the default hot
+// path) or on error responses, where the id also lands in the JSON body.
+func setRequestID(w http.ResponseWriter, id uint64) {
+	w.Header().Set(requestIDHeader, strconv.FormatUint(id, 10))
+}

@@ -12,6 +12,7 @@ import (
 	"io"
 	"time"
 
+	"dregex"
 	"dregex/client"
 	"dregex/internal/dtd"
 	"dregex/internal/pool"
@@ -24,6 +25,15 @@ type schemaEntry struct {
 	dtd  *dtd.DTD    // KindDTD
 	xsd  *xsd.Schema // KindXSD
 
+	// om holds the per-schema instruments (verdict counters, latency
+	// histogram, symbol/byte counters). The underlying instruments are
+	// registry-resolved by name+labels, so a hot swap of the same schema
+	// name continues the same series.
+	om *schemaMetrics
+	// tiers counts the schema's compiled content models per engine tier —
+	// which rung of the Auto ladder each model landed on.
+	tiers map[string]int
+
 	// Validation-state pools, one per backend. Only the pool matching the
 	// kind is used; requests Get a state, validate, and Put it back.
 	dtdStates pool.StatePool[dtd.DocState]
@@ -35,15 +45,24 @@ type schemaEntry struct {
 // The document-level error (malformed XML, truncated read) is returned as
 // a value so the handler can classify it (e.g. a body-size trip → 413)
 // before it is stringified into the response.
+//
+// Instrumentation rides the same discipline as the hot path itself: the
+// per-document symbol and byte tallies accumulate non-atomically inside
+// the single-goroutine DocState and land in the shared atomic counters
+// once per request, after the state is read and before it returns to the
+// pool.
 func (e *schemaEntry) validate(r io.Reader) (client.ValidateResponse, error) {
+	start := time.Now()
 	resp := client.ValidateResponse{Schema: e.info.Name}
 	var verrs []client.ValidationError
 	var err error
+	var symbols, docBytes int
 	switch e.info.Kind {
 	case client.KindDTD:
 		st := e.dtdStates.Get()
 		var es []dtd.ValidationError
 		es, err = e.dtd.ValidateReusing(r, st)
+		symbols, docBytes = st.Symbols(), st.DocBytes()
 		e.dtdStates.Put(st)
 		for _, ve := range es {
 			verrs = append(verrs, client.ValidationError(ve))
@@ -52,6 +71,7 @@ func (e *schemaEntry) validate(r io.Reader) (client.ValidateResponse, error) {
 		st := e.xsdStates.Get()
 		var es []xsd.ValidationError
 		es, err = e.xsd.ValidateReusing(r, st)
+		symbols, docBytes = st.Symbols(), st.DocBytes()
 		e.xsdStates.Put(st)
 		for _, ve := range es {
 			verrs = append(verrs, client.ValidationError(ve))
@@ -62,6 +82,18 @@ func (e *schemaEntry) validate(r io.Reader) (client.ValidateResponse, error) {
 		resp.DocError = err.Error()
 	}
 	resp.Valid = err == nil && len(verrs) == 0
+
+	e.om.duration.Observe(int64(time.Since(start)))
+	e.om.symbols.Add(uint64(symbols))
+	e.om.docBytes.Add(uint64(docBytes))
+	switch {
+	case err != nil:
+		e.om.docErrors.Inc()
+	case len(verrs) > 0:
+		e.om.invalid.Inc()
+	default:
+		e.om.valid.Inc()
+	}
 	return resp, err
 }
 
@@ -172,7 +204,38 @@ func (s *Server) compileSchema(name, kind string, src []byte) (*schemaEntry, err
 	default:
 		return nil, fmt.Errorf("unknown schema kind %q (want dtd or xsd)", kind)
 	}
+	e.tiers = schemaTiers(e)
+	e.om = s.schemaMetricsFor(name)
+	s.registerTierGauges(name, e.tiers)
 	return e, nil
+}
+
+// schemaTiers counts the entry's compiled content models per engine tier:
+// the Auto-ladder resolution of each deterministic regular model, plus
+// "counter" for numeric (§3.3) XSD models. Nondeterministic models have no
+// engine and are not counted (they already surface as warnings).
+func schemaTiers(e *schemaEntry) map[string]int {
+	tiers := make(map[string]int)
+	switch {
+	case e.dtd != nil:
+		for _, el := range e.dtd.Elements {
+			if el.Kind == dtd.Children && el.CM != nil && el.Deterministic {
+				tiers[el.CM.AutoAlgorithm().String()]++
+			}
+		}
+	case e.xsd != nil:
+		for _, t := range e.xsd.AllTypes {
+			if t.Kind != xsd.Children || !t.Deterministic {
+				continue
+			}
+			if t.Numeric {
+				tiers[dregex.TierCounter]++
+			} else if t.CM != nil {
+				tiers[t.CM.AutoAlgorithm().String()]++
+			}
+		}
+	}
+	return tiers
 }
 
 // storeSchema publishes entry under its name, atomically replacing any
@@ -199,7 +262,8 @@ func (s *Server) storeSchema(e *schemaEntry) (replaced bool) {
 }
 
 // deleteSchema removes name from the registry; it reports whether the name
-// was registered.
+// was registered. A delete is a registry mutation like any other, so it
+// bumps the swap counter /v1/stats and /metrics report.
 func (s *Server) deleteSchema(name string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -214,5 +278,6 @@ func (s *Server) deleteSchema(name string) bool {
 		}
 	}
 	s.schemas.Store(&next)
+	s.swaps.Add(1)
 	return true
 }

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,7 @@ import (
 
 	"dregex"
 	"dregex/client"
+	"dregex/internal/obs"
 )
 
 // Config parameterizes New. The zero value is usable.
@@ -44,21 +46,19 @@ type Config struct {
 	// MaxBodyBytes bounds request bodies (documents, schemas, JSON);
 	// 0 selects 4 MiB. Oversized requests get 413.
 	MaxBodyBytes int64
+	// AccessLog, when non-nil, receives one structured line per request
+	// (request id, method, path, status, bytes, duration, remote addr,
+	// and — for /v1/validate — schema and verdict). nil disables access
+	// logging entirely; the hot path then pays a single branch.
+	AccessLog *slog.Logger
 }
 
 // DefaultMaxBodyBytes bounds request bodies when Config leaves it zero.
 const DefaultMaxBodyBytes = 4 << 20
 
-// endpointNames are the per-endpoint counter keys of /v1/stats.
-var endpointNames = []string{"compile", "match", "validate", "schemas", "stats"}
-
-// endpointCounters counts requests and error responses for one endpoint.
-// expvar.Int is an atomic counter with a JSON rendering, so the same
-// values back /v1/stats and the optional expvar export.
-type endpointCounters struct {
-	requests expvar.Int
-	errors   expvar.Int
-}
+// endpointNames are the per-endpoint instrument keys of /v1/stats and
+// /metrics.
+var endpointNames = []string{"compile", "match", "validate", "schemas", "stats", "metrics"}
 
 // Server is the dregexd request handler. Construct with New; it is safe
 // for concurrent use.
@@ -74,16 +74,28 @@ type Server struct {
 	schemas atomic.Pointer[map[string]*schemaEntry]
 	swaps   atomic.Uint64
 
-	counters map[string]*endpointCounters
-	handler  http.Handler
+	// metrics is the obs registry behind GET /metrics; endpoints holds the
+	// pre-resolved per-endpoint instruments keyed by endpointNames.
+	metrics   *obs.Registry
+	endpoints map[string]*endpointMetrics
+	// reqSeq issues the monotonic per-server request ids threaded through
+	// access-log lines and error responses.
+	reqSeq    atomic.Uint64
+	accessLog *slog.Logger
+
+	publishOnce sync.Once
+	publishName string
+
+	handler http.Handler
 }
 
 // New returns a ready Server.
 func New(cfg Config) *Server {
 	s := &Server{
-		cache:   cfg.Cache,
-		maxBody: cfg.MaxBodyBytes,
-		start:   time.Now(),
+		cache:     cfg.Cache,
+		maxBody:   cfg.MaxBodyBytes,
+		start:     time.Now(),
+		accessLog: cfg.AccessLog,
 	}
 	if s.cache == nil {
 		s.cache = dregex.NewCache(4096)
@@ -93,10 +105,7 @@ func New(cfg Config) *Server {
 	}
 	empty := map[string]*schemaEntry{}
 	s.schemas.Store(&empty)
-	s.counters = make(map[string]*endpointCounters, len(endpointNames))
-	for _, n := range endpointNames {
-		s.counters[n] = &endpointCounters{}
-	}
+	s.initMetrics()
 
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/compile", s.counted("compile", s.handleCompile))
@@ -107,6 +116,7 @@ func New(cfg Config) *Server {
 	mux.Handle("DELETE /v1/schemas/{name}", s.counted("schemas", s.handleDeleteSchema))
 	mux.Handle("GET /v1/schemas", s.counted("schemas", s.handleListSchemas))
 	mux.Handle("GET /v1/stats", s.counted("stats", s.handleStats))
+	mux.Handle("GET /metrics", s.counted("metrics", s.handleMetrics))
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	s.handler = mux
 	return s
@@ -128,23 +138,47 @@ func (s *Server) NewHTTPServer(addr string) *http.Server {
 	}
 }
 
-var publishOnce sync.Once
+// publishMu serializes expvar name allocation across servers in one
+// process; expvar names are process-global and a second Publish of the
+// same name panics.
+var (
+	publishMu sync.Mutex
+	publishN  int
+)
 
-// Publish exports this server's stats snapshot under the expvar name
-// "dregexd" (shown on GET /debug/vars alongside the runtime's memstats).
-// Only the first server to call it wins the name — expvar names are
-// process-global — which is exactly right for the daemon.
-func (s *Server) Publish() {
-	publishOnce.Do(func() {
-		expvar.Publish("dregexd", expvar.Func(func() any { return s.statsSnapshot() }))
+// Publish exports this server's stats snapshot on GET /debug/vars
+// (alongside the runtime's memstats) and returns the expvar name it was
+// published under. The first server in the process gets "dregexd"; later
+// servers get "dregexd-2", "dregexd-3", … — expvar names are
+// process-global, so each instance needs its own. Publish is idempotent
+// per server: repeated calls return the name chosen the first time.
+func (s *Server) Publish() string {
+	s.publishOnce.Do(func() {
+		publishMu.Lock()
+		publishN++
+		name := "dregexd"
+		if publishN > 1 {
+			name = fmt.Sprintf("dregexd-%d", publishN)
+		}
+		publishMu.Unlock()
+		s.publishName = name
+		expvar.Publish(name, expvar.Func(func() any { return s.statsSnapshot() }))
 	})
+	return s.publishName
 }
 
-// statusWriter records the response code so the middleware can count
-// error responses.
+// statusWriter records the response code and size so the middleware can
+// count errors and observe response bytes, and carries the per-request
+// trace context (id, and — set by handleValidate — schema and verdict)
+// without a context.WithValue allocation. Handlers reach it by asserting
+// their ResponseWriter back to *statusWriter.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code    int
+	bytes   int64
+	id      uint64
+	schema  string
+	verdict string
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -152,19 +186,52 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// counted wraps a handler with the per-endpoint request/error counters and
-// the request-size limit.
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// requestID returns the trace id of the request being served on w, or 0
+// when w is not the middleware's statusWriter (direct handler tests).
+func requestID(w http.ResponseWriter) uint64 {
+	if sw, ok := w.(*statusWriter); ok {
+		return sw.id
+	}
+	return 0
+}
+
+// counted wraps a handler with the per-endpoint instruments (request and
+// error counters, latency and size histograms), the request-size limit,
+// the trace id, and the optional access log. The instrumentation is a
+// time.Now and a few uncontended atomic adds — the handler hot path stays
+// within its allocation pin.
 func (s *Server) counted(name string, h http.HandlerFunc) http.Handler {
-	c := s.counters[name]
+	m := s.endpoints[name]
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		c.requests.Add(1)
+		start := time.Now()
+		m.requests.Inc()
+		if r.ContentLength >= 0 {
+			m.reqBytes.Observe(r.ContentLength)
+		}
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 		}
-		sw := statusWriter{ResponseWriter: w, code: http.StatusOK}
+		sw := statusWriter{ResponseWriter: w, code: http.StatusOK, id: s.reqSeq.Add(1)}
+		if s.accessLog != nil {
+			// The header costs an allocation, so it rides the logging
+			// opt-in: the id is only useful for joining with log lines.
+			setRequestID(w, sw.id)
+		}
 		h(&sw, r)
+		d := time.Since(start)
+		m.duration.Observe(int64(d))
+		m.respBytes.Observe(sw.bytes)
 		if sw.code >= 400 {
-			c.errors.Add(1)
+			m.errors.Inc()
+		}
+		if s.accessLog != nil {
+			s.logAccess(r, &sw, d)
 		}
 	})
 }
@@ -219,11 +286,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	putJSONBuf(jb)
 }
 
-// writeError renders a client.ErrorResponse. 413 is detected from
-// MaxBytesReader so oversized bodies report as such wherever they surface
-// (JSON decode or mid-document XML read).
+// writeError renders a client.ErrorResponse carrying the request's trace
+// id. 413 is detected from MaxBytesReader so oversized bodies report as
+// such wherever they surface (JSON decode or mid-document XML read).
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, client.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, code, client.ErrorResponse{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: requestID(w),
+	})
 }
 
 // errStatus maps a body-read error to a status: 413 for the size limit,
@@ -242,23 +312,51 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) statsSnapshot() client.StatsResponse {
 	cs := s.cache.Stats()
+	schemas := *s.schemas.Load()
 	resp := client.StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Cache: client.CacheStats{
-			Hits:     cs.Hits,
-			Misses:   cs.Misses,
-			HitRate:  cs.HitRate(),
-			Entries:  cs.Entries,
-			Negative: cs.Negative,
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			HitRate:   cs.HitRate(),
+			Entries:   cs.Entries,
+			Negative:  cs.Negative,
+			Evictions: cs.Evictions,
 		},
-		Endpoints:   make(map[string]client.EndpointStats, len(s.counters)),
-		SchemaCount: len(*s.schemas.Load()),
+		Endpoints:   make(map[string]client.EndpointStats, len(s.endpoints)),
+		SchemaCount: len(schemas),
 		SchemaSwaps: s.swaps.Load(),
+		EngineTiers: dregex.EngineSelections(),
 	}
-	for name, c := range s.counters {
+	for name, m := range s.endpoints {
+		h := m.duration.Snapshot()
 		resp.Endpoints[name] = client.EndpointStats{
-			Requests: c.requests.Value(),
-			Errors:   c.errors.Value(),
+			Requests:  int64(m.requests.Value()),
+			Errors:    int64(m.errors.Value()),
+			P50Millis: h.Quantile(0.5) / 1e6,
+			P90Millis: h.Quantile(0.9) / 1e6,
+			P99Millis: h.Quantile(0.99) / 1e6,
+		}
+	}
+	if len(schemas) > 0 {
+		resp.Schemas = make(map[string]client.SchemaTraffic, len(schemas))
+		for name, e := range schemas {
+			om := e.om
+			syms := om.symbols.Value()
+			tr := client.SchemaTraffic{
+				Kind:      e.info.Kind,
+				Version:   e.info.Version,
+				Valid:     om.valid.Value(),
+				Invalid:   om.invalid.Value(),
+				DocErrors: om.docErrors.Value(),
+				Symbols:   syms,
+				DocBytes:  om.docBytes.Value(),
+				Models:    e.tiers,
+			}
+			if syms > 0 {
+				tr.NsPerSymbol = float64(om.duration.Sum64()) / float64(syms)
+			}
+			resp.Schemas[name] = tr
 		}
 	}
 	return resp

@@ -156,6 +156,11 @@ type docState struct {
 	tok   xmltok.Tokenizer
 	// buf holds the whole document when validating from an io.Reader.
 	buf []byte
+	// symbols and docBytes meter the last validation for observability:
+	// content-model symbols fed to streaming engines (plain or counter),
+	// and tokenized document bytes.
+	symbols  int
+	docBytes int
 }
 
 // push returns the next frame slot, reusing the slot's buffers when the
@@ -208,6 +213,15 @@ func (s *Schema) ValidateBytesReusing(doc []byte, st *DocState) ([]ValidationErr
 	return s.validateBytes(doc, &st.st)
 }
 
+// Symbols reports how many content-model symbols (child elements fed to
+// the streaming engines) the last validation through this DocState
+// consumed, for live ns-per-symbol estimates.
+func (st *DocState) Symbols() int { return st.st.symbols }
+
+// DocBytes reports the size of the last document validated through this
+// DocState (the bytes the tokenizer scanned).
+func (st *DocState) DocBytes() int { return st.st.docBytes }
+
 func (s *Schema) validate(r io.Reader, st *docState) ([]ValidationError, error) {
 	data, err := xmltok.ReadAll(r, st.buf)
 	st.buf = data
@@ -227,6 +241,8 @@ func (s *Schema) validateBytes(data []byte, st *docState) ([]ValidationError, er
 	tok.SetEntities(nil)
 	var errs []ValidationError
 	st.stack = st.stack[:0]
+	st.symbols = 0
+	st.docBytes = len(data)
 	sawRoot := false
 	path := func() string {
 		parts := make([]string, 0, len(st.stack))
@@ -286,7 +302,7 @@ func (s *Schema) validateBytes(data []byte, st *docState) ([]ValidationError, er
 			} else {
 				p := &st.stack[len(st.stack)-1]
 				decl = p.typ.childBytes(name)
-				errs = feedChild(errs, p, name, off, path, verr)
+				errs = feedChild(errs, st, p, name, off, path, verr)
 			}
 			f := st.push()
 			f.decl, f.name = decl, name
@@ -371,7 +387,7 @@ func (s *Schema) validateBytes(data []byte, st *docState) ([]ValidationError, er
 }
 
 // feedChild records child name in the parent frame's content model.
-func feedChild(errs []ValidationError, p *frame, name []byte, off int,
+func feedChild(errs []ValidationError, st *docState, p *frame, name []byte, off int,
 	path func() string, verr func(string, []byte, int, string) ValidationError) []ValidationError {
 	if p.typ == nil || p.failed {
 		return errs // parent already failed; keep descending silently
@@ -401,6 +417,7 @@ func feedChild(errs []ValidationError, p *frame, name []byte, off int,
 			p.any = true
 		}
 	case Children:
+		st.symbols++
 		ok := false
 		if p.typ.Numeric {
 			ok = p.ctrs.FeedBytes(name)

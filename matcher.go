@@ -187,6 +187,9 @@ func (e *Expr) buildMatcher(algo Algorithm) (*Matcher, error) {
 func (e *Expr) batchEngine() (*starfree.Batch, error) {
 	e.batch.once.Do(func() {
 		e.batch.b, e.batch.err = starfree.NewBatch(e.tree, e.fol)
+		if e.batch.err == nil {
+			batchBuilds.Add(1)
+		}
 	})
 	return e.batch.b, e.batch.err
 }

@@ -1,0 +1,87 @@
+package dregex
+
+import "sync/atomic"
+
+// Process-wide engine-selection counters: every compile records which Auto
+// tier it resolved to, every batch-engine build and numeric compile is
+// counted, and deterministic expressions the dense-table tier refused on
+// budget are tracked separately. The counters exist so a serving layer
+// (dregexd's /metrics, the CLIs' -stats summaries) can report the live
+// tier mix of its traffic — the skew the paper's per-tier complexity
+// bounds make meaningful — without threading a registry through the
+// compile path. They are monotone atomics: recording costs one
+// uncontended add per compile, nothing on the match path.
+var (
+	tierSelections [numAlgorithms]atomic.Uint64
+	batchBuilds    atomic.Uint64
+	numericBuilds  atomic.Uint64
+	budgetRefusals atomic.Uint64
+)
+
+// Synthetic tier names for the outcomes that are not Algorithm constants.
+const (
+	// TierBatch counts expressions whose MatchAll traffic built the
+	// Theorem 4.12 star-free batch engine.
+	TierBatch = "batch"
+	// TierCounter counts §3.3 numeric (counter) pipeline compiles.
+	TierCounter = "counter"
+	// TierBudgetRefused counts deterministic expressions Auto would have
+	// placed on the dense-table tier but for TableBudget.
+	TierBudgetRefused = "table-budget-refused"
+)
+
+// EngineTiers lists every tier name EngineSelectionCount reports, in
+// stable order: the concrete engine algorithms, then the synthetic
+// outcomes (batch engine builds, counter-pipeline compiles, table-budget
+// refusals).
+func EngineTiers() []string {
+	tiers := make([]string, 0, numAlgorithms+2)
+	for a := Table; a < Algorithm(numAlgorithms); a++ {
+		tiers = append(tiers, a.String())
+	}
+	return append(tiers, TierBatch, TierCounter, TierBudgetRefused)
+}
+
+// EngineSelectionCount returns the process-wide count for one tier name
+// (as listed by EngineTiers); unknown names return 0. For Algorithm-named
+// tiers the count is how many plain-pipeline compiles resolved Auto to
+// that engine.
+func EngineSelectionCount(tier string) uint64 {
+	switch tier {
+	case TierBatch:
+		return batchBuilds.Load()
+	case TierCounter:
+		return numericBuilds.Load()
+	case TierBudgetRefused:
+		return budgetRefusals.Load()
+	}
+	for a := Table; a < Algorithm(numAlgorithms); a++ {
+		if a.String() == tier {
+			return tierSelections[a].Load()
+		}
+	}
+	return 0
+}
+
+// EngineSelections returns a snapshot of every tier's count, keyed by tier
+// name — the map a stats endpoint serializes directly.
+func EngineSelections() map[string]uint64 {
+	out := make(map[string]uint64, numAlgorithms+2)
+	for _, t := range EngineTiers() {
+		out[t] = EngineSelectionCount(t)
+	}
+	return out
+}
+
+// recordAutoSelection is called once per successful plain compile with the
+// resolved Auto tier and the compile-time stats.
+func recordAutoSelection(auto Algorithm, st Stats) {
+	tierSelections[auto].Add(1)
+	if st.Deterministic && !tableEligible(st) {
+		budgetRefusals.Add(1)
+	}
+}
+
+// AutoAlgorithm returns the engine tier Auto resolved to at compile time —
+// the tier Matcher(Auto) and the validators' streams ride.
+func (e *Expr) AutoAlgorithm() Algorithm { return e.auto }

@@ -34,6 +34,7 @@ func CompileNumeric(source string, syntax Syntax) (*NumericExpr, error) {
 	}
 	e := &NumericExpr{source: source, c: c}
 	e.m = NumericMatcher{c: c}
+	numericBuilds.Add(1)
 	return e, nil
 }
 
