@@ -3,7 +3,7 @@ BENCH_PATTERN ?= .
 BENCH_TIME ?= 1s
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build test bench bench-snapshot bench-check lint vet fmt fuzz-smoke serve smoke-server
+.PHONY: all build test bench bench-snapshot bench-check lint vet fmt drevet fuzz-smoke serve smoke-server
 
 all: build
 
@@ -81,10 +81,18 @@ bench-check:
 		$(if $(GATE_UNITS),-gate-units '$(GATE_UNITS)') \
 		$(BENCH_BASELINE) /tmp/BENCH_ci.json
 
-lint: fmt vet
+lint: fmt vet drevet
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
+
+# drevet runs the repo's own analyzers (spanretain, poolpair, cowreg,
+# noalloc, tracenil — see internal/analysis) over the whole tree through
+# the go vet driver. Any diagnostic fails the build; there is no baseline
+# file — fix the code or add a reviewed //dregex:ok waiver.
+drevet:
+	$(GO) build -o bin/drevet ./cmd/drevet
+	$(GO) vet -vettool=$(CURDIR)/bin/drevet ./...

@@ -1,0 +1,17 @@
+// Drevet is the repo's static-analysis suite: five analyzers that
+// mechanically enforce the hot-path invariants (span aliasing, pool
+// borrow pairing, COW registry immutability, 0-alloc annotations, witness
+// nil guards). It speaks the `go vet -vettool=` protocol:
+//
+//	go build -o bin/drevet ./cmd/drevet
+//	go vet -vettool=bin/drevet ./...
+//
+// or directly: bin/drevet ./...  (re-executes go vet against itself).
+// See `make lint`, which runs it over the whole tree.
+package main
+
+import "dregex/internal/analysis"
+
+func main() {
+	analysis.Main(analysis.All()...)
+}

@@ -1,0 +1,187 @@
+// Package analysis is drevet's static-analysis core: a dependency-free
+// reimplementation of the golang.org/x/tools/go/analysis contract
+// (Analyzer / Pass / Diagnostic) plus the five repo-specific analyzers
+// that mechanically enforce the hot-path invariants the test suite can
+// only spot-check:
+//
+//	spanretain  xmltok []byte spans must not outlive the next Next()
+//	poolpair    pool Get must be paired with Put on every return path
+//	cowreg      COW registry snapshots from atomic.Pointer.Load are read-only
+//	noalloc     //dregex:noalloc functions stay free of allocating constructs
+//	tracenil    run.Trace witness hooks stay behind a nil check
+//
+// The API mirrors x/tools so the analyzers port mechanically if the repo
+// ever takes the real dependency; it exists because this module is
+// dependency-free by design (like internal/obs) and the analyzers need
+// nothing beyond go/ast and go/types. The cmd/drevet driver speaks the
+// `go vet -vettool=` unitchecker protocol, so the suite runs under the
+// build cache like any vet pass.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //dregex:ok
+	// waivers. It must be a valid identifier.
+	Name string
+	// Doc is the analyzer's documentation: one summary line, then detail.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned inside the analyzed package.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one analyzed package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report publishes one diagnostic. Findings waived by a //dregex:ok
+	// comment on (or immediately above) the diagnostic's line are dropped
+	// here, so analyzers never re-implement waiver handling.
+	diagnostics []Diagnostic
+	dirs        *directives
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.dirs.waived(p.Fset, pos, p.Analyzer.Name) {
+		return
+	}
+	p.diagnostics = append(p.diagnostics, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// All returns the five drevet analyzers.
+func All() []*Analyzer {
+	return []*Analyzer{Spanretain, Poolpair, Cowreg, Noalloc, Tracenil}
+}
+
+// Run applies a to one type-checked package and returns its surviving
+// diagnostics sorted in source order.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		dirs:      scanDirectives(fset, files),
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	return pass.diagnostics, nil
+}
+
+// --- shared type/package predicates ---
+
+// pkgPathIs reports whether path is exactly suffix or ends in "/"+suffix,
+// so "dregex/internal/xmltok" matches suffix "internal/xmltok" and the
+// analyzer testdata's stub packages can mirror the real import layout.
+func pkgPathIs(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// namedIn reports whether t (after pointer unwrapping) is the named type
+// pkgSuffix.name, e.g. namedIn(t, "sync", "Pool"). Generic instantiations
+// (atomic.Pointer[T]) match by their origin name.
+func namedIn(t types.Type, pkgSuffix, name string) bool {
+	t = deref(t)
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return pkgPathIs(obj.Pkg().Path(), pkgSuffix)
+}
+
+// deref unwraps one level of pointer (and named aliases to pointers).
+func deref(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// isByteSlice reports whether t is []byte.
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// funcDeclsOf yields every function declaration (with body) in the pass.
+func funcDeclsOf(pass *Pass, fn func(decl *ast.FuncDecl)) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// objOf resolves an identifier to its object (nil for blank/_unresolved).
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// localVar returns the *types.Var behind e when e is a plain identifier
+// naming a function-local variable; nil otherwise.
+func localVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := objOf(info, id).(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+		return nil // package-level var
+	}
+	return v
+}
+
+// calleeFunc resolves the called function/method object of call, if any.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := objOf(info, fun).(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := objOf(info, fun.Sel).(*types.Func)
+		return f
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dregex/internal/analysis"
+	"dregex/internal/analysis/atest"
+)
+
+func TestSpanretain(t *testing.T) {
+	atest.Run(t, atest.TestData(), analysis.Spanretain, "spanretain_a")
+}
+
+func TestPoolpair(t *testing.T) {
+	atest.Run(t, atest.TestData(), analysis.Poolpair, "poolpair_a")
+}
+
+func TestCowreg(t *testing.T) {
+	atest.Run(t, atest.TestData(), analysis.Cowreg, "cowreg_a")
+}
+
+func TestNoalloc(t *testing.T) {
+	atest.Run(t, atest.TestData(), analysis.Noalloc, "noalloc_a")
+}
+
+func TestTracenil(t *testing.T) {
+	atest.Run(t, atest.TestData(), analysis.Tracenil, "tracenil_a")
+}
+
+// TestWaiver locks the //dregex:ok escape hatch: it silences exactly the
+// analyzers it names, on its own line or the one below.
+func TestWaiver(t *testing.T) {
+	atest.Run(t, atest.TestData(), analysis.Spanretain, "waiver_a")
+}
+
+// TestSpanretainSkipsXmltok: the tokenizer aliasing its own buffer is the
+// design, not a finding; the stub package stands in for the real one.
+func TestSpanretainSkipsXmltok(t *testing.T) {
+	atest.Run(t, atest.TestData(), analysis.Spanretain, "dregex/internal/xmltok")
+}

@@ -1,0 +1,194 @@
+// Package atest is the golden-diagnostic harness for the drevet
+// analyzers, a hermetic analogue of x/tools' analysistest: test packages
+// live under testdata/src/<importpath>/ with expectations written as
+//
+//	code()  // want "regexp" "second regexp"
+//
+// comments on the offending line. Imports resolve inside testdata/src
+// only (stub sync, sync/atomic, dregex/internal/… packages mirror the
+// real layout), so tests depend on no compiled stdlib and no network.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"dregex/internal/analysis"
+)
+
+// TestData returns the caller's testdata directory as an absolute path.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run applies a to each package (import path under dir/src) and compares
+// its diagnostics to the package's // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := &loader{root: filepath.Join(dir, "src"), fset: token.NewFileSet(), pkgs: map[string]*loaded{}}
+	for _, path := range pkgPaths {
+		ld, err := l.load(path)
+		if err != nil {
+			t.Errorf("loading %s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.Run(a, l.fset, ld.files, ld.pkg, ld.info)
+		if err != nil {
+			t.Errorf("%s: running %s: %v", path, a.Name, err)
+			continue
+		}
+		checkWants(t, l.fset, ld.files, diags)
+	}
+}
+
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*loaded
+}
+
+func (l *loader) load(path string) (*loaded, error) {
+	if ld, ok := l.pkgs[path]; ok {
+		if ld == nil {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return ld, nil
+	}
+	l.pkgs[path] = nil // cycle guard
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	tc := &types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) {
+			if p == "unsafe" {
+				return types.Unsafe, nil
+			}
+			ld, err := l.load(p)
+			if err != nil {
+				return nil, err
+			}
+			return ld.pkg, nil
+		}),
+		Sizes: types.SizesFor("gc", "amd64"),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	ld := &loaded{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = ld
+	return ld, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// wantRe extracts the quoted regexps of a want comment.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+	raw  string
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					} else {
+						pat = strings.ReplaceAll(pat, `\"`, `"`)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

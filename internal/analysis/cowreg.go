@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Cowreg enforces the copy-on-write discipline of the dregexd schema
+// registry (and any future atomic.Pointer-published structure): a snapshot
+// obtained through atomic.Pointer.Load — the pointer, the map behind it,
+// and any entry fetched out of that map — is shared with every concurrent
+// reader and must be treated read-only. Mutations must build a fresh copy
+// and Store it (the copy-swap helpers). The analyzer taints values derived
+// from Load() inside each function and flags assignments, deletes, and
+// appends that write through a tainted value.
+var Cowreg = &Analyzer{
+	Name: "cowreg",
+	Doc:  "values reached from atomic.Pointer.Load are copy-on-write snapshots; mutate a fresh copy instead",
+	Run:  runCowreg,
+}
+
+func runCowreg(pass *Pass) error {
+	funcDeclsOf(pass, func(decl *ast.FuncDecl) {
+		checkCowFunc(pass, decl)
+	})
+	return nil
+}
+
+func checkCowFunc(pass *Pass, decl *ast.FuncDecl) {
+	info := pass.TypesInfo
+	tainted := map[*types.Var]bool{}
+
+	// isSnapshot reports whether e reaches data published via Load():
+	// the Load() call itself, a deref of it, an index/field/range step
+	// through a tainted value, or a local already tainted.
+	var isSnapshot func(e ast.Expr) bool
+	isSnapshot = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Load" {
+				return false
+			}
+			return namedIn(pass.TypeOf(sel.X), "sync/atomic", "Pointer")
+		case *ast.StarExpr:
+			return isSnapshot(e.X)
+		case *ast.IndexExpr:
+			return isSnapshot(e.X)
+		case *ast.SelectorExpr:
+			// A field read through a tainted value stays tainted only when
+			// it shares memory with the snapshot (pointer, map, or slice
+			// field); a copied value field is the reader's own.
+			if !sharesMemory(pass.TypeOf(e)) {
+				return false
+			}
+			if _, isField := objOf(info, e.Sel).(*types.Var); !isField {
+				return false
+			}
+			return isSnapshot(e.X)
+		case *ast.Ident:
+			if v := localVar(info, e); v != nil {
+				return tainted[v]
+			}
+		}
+		return false
+	}
+
+	// Two passes so taint assigned below a use still counts (straight-line
+	// source order is not execution order in loops); the set only grows.
+	for range 2 {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) == len(st.Rhs) {
+					for i, lhs := range st.Lhs {
+						if v := localVar(info, lhs); v != nil && isSnapshot(st.Rhs[i]) {
+							tainted[v] = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if isSnapshot(st.X) {
+					if v := localVar(info, st.Value); v != nil && sharesMemory(pass.TypeOf(st.Value)) {
+						tainted[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				checkCowWrite(pass, lhs, isSnapshot)
+			}
+		case *ast.IncDecStmt:
+			checkCowWrite(pass, st.X, isSnapshot)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok && id.Name == "delete" && len(st.Args) == 2 {
+				if _, isBuiltin := objOf(info, id).(*types.Builtin); isBuiltin && isSnapshot(st.Args[0]) {
+					pass.Reportf(st.Pos(), "delete from a COW snapshot map (obtained via atomic.Pointer.Load); build a copy and Store it")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCowWrite flags an assignment target that writes through snapshot
+// memory: snapshot[k] = v, snapshot.field = v, *snapshot = v.
+func checkCowWrite(pass *Pass, lhs ast.Expr, isSnapshot func(ast.Expr) bool) {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr:
+		if isSnapshot(lhs.X) {
+			pass.Reportf(lhs.Pos(), "write into a COW snapshot (obtained via atomic.Pointer.Load); mutate a fresh copy and Store it")
+		}
+	case *ast.SelectorExpr:
+		if isSnapshot(lhs.X) {
+			pass.Reportf(lhs.Pos(), "field write through a COW snapshot (obtained via atomic.Pointer.Load); registry entries are immutable once published")
+		}
+	case *ast.StarExpr:
+		if isSnapshot(lhs.X) {
+			pass.Reportf(lhs.Pos(), "write through a COW snapshot pointer (obtained via atomic.Pointer.Load)")
+		}
+	}
+}
+
+// sharesMemory reports whether a value of type t aliases the memory it was
+// read from: pointers, maps, and slices do; value copies (structs, basics,
+// strings) don't. Interfaces and channels are treated as sharing.
+func sharesMemory(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Interface, *types.Chan:
+		return true
+	}
+	return false
+}

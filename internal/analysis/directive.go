@@ -1,0 +1,94 @@
+// Directive comments: the repo-wide conventions the analyzers honor.
+//
+//	//dregex:noalloc            (in a func's doc) opt this function into
+//	                            the noalloc check
+//	//dregex:coldalloc          (in a func's doc) calls to this function
+//	                            are reviewed error-path allocators; noalloc
+//	                            functions may call it without a waiver
+//	//dregex:ok name[,name] reason
+//	                            waive the named analyzers' findings on this
+//	                            line (trailing) or the next line (leading);
+//	                            the reason is required prose, not parsed
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const (
+	dirNoalloc   = "//dregex:noalloc"
+	dirColdalloc = "//dregex:coldalloc"
+	dirOK        = "//dregex:ok"
+)
+
+// directives is the per-pass index of //dregex:ok waivers, keyed by file
+// and line. Function-level directives (noalloc, coldalloc) are read off
+// the declarations directly by the analyzers that care.
+type directives struct {
+	// waivers maps filename -> line -> analyzer names waived there.
+	waivers map[string]map[int][]string
+}
+
+func scanDirectives(fset *token.FileSet, files []*ast.File) *directives {
+	d := &directives{waivers: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, dirOK)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				names := strings.FieldsFunc(strings.TrimSpace(rest), func(r rune) bool {
+					return r == ' ' || r == '\t'
+				})
+				if len(names) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := d.waivers[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					d.waivers[pos.Filename] = lines
+				}
+				// A comment on its own line waives the next line; a trailing
+				// comment waives its own. Recording both is simpler and the
+				// over-coverage (one extra line) is harmless for a waiver
+				// that names its analyzer explicitly.
+				split := strings.Split(names[0], ",")
+				lines[pos.Line] = append(lines[pos.Line], split...)
+				lines[pos.Line+1] = append(lines[pos.Line+1], split...)
+			}
+		}
+	}
+	return d
+}
+
+// waived reports whether analyzer name is waived at pos.
+func (d *directives) waived(fset *token.FileSet, pos token.Pos, name string) bool {
+	if !pos.IsValid() {
+		return false
+	}
+	p := fset.Position(pos)
+	for _, n := range d.waivers[p.Filename][p.Line] {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDirective reports whether the declaration's doc comment carries the
+// given //dregex: directive.
+func hasDirective(doc *ast.CommentGroup, dir string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == dir || strings.HasPrefix(c.Text, dir+" ") {
+			return true
+		}
+	}
+	return false
+}

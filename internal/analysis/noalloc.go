@@ -1,0 +1,333 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Noalloc checks functions annotated //dregex:noalloc — the pinned 0-alloc
+// hot paths — for allocation-introducing constructs the AllocsPerRun pins
+// only catch after the fact:
+//
+//   - make, new, &T{…}, slice and map literals
+//   - map writes (growth allocates)
+//   - string([]byte) / []byte(string) / string(rune) conversions, except
+//     the compiler-optimized forms m[string(b)] and string(b) == "…"
+//   - non-constant string concatenation
+//   - calls into fmt, log, and the errors constructors
+//   - implicit interface boxing of non-pointer-shaped values (arguments,
+//     assignments, returns)
+//   - closures, method values, go statements
+//
+// append is allowed: the hot paths append into pooled, amortized buffers
+// by design. Reviewed error-path allocations are waived either per line
+// (//dregex:ok noalloc <reason>) or by marking the error-path helper
+// //dregex:coldalloc, which waives its call sites (including argument
+// boxing) inside noalloc functions — the call only happens on failure.
+var Noalloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "//dregex:noalloc functions must not contain allocating constructs",
+	Run:  runNoalloc,
+}
+
+func runNoalloc(pass *Pass) error {
+	// Collect the package's coldalloc-marked functions first: calls to
+	// them (from any file of the package) are exempt subtrees.
+	cold := map[*types.Func]bool{}
+	funcDeclsOf(pass, func(decl *ast.FuncDecl) {
+		if hasDirective(decl.Doc, dirColdalloc) {
+			if fn, ok := objOf(pass.TypesInfo, decl.Name).(*types.Func); ok {
+				cold[fn] = true
+			}
+		}
+	})
+	funcDeclsOf(pass, func(decl *ast.FuncDecl) {
+		if hasDirective(decl.Doc, dirNoalloc) {
+			checkNoallocFunc(pass, decl, cold)
+		}
+	})
+	return nil
+}
+
+func checkNoallocFunc(pass *Pass, decl *ast.FuncDecl, cold map[*types.Func]bool) {
+	info := pass.TypesInfo
+	var results *types.Tuple
+	if sig, ok := info.TypeOf(decl.Name).(*types.Signature); ok {
+		results = sig.Results()
+	}
+
+	walkStack(decl.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, n); fn != nil && cold[fn] {
+				return false // reviewed error-path allocator: skip args too
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return false // terminal; boxing the argument is moot
+			}
+			checkNoallocCall(pass, n, stack)
+		case *ast.CompositeLit:
+			switch pass.TypeOf(n).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(), "%s literal allocates in a //dregex:noalloc function", typeKindName(pass.TypeOf(n)))
+			}
+			// Value struct/array literals stay on the stack unless boxed or
+			// address-taken, which their own rules catch.
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&%s{…} escapes to the heap in a //dregex:noalloc function", typeKindName(pass.TypeOf(cl)))
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure allocates in a //dregex:noalloc function")
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement allocates a goroutine in a //dregex:noalloc function")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(pass.TypeOf(n)) && !isConstExpr(info, n) {
+				pass.Reportf(n.Pos(), "string concatenation allocates in a //dregex:noalloc function")
+			}
+		case *ast.AssignStmt:
+			checkNoallocAssign(pass, n)
+		case *ast.ValueSpec:
+			for i, val := range n.Values {
+				if i < len(n.Names) {
+					reportBoxing(pass, val, pass.TypeOf(n.Names[i]), "assignment")
+				}
+			}
+		case *ast.ReturnStmt:
+			if results != nil {
+				checkNoallocReturn(pass, n, results)
+			}
+		case *ast.SelectorExpr:
+			// A method value (x.M referenced, not called) allocates its
+			// bound-method closure.
+			if fn, ok := objOf(info, n.Sel).(*types.Func); ok && fn.Type().(*types.Signature).Recv() != nil {
+				if tv, ok := info.Types[n.X]; ok && tv.IsType() {
+					return true // method expression T.M: a plain func value, no closure
+				}
+				if !isCallee(n, stack) {
+					pass.Reportf(n.Pos(), "method value %s allocates in a //dregex:noalloc function", n.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkNoallocCall flags make/new, byte/string conversions, blacklisted
+// packages, and interface boxing of arguments.
+func checkNoallocCall(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	info := pass.TypesInfo
+
+	// Conversions: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		checkNoallocConversion(pass, call, stack)
+		return
+	}
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := objOf(info, id).(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s allocates in a //dregex:noalloc function", id.Name)
+			}
+			return
+		}
+	}
+
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt", "log":
+			pass.Reportf(call.Pos(), "call to %s.%s allocates in a //dregex:noalloc function (mark the helper //dregex:coldalloc if it is a reviewed error path)", fn.Pkg().Name(), fn.Name())
+			return
+		case "errors":
+			if fn.Name() == "New" {
+				pass.Reportf(call.Pos(), "errors.New allocates in a //dregex:noalloc function")
+				return
+			}
+		}
+	}
+
+	// Interface boxing of arguments.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		reportBoxing(pass, arg, param, "argument")
+	}
+}
+
+// checkNoallocConversion flags string<->[]byte and string(rune), except
+// the compiler-optimized map-index and comparison forms.
+func checkNoallocConversion(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	if len(call.Args) != 1 {
+		return
+	}
+	to := pass.TypeOf(call.Fun)
+	from := pass.TypeOf(call.Args[0])
+	if to == nil || from == nil {
+		return
+	}
+	switch {
+	case isStringType(to) && isByteSlice(from):
+		if optimizedStringConv(call, stack) {
+			return
+		}
+		pass.Reportf(call.Pos(), "string([]byte) conversion copies in a //dregex:noalloc function (m[string(b)] probes and string comparisons are exempt)")
+	case isByteSlice(to) && isStringType(from):
+		if isConstExpr(pass.TypesInfo, call.Args[0]) {
+			return // []byte("literal") of a small constant is often stack-allocated; pins catch regressions
+		}
+		pass.Reportf(call.Pos(), "[]byte(string) conversion copies in a //dregex:noalloc function")
+	case isStringType(to) && isRuneOrInt(from) && !isConstExpr(pass.TypesInfo, call.Args[0]):
+		pass.Reportf(call.Pos(), "string(rune) conversion allocates in a //dregex:noalloc function")
+	}
+}
+
+// optimizedStringConv reports whether a string([]byte) conversion is in one
+// of the forms the compiler keeps allocation-free: a map index key
+// (m[string(b)], including comma-ok reads) or a comparison operand.
+func optimizedStringConv(conv *ast.CallExpr, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.IndexExpr:
+			return true // m[string(b)]: types guarantee X is a map if conv is the key
+		case *ast.BinaryExpr:
+			switch parent.Op {
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				return true
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// checkNoallocAssign flags map writes and interface boxing in assignments.
+func checkNoallocAssign(pass *Pass, as *ast.AssignStmt) {
+	for _, lhs := range as.Lhs {
+		if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			if _, isMap := pass.TypeOf(ix.X).Underlying().(*types.Map); isMap {
+				pass.Reportf(lhs.Pos(), "map write may allocate in a //dregex:noalloc function")
+			}
+		}
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if lt := pass.TypeOf(as.Lhs[i]); lt != nil {
+			reportBoxing(pass, rhs, lt, "assignment")
+		}
+	}
+}
+
+func checkNoallocReturn(pass *Pass, ret *ast.ReturnStmt, results *types.Tuple) {
+	if len(ret.Results) != results.Len() {
+		return // bare return or single multi-value call
+	}
+	for i, r := range ret.Results {
+		reportBoxing(pass, r, results.At(i).Type(), "return")
+	}
+}
+
+// reportBoxing flags an implicit conversion of a non-pointer-shaped
+// concrete value to an interface type: the boxed copy heap-allocates.
+func reportBoxing(pass *Pass, val ast.Expr, target types.Type, what string) {
+	if target == nil {
+		return
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	vt := pass.TypeOf(val)
+	if vt == nil || isPointerShaped(vt) {
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[val]; ok && (tv.IsNil() || tv.Value != nil) {
+		return // nil, or a constant the runtime may intern
+	}
+	pass.Reportf(val.Pos(), "interface boxing of %s in %s allocates in a //dregex:noalloc function", vt.String(), what)
+}
+
+// isPointerShaped reports whether boxing a value of type t into an
+// interface stores the value directly in the data word (no allocation):
+// pointers, channels, maps, funcs, unsafe.Pointer — and interfaces, which
+// convert without re-boxing.
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isRuneOrInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isCallee reports whether sel is the function operand of its enclosing
+// call (x.M() rather than a method value x.M).
+func isCallee(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr:
+			return ast.Unparen(parent.Fun) == sel
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// typeKindName renders a short name for a literal's type in diagnostics.
+func typeKindName(t types.Type) string {
+	if t == nil {
+		return "composite"
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return t.String()
+}

@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Poolpair enforces the borrow discipline of pool.StatePool and sync.Pool:
+// a state taken with Get must go back with Put on every return path, or
+// the pool silently degrades to per-request allocation (the exact failure
+// the 0/5/9-alloc pins exist to prevent) — worse, a grown scratch state is
+// lost on the one path that forgot it. Within the function that calls Get,
+// the analyzer accepts as "handed off": a Put-like call (Put/put*/release*/
+// free*) with the state as argument, deferred or inline; returning the
+// state; or storing it into longer-lived memory (field, map, slice,
+// global). When the only Puts are inline, every return after the Get must
+// be covered by one on its own path.
+var Poolpair = &Analyzer{
+	Name: "poolpair",
+	Doc:  "pool Get must be paired with Put on every return path",
+	Run:  runPoolpair,
+}
+
+func runPoolpair(pass *Pass) error {
+	funcDeclsOf(pass, func(decl *ast.FuncDecl) {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return true
+			}
+			call := poolGetCall(pass, as.Rhs[0])
+			if call == nil {
+				return true
+			}
+			v := localVar(pass.TypesInfo, as.Lhs[0])
+			if v == nil {
+				pass.Reportf(as.Pos(), "pool Get result must be kept in a local until it is Put back")
+				return true
+			}
+			checkPoolUse(pass, decl, call, v)
+			return true
+		})
+	})
+	return nil
+}
+
+// poolGetCall returns the Get() call behind e — directly, or through a
+// type assertion `pool.Get().(*T)` — when the receiver is a sync.Pool or
+// pool.StatePool; nil otherwise.
+func poolGetCall(pass *Pass, e ast.Expr) *ast.CallExpr {
+	if ta, ok := ast.Unparen(e).(*ast.TypeAssertExpr); ok {
+		e = ta.X
+	}
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" {
+		return nil
+	}
+	recv := pass.TypeOf(sel.X)
+	if namedIn(recv, "sync", "Pool") || namedIn(recv, "internal/pool", "StatePool") {
+		return call
+	}
+	return nil
+}
+
+// checkPoolUse verifies that v, the state obtained at getCall, is handed
+// off on every path out of decl.
+func checkPoolUse(pass *Pass, decl *ast.FuncDecl, getCall *ast.CallExpr, v *types.Var) {
+	info := pass.TypesInfo
+	var (
+		inlinePuts   []putSite // non-deferred Put-like calls with v as arg
+		deferredPuts []token.Pos
+		escapes      bool             // stored into longer-lived memory or returned
+		getChain     []*ast.BlockStmt // blocks enclosing the Get itself
+	)
+
+	isV := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		// `return v.(*T)` and `Put(v.(*T))` still hand off v.
+		if ta, ok := e.(*ast.TypeAssertExpr); ok {
+			e = ast.Unparen(ta.X)
+		}
+		return localVar(info, e) == v
+	}
+
+	walkStack(decl.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if n == getCall {
+				getChain = blockChain(stack)
+				return true
+			}
+			if !putLike(info, n) || !hasArg(n, isV) {
+				return true
+			}
+			if _, ok := enclosing[*ast.DeferStmt](stack); ok {
+				deferredPuts = append(deferredPuts, n.Pos())
+			} else {
+				inlinePuts = append(inlinePuts, putSite{pos: n.Pos(), stack: blockChain(stack)})
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if isV(r) {
+					escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if !isV(rhs) {
+					continue
+				}
+				// Storing v anywhere but a plain local keeps it reachable
+				// for a later Put elsewhere — ownership handed off.
+				if localVar(info, n.Lhs[i]) == nil {
+					escapes = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if isV(el) {
+					escapes = true
+				}
+			}
+		}
+		return true
+	})
+
+	if escapes {
+		return
+	}
+	if len(inlinePuts) == 0 && len(deferredPuts) == 0 {
+		pass.Reportf(getCall.Pos(), "%s is taken from the pool but never returned with Put (and never escapes this function)", v.Name())
+		return
+	}
+
+	// Deferred Puts cover every later return; inline Puts cover only the
+	// returns on their own block path.
+	firstDefer := token.Pos(-1)
+	if len(deferredPuts) > 0 {
+		firstDefer = deferredPuts[0]
+	}
+	walkStack(decl.Body, func(n ast.Node, stack []ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() <= getCall.Pos() {
+			return true
+		}
+		if firstDefer != -1 && firstDefer < ret.Pos() {
+			return true
+		}
+		chain := blockChain(stack)
+		for _, put := range inlinePuts {
+			if put.pos >= ret.Pos() {
+				continue
+			}
+			// Covered when the return's path flows through the Put's block,
+			// or when the Put sits in the very block that did the Get: any
+			// path reaching a later return either went through Get-then-Put
+			// in straight line, or never held the state at all.
+			if isPrefix(put.stack, chain) || sameChain(put.stack, getChain) {
+				return true
+			}
+		}
+		pass.Reportf(ret.Pos(), "return without Put: %s (taken from the pool at line %d) leaks on this path",
+			v.Name(), pass.Fset.Position(getCall.Pos()).Line)
+		return true
+	})
+}
+
+type putSite struct {
+	pos   token.Pos
+	stack []*ast.BlockStmt
+}
+
+// putLike reports whether call's callee name reads as a pool release.
+func putLike(info *types.Info, call *ast.CallExpr) bool {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	lower := strings.ToLower(name)
+	return lower == "put" || strings.HasPrefix(lower, "put") ||
+		strings.HasPrefix(lower, "release") || strings.HasPrefix(lower, "free")
+}
+
+func hasArg(call *ast.CallExpr, pred func(ast.Expr) bool) bool {
+	for _, a := range call.Args {
+		if pred(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockChain extracts the nested block statements from an ancestor stack.
+func blockChain(stack []ast.Node) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	for _, n := range stack {
+		if b, ok := n.(*ast.BlockStmt); ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// isPrefix reports whether put's block chain is an ancestor chain of (or
+// equal to) the return's: a Put covers a return only when the return's
+// path flows through the Put's block.
+func isPrefix(put, ret []*ast.BlockStmt) bool {
+	if len(put) > len(ret) {
+		return false
+	}
+	for i, b := range put {
+		if ret[i] != b {
+			return false
+		}
+	}
+	return true
+}
+
+// sameChain reports whether two block chains are identical.
+func sameChain(a, b []*ast.BlockStmt) bool {
+	return len(a) == len(b) && isPrefix(a, b)
+}
+
+// enclosing returns the innermost ancestor of type T from stack.
+func enclosing[T ast.Node](stack []ast.Node) (T, bool) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if n, ok := stack[i].(T); ok {
+			return n, true
+		}
+	}
+	var zero T
+	return zero, false
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Spanretain enforces the aliasing contract of internal/xmltok: every
+// []byte the tokenizer hands out (Name, Text, AttrValue, …) is a span of
+// the tokenizer's own buffer, valid only until the next Next() call — and
+// on Reset the buffer may be a different document entirely. Storing a span
+// into anything that outlives the current token (a struct field, a map, a
+// slice element, a package variable) without an explicit copy is a
+// use-after-overwrite bug that no test enumerates. Recognized copies:
+// string(span), append(dst, span...), bytes.Clone, slices.Clone.
+//
+// The check is a per-function taint pass: span sources are []byte-returning
+// methods on xmltok types; locals assigned from spans carry the taint;
+// stores of tainted values into non-local memory are flagged. The xmltok
+// package itself is exempt (the tokenizer aliasing its own buffer is the
+// whole point).
+var Spanretain = &Analyzer{
+	Name: "spanretain",
+	Doc:  "xmltok token spans must not be stored past the next Next() without a copy",
+	Run:  runSpanretain,
+}
+
+func runSpanretain(pass *Pass) error {
+	if pkgPathIs(pass.Pkg.Path(), "internal/xmltok") {
+		return nil
+	}
+	funcDeclsOf(pass, func(decl *ast.FuncDecl) {
+		checkSpanFunc(pass, decl)
+	})
+	return nil
+}
+
+func checkSpanFunc(pass *Pass, decl *ast.FuncDecl) {
+	info := pass.TypesInfo
+	tainted := map[*types.Var]bool{}
+
+	// isSpan reports whether e evaluates to (or contains) tokenizer-buffer
+	// memory: a span source call, a tainted local, a reslice of either, an
+	// append that keeps a span as an element, or a composite literal
+	// holding one.
+	var isSpan func(e ast.Expr) bool
+	isSpan = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			if spanSource(pass, e) {
+				return true
+			}
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := objOf(info, id).(*types.Builtin); isBuiltin {
+					// append(s, span...) copies the bytes; append(ss, span)
+					// keeps the alias as an element.
+					if e.Ellipsis.IsValid() {
+						return isSpan(e.Args[0])
+					}
+					for _, a := range e.Args {
+						if isSpan(a) {
+							return true
+						}
+					}
+				}
+			}
+			return false
+		case *ast.Ident:
+			if v := localVar(info, e); v != nil {
+				return tainted[v]
+			}
+		case *ast.SliceExpr:
+			return isSpan(e.X)
+		case *ast.CompositeLit:
+			for _, el := range e.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if isSpan(el) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	// Taint locals first (two rounds: loops feed taint upward in source).
+	for range 2 {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				v := localVar(info, lhs)
+				if v == nil {
+					continue
+				}
+				// Direct reassignment retires the taint; := of a span (or
+				// of an expression still holding one) introduces it.
+				tainted[v] = isSpan(as.Rhs[i])
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lhs = ast.Unparen(lhs)
+			if localVar(info, lhs) != nil || isBlank(lhs) {
+				continue
+			}
+			if !isSpan(as.Rhs[i]) {
+				continue
+			}
+			pass.Reportf(as.Pos(), "xmltok span stored into %s outlives the next Next(); copy it first (string(span), append(dst, span...), or bytes.Clone)",
+				storeKind(lhs))
+		}
+		return true
+	})
+}
+
+// spanSource reports whether call yields a tokenizer-buffer span: a method
+// on a type from internal/xmltok returning []byte.
+func spanSource(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := objOf(pass.TypesInfo, sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || !pkgPathIs(fn.Pkg().Path(), "internal/xmltok") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() == 0 {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isByteSlice(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// storeKind names the flagged destination for the diagnostic.
+func storeKind(lhs ast.Expr) string {
+	switch lhs.(type) {
+	case *ast.SelectorExpr:
+		return "a struct field"
+	case *ast.IndexExpr:
+		return "a map or slice element"
+	case *ast.StarExpr:
+		return "pointed-to memory"
+	case *ast.Ident:
+		return "a package variable"
+	}
+	return "longer-lived memory"
+}

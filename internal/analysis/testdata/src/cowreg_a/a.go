@@ -1,0 +1,67 @@
+// Golden cases for cowreg: mutating a snapshot obtained via
+// atomic.Pointer.Load instead of copy-and-swap.
+package cowreg_a
+
+import "sync/atomic"
+
+type entry struct {
+	version int
+	tags    []string
+}
+
+type registry struct {
+	schemas atomic.Pointer[map[string]*entry]
+}
+
+func badMapWrite(r *registry, e *entry) {
+	m := *r.schemas.Load()
+	m["x"] = e // want "write into a COW snapshot"
+}
+
+func badDelete(r *registry) {
+	m := *r.schemas.Load()
+	delete(m, "x") // want "delete from a COW snapshot map"
+}
+
+func badEntryWrite(r *registry) {
+	m := *r.schemas.Load()
+	e := m["x"]
+	e.version++ // want "field write through a COW snapshot"
+}
+
+func badRangeWrite(r *registry) {
+	for _, e := range *r.schemas.Load() {
+		e.version = 0 // want "field write through a COW snapshot"
+	}
+}
+
+func badDirectStore(r *registry, e *entry) {
+	(*r.schemas.Load())["x"] = e // want "write into a COW snapshot"
+}
+
+func goodCopySwap(r *registry, e *entry) {
+	old := *r.schemas.Load()
+	next := make(map[string]*entry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next["x"] = e
+	r.schemas.Store(&next)
+}
+
+func goodReads(r *registry) int {
+	m := *r.schemas.Load()
+	n := len(m)
+	for _, e := range m {
+		n += e.version // value read: fine
+	}
+	if e := m["x"]; e != nil {
+		n += len(e.tags)
+	}
+	return n
+}
+
+func goodFreshEntry(e *entry) {
+	e2 := &entry{}
+	e2.version = e.version + 1 // not a snapshot: fine
+}

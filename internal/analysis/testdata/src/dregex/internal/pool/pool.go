@@ -1,0 +1,19 @@
+// Stub of dregex/internal/pool for hermetic analyzer tests.
+package pool
+
+import "sync"
+
+type StatePool[S any] struct {
+	p sync.Pool
+}
+
+func (sp *StatePool[S]) Get() *S {
+	if v := sp.p.Get(); v != nil {
+		return v.(*S)
+	}
+	return new(S)
+}
+
+func (sp *StatePool[S]) Put(s *S) {
+	sp.p.Put(s)
+}

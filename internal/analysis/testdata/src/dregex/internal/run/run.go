@@ -1,0 +1,15 @@
+// Stub of dregex/internal/run for hermetic analyzer tests: the Trace type
+// tracenil guards, with the real package's nil-safe method shape.
+package run
+
+type NodeID int32
+
+type Trace struct {
+	Pos []NodeID
+}
+
+func (t *Trace) Reset() {
+	if t != nil {
+		t.Pos = t.Pos[:0]
+	}
+}

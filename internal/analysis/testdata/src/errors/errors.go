@@ -1,0 +1,8 @@
+// Stub of errors for hermetic analyzer tests.
+package errors
+
+type errorString struct{ s string }
+
+func (e *errorString) Error() string { return e.s }
+
+func New(text string) error { return &errorString{text} }

@@ -1,0 +1,6 @@
+// Stub of fmt for hermetic analyzer tests.
+package fmt
+
+func Sprintf(format string, args ...any) string { return format }
+func Errorf(format string, args ...any) error   { return nil }
+func Println(args ...any) (int, error)          { return 0, nil }

@@ -1,0 +1,105 @@
+// Golden cases for noalloc: allocating constructs inside //dregex:noalloc
+// functions, and the coldalloc / waiver escape hatches.
+package noalloc_a
+
+import (
+	"errors"
+	"fmt"
+)
+
+type sym int32
+
+type stream struct {
+	cur   int32
+	table []int32
+	buf   []byte
+}
+
+type iface interface{ M() }
+
+type impl struct{ x int }
+
+func (impl) M() {}
+
+//dregex:noalloc
+func bad(s *stream, b []byte, m map[string]int, v impl) {
+	_ = make([]int, 4)         // want "make allocates"
+	_ = new(stream)            // want "new allocates"
+	_ = &stream{}              // want `&noalloc_a.stream\{…\} escapes`
+	_ = []int{1, 2}            // want "slice literal allocates"
+	_ = map[string]int{}       // want "map literal allocates"
+	m["k"] = 1                 // want "map write may allocate"
+	_ = string(b)              // want `string\(\[\]byte\) conversion copies`
+	_ = []byte(varString)      // want `\[\]byte\(string\) conversion copies`
+	_ = fmt.Sprintf("x %d", 1) // want "call to fmt.Sprintf allocates"
+	_ = errors.New("boom")     // want "errors.New allocates"
+	var i iface = v            // want "interface boxing of noalloc_a.impl in assignment"
+	_ = i
+	sink(v)        // want "interface boxing of noalloc_a.impl in argument"
+	f := func() {} // want "closure allocates"
+	f()
+	go helper() // want "go statement allocates"
+	_ = v.M     // want "method value M allocates"
+}
+
+var varString = "not a constant"
+
+//dregex:noalloc
+func badConcat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//dregex:noalloc
+func badBoxReturn(v impl) iface {
+	return v // want "interface boxing of noalloc_a.impl in return"
+}
+
+//dregex:noalloc
+func good(s *stream, b []byte, m map[string]int, p *impl) bool {
+	// The optimized forms and non-allocating constructs stay silent.
+	if m[string(b)] > 0 { // map probe: exempt
+		return true
+	}
+	if string(b) == "lit" { // comparison: exempt
+		return true
+	}
+	s.buf = append(s.buf, b...) // append is amortized into pooled buffers
+	s.cur = s.table[0]
+	var i iface = p // pointer-shaped: no boxing allocation
+	_ = i
+	sink(p)         // pointer-shaped argument
+	_ = impl{x: 1}  // value literal, never escapes here
+	_ = []byte("k") // constant conversion: exempt
+	return eq(b, "x")
+}
+
+//dregex:noalloc
+func goodColdCall(b []byte) error {
+	if len(b) == 0 {
+		return failf("empty input %d", len(b)) // coldalloc callee: allowed
+	}
+	return nil
+}
+
+//dregex:noalloc
+func goodWaived() {
+	_ = make([]int, 8) //dregex:ok noalloc one-time warmup buffer
+}
+
+// failf builds error values on failure paths only.
+//
+//dregex:coldalloc
+func failf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}
+
+func helper() {}
+
+func sink(v iface) {}
+
+func eq(b []byte, s string) bool { return string(b) == s }
+
+// unannotated allocates freely: the analyzer is opt-in.
+func unannotated() *stream {
+	return &stream{buf: make([]byte, 0, 64)}
+}

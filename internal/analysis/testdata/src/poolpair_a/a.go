@@ -1,0 +1,112 @@
+// Golden cases for poolpair: pool Gets that leak on some path.
+package poolpair_a
+
+import (
+	"sync"
+
+	"dregex/internal/pool"
+)
+
+type state struct{ buf []byte }
+
+var sp pool.StatePool[state]
+var raw = sync.Pool{New: func() any { return new(state) }}
+
+func use(*state) bool { return true }
+
+func leakNoPut() {
+	st := sp.Get() // want "never returned with Put"
+	use(st)
+}
+
+func leakEarlyReturn(cond bool) {
+	st := sp.Get()
+	if cond {
+		return // want "return without Put"
+	}
+	sp.Put(st)
+}
+
+func goodLinear() {
+	st := sp.Get()
+	use(st)
+	sp.Put(st)
+}
+
+func goodDefer(cond bool) {
+	st := sp.Get()
+	defer sp.Put(st)
+	if cond {
+		return
+	}
+	use(st)
+}
+
+func goodBranchPut(cond bool) {
+	st := sp.Get()
+	if cond {
+		sp.Put(st)
+		return
+	}
+	use(st)
+	sp.Put(st)
+}
+
+func goodOwnershipReturn() *state {
+	st := sp.Get()
+	return st
+}
+
+func goodOwnershipAssert() *state {
+	st := raw.Get().(*state)
+	return st
+}
+
+func goodEscapeField(h *struct{ st *state }) {
+	st := sp.Get()
+	h.st = st // handed off: released by the holder later
+}
+
+func goodPutHelper() {
+	st := raw.Get().(*state)
+	if use(st) {
+		putState(st)
+		return
+	}
+	putState(st)
+}
+
+func putState(st *state) { raw.Put(st) }
+
+// Get and Put both live inside one switch case; the return after the
+// switch never holds the state and must stay silent.
+func goodCaseScoped(kind int) bool {
+	ok := false
+	switch kind {
+	case 0:
+		st := sp.Get()
+		ok = use(st)
+		sp.Put(st)
+	case 1:
+		st := raw.Get().(*state)
+		ok = use(st)
+		raw.Put(st)
+	}
+	return ok
+}
+
+// An early return between Get and Put still leaks even though a Put
+// follows in the same block.
+func leakBeforeSameBlockPut(cond bool) {
+	st := sp.Get()
+	if cond {
+		return // want "return without Put"
+	}
+	use(st)
+	sp.Put(st)
+}
+
+func waived() {
+	st := sp.Get() //dregex:ok poolpair intentionally long-lived
+	use(st)
+}

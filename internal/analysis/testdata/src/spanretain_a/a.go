@@ -1,0 +1,47 @@
+// Golden cases for spanretain: xmltok spans stored past the next Next().
+package spanretain_a
+
+import (
+	"bytes"
+
+	"dregex/internal/xmltok"
+)
+
+type holder struct {
+	name  []byte
+	names [][]byte
+	s     string
+}
+
+var global []byte
+
+func bad(t *xmltok.Tokenizer, h *holder, m map[string][]byte) {
+	h.name = t.Name()                   // want "span stored into a struct field"
+	m["k"] = t.AttrValue(0)             // want "span stored into a map or slice element"
+	global = t.Text()                   // want "span stored into a package variable"
+	h.names = append(h.names, t.Name()) // want "span stored into a struct field"
+}
+
+func badViaLocal(t *xmltok.Tokenizer, h *holder) {
+	n := t.Name()
+	n2 := n[1:]
+	h.name = n2 // want "span stored into a struct field"
+}
+
+func good(t *xmltok.Tokenizer, h *holder, m map[string][]byte) {
+	h.s = string(t.Name())                    // copy: fine
+	h.name = append([]byte(nil), t.Name()...) // copy: fine
+	h.name = bytes.Clone(t.AttrValue(0))      // copy: fine
+	m["k"] = []byte(string(t.Text()))         // copy: fine
+	n := t.Name()
+	if len(n) > 0 { // transient use within the token's lifetime: fine
+		h.s = string(n)
+	}
+	n = []byte("fresh") // reassignment retires the taint
+	h.name = n
+}
+
+func waived(t *xmltok.Tokenizer, h *holder) {
+	// The document buffer is pinned for this holder's whole lifetime.
+	h.name = t.Name() //dregex:ok spanretain buffer outlives holder
+}

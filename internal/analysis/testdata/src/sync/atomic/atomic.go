@@ -1,0 +1,11 @@
+// Stub of sync/atomic for hermetic analyzer tests: the Pointer[T] surface
+// the cowreg analyzer recognizes.
+package atomic
+
+type Pointer[T any] struct {
+	v *T
+}
+
+func (p *Pointer[T]) Load() *T     { return p.v }
+func (p *Pointer[T]) Store(v *T)   { p.v = v }
+func (p *Pointer[T]) Swap(v *T) *T { old := p.v; p.v = v; return old }

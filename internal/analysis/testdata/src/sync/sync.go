@@ -1,0 +1,15 @@
+// Stub of sync for hermetic analyzer tests: just enough Pool surface.
+package sync
+
+type Pool struct {
+	New func() any
+}
+
+func (p *Pool) Get() any {
+	if p.New != nil {
+		return p.New()
+	}
+	return nil
+}
+
+func (p *Pool) Put(x any) {}

@@ -1,0 +1,76 @@
+// Golden cases for tracenil: *run.Trace field access without a nil guard.
+package tracenil_a
+
+import "dregex/internal/run"
+
+type core struct {
+	tr  *run.Trace
+	fed int
+}
+
+func badUnguarded(c *core, p run.NodeID) {
+	c.tr.Pos = append(c.tr.Pos, p) // want "unguarded access" "unguarded access"
+}
+
+func badWrongGuard(c *core, other *run.Trace, p run.NodeID) {
+	if other != nil {
+		c.tr.Pos = append(c.tr.Pos, p) // want "unguarded access" "unguarded access"
+	}
+}
+
+func badElse(c *core, p run.NodeID) {
+	if c.tr == nil {
+		return
+	} else {
+		_ = p
+	}
+	c.tr.Pos = c.tr.Pos[:0] // guarded: the nil case returned above
+}
+
+func goodGuarded(c *core, p run.NodeID) {
+	if c.tr != nil {
+		c.tr.Pos = append(c.tr.Pos, p)
+	}
+}
+
+func goodGuardedCompound(c *core, p run.NodeID) {
+	if c.tr != nil && c.fed > 0 {
+		c.tr.Pos = append(c.tr.Pos, p)
+	}
+}
+
+func goodEarlyReturn(c *core) []run.NodeID {
+	if c.tr == nil {
+		return nil
+	}
+	return c.tr.Pos
+}
+
+func goodEqGuardElse(c *core, p run.NodeID) {
+	if c.tr == nil {
+		_ = p
+	} else {
+		c.tr.Pos = append(c.tr.Pos, p)
+	}
+}
+
+func goodMethodCall(c *core) {
+	c.tr.Reset() // methods are nil-safe by construction
+}
+
+func goodLocalNonNil() {
+	tr := &run.Trace{}
+	tr.Pos = append(tr.Pos, 1) // provably non-nil
+}
+
+func goodValueTrace() {
+	var tr run.Trace
+	tr.Pos = tr.Pos[:0] // value, not pointer: cannot be nil
+}
+
+func goodLocalGuard(c *core, p run.NodeID) {
+	tr := c.tr
+	if tr != nil {
+		tr.Pos = append(tr.Pos, p)
+	}
+}

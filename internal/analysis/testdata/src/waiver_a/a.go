@@ -1,0 +1,21 @@
+// Waiver semantics shared by every analyzer: //dregex:ok names the
+// analyzers it silences, on the finding's line or the line above.
+package waiver_a
+
+import "dregex/internal/xmltok"
+
+type holder struct{ name []byte }
+
+func trailing(t *xmltok.Tokenizer, h *holder) {
+	h.name = t.Name() //dregex:ok spanretain pinned buffer
+}
+
+func leading(t *xmltok.Tokenizer, h *holder) {
+	//dregex:ok spanretain pinned buffer
+	h.name = t.Name()
+}
+
+func wrongName(t *xmltok.Tokenizer, h *holder) {
+	//dregex:ok poolpair wrong analyzer
+	h.name = t.Name() // want "span stored into a struct field"
+}

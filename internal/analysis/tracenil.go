@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Tracenil enforces the witness-recording contract of internal/run: the
+// opt-in run.Trace is nil for every pure-match run, so any direct field
+// access through a *run.Trace value (reading or appending to .Pos inside a
+// step loop) must sit behind a nil check of that same expression. Method
+// calls are exempt — Trace's methods are nil-safe by construction — and so
+// are pointers that are provably non-nil in the function (taken with & or
+// allocated with new).
+var Tracenil = &Analyzer{
+	Name: "tracenil",
+	Doc:  "direct *run.Trace field access must be behind a nil check",
+	Run:  runTracenil,
+}
+
+func runTracenil(pass *Pass) error {
+	funcDeclsOf(pass, func(decl *ast.FuncDecl) {
+		// Locals assigned from &T{...}, new(T), or another non-nil local
+		// are provably non-nil; accesses through them need no guard.
+		nonNil := map[*types.Var]bool{}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				v := localVar(pass.TypesInfo, lhs)
+				if v == nil || !isTracePtr(pass.TypeOf(lhs)) {
+					continue
+				}
+				nonNil[v] = isDefinitelyNonNil(pass, as.Rhs[i], nonNil)
+			}
+			return true
+		})
+
+		walkStack(decl.Body, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			base := ast.Unparen(sel.X)
+			if !isTracePtr(pass.TypeOf(base)) {
+				return true
+			}
+			// Method calls on a *Trace are nil-safe; only field selections
+			// dereference.
+			if _, isField := objOf(pass.TypesInfo, sel.Sel).(*types.Var); !isField {
+				return true
+			}
+			if v := localVar(pass.TypesInfo, base); v != nil && nonNil[v] {
+				return true
+			}
+			if nilGuarded(pass, base, sel.Pos(), stack) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "unguarded access to %s.%s: a detached witness trace is nil; wrap in `if %s != nil` (or waive with //dregex:ok tracenil)",
+				types.ExprString(base), sel.Sel.Name, types.ExprString(base))
+			return true
+		})
+	})
+	return nil
+}
+
+// isTracePtr reports whether t is *run.Trace (package path suffix
+// internal/run, type Trace).
+func isTracePtr(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Pointer); !ok {
+		return false
+	}
+	return namedIn(t, "internal/run", "Trace")
+}
+
+// isDefinitelyNonNil reports whether e evaluates to a non-nil pointer:
+// &x, new(T), or a local already known non-nil.
+func isDefinitelyNonNil(pass *Pass, e ast.Expr, nonNil map[*types.Var]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		return e.Op == token.AND
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" {
+			_, isBuiltin := objOf(pass.TypesInfo, id).(*types.Builtin)
+			return isBuiltin
+		}
+	case *ast.Ident:
+		if v := localVar(pass.TypesInfo, e); v != nil {
+			return nonNil[v]
+		}
+	}
+	return false
+}
+
+// nilGuarded reports whether the access at pos to expression base (by its
+// printed form) is protected by a nil check: an enclosing `if base != nil`
+// (access in the then-branch) or `if base == nil` (access in the else
+// branch), or an earlier statement in an enclosing block of the form
+// `if base == nil { return/break/continue/panic }`.
+func nilGuarded(pass *Pass, base ast.Expr, pos token.Pos, stack []ast.Node) bool {
+	want := types.ExprString(base)
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if ok {
+			inBody := i+1 < len(stack) && stack[i+1] == ifs.Body
+			for _, conj := range conjuncts(ifs.Cond) {
+				eq, expr := nilCheckOf(conj)
+				if expr == want && ((!eq && inBody) || (eq && !inBody)) {
+					return true
+				}
+			}
+		}
+		// Early-exit guard earlier in an enclosing block.
+		blk, ok := stack[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		for _, st := range blk.List {
+			if st.End() >= pos {
+				break
+			}
+			g, ok := st.(*ast.IfStmt)
+			if !ok {
+				continue
+			}
+			eq, expr := nilCheckOf(g.Cond)
+			if eq && expr == want && alwaysExits(g.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// conjuncts flattens an && chain into its operands (a lone condition
+// yields itself), so `tr != nil && n > 0` still guards its then-branch.
+func conjuncts(cond ast.Expr) []ast.Expr {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if ok && b.Op == token.LAND {
+		return append(conjuncts(b.X), conjuncts(b.Y)...)
+	}
+	return []ast.Expr{cond}
+}
+
+// nilCheckOf decomposes `x == nil` / `x != nil` (either operand order);
+// eq reports the == form, expr is the non-nil operand's printed form.
+// Conditions that are not a simple nil comparison return expr == "".
+func nilCheckOf(cond ast.Expr) (eq bool, expr string) {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+		return false, ""
+	}
+	x, y := ast.Unparen(b.X), ast.Unparen(b.Y)
+	if isNilIdent(y) {
+		return b.Op == token.EQL, types.ExprString(x)
+	}
+	if isNilIdent(x) {
+		return b.Op == token.EQL, types.ExprString(y)
+	}
+	return false, ""
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// alwaysExits reports whether a block unconditionally leaves the enclosing
+// flow: its last statement is return, break, continue, goto, or a panic.
+func alwaysExits(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,275 @@
+// The drevet driver: speaks the `go vet -vettool=` command-line protocol
+// (the same contract x/tools' unitchecker implements), so the suite runs
+// under the go build cache with per-package type information supplied by
+// the build system — no go/packages, no network, no dependencies.
+//
+// Protocol (cmd/go → tool):
+//
+//	-V=full    print an identifying version line (for build caching)
+//	-flags     print the tool's flags as JSON
+//	foo.cfg    analyze the one compilation unit described by the JSON file
+//
+// Diagnostics go to stderr as "file:line:col: message"; a nonzero exit
+// reports findings. As a convenience, invoking drevet with package
+// patterns instead of a .cfg re-executes `go vet -vettool=<self>` so
+// `drevet ./...` works directly.
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+)
+
+// Config is the JSON compilation-unit description cmd/go hands the tool.
+// Field names are fixed by the protocol; unused fields are accepted and
+// ignored.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the drevet entry point.
+func Main(analyzers ...*Analyzer) {
+	log.SetFlags(0)
+	log.SetPrefix("drevet: ")
+
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = flag.Bool(a.Name, false, "enable only the "+a.Name+" analyzer (default: all)")
+	}
+	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON (protocol)")
+	version := flag.String("V", "", "print version and exit (protocol: -V=full)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: drevet [packages]  (or, under the build system: go vet -vettool=$(which drevet) [packages])\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		os.Exit(2)
+	}
+	flag.Parse()
+
+	if *version != "" {
+		if *version != "full" {
+			log.Fatalf("unsupported flag value: -V=%s (use -V=full)", *version)
+		}
+		printVersion()
+		return
+	}
+	if *printFlags {
+		printFlagsJSON()
+		return
+	}
+
+	// Honor -NAME selections (forwarded by go vet).
+	var selected []*Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			selected = append(selected, a)
+		}
+	}
+	if len(selected) == 0 {
+		selected = analyzers
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+	}
+	if !strings.HasSuffix(args[0], ".cfg") {
+		// Convenience mode: hand the package patterns to go vet, pointed
+		// back at this executable.
+		os.Exit(runSelf(args))
+	}
+	cfg, err := readConfig(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	diags, err := runUnit(cfg, selected)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+	if cfg.VetxOnly {
+		// Facts-only invocation: this suite exports none. cmd/go treats a
+		// missing vetx output as "no facts".
+		os.Exit(0)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// printVersion hashes the executable into the version line, as the
+// protocol suggests, so rebuilding drevet invalidates cached vet results.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel buildID=%x\n", exe, h.Sum(nil))
+}
+
+func printFlagsJSON() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+func runSelf(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		log.Fatal(err)
+	}
+	return 0
+}
+
+func readConfig(filename string) (*Config, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", filename, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+// runUnit type-checks the unit from its export data and applies the
+// analyzers, returning rendered diagnostics in file order.
+func runUnit(cfg *Config, analyzers []*Analyzer) ([]string, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return compilerImporter.Import(path)
+		}),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []string
+	for _, a := range analyzers {
+		diags, err := Run(a, fset, files, pkg, info)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+		for _, d := range diags {
+			out = append(out, fmt.Sprintf("%s: %s", fset.Position(d.Pos), d.Message))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

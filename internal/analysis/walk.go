@@ -1,0 +1,23 @@
+package analysis
+
+import "go/ast"
+
+// walkStack is ast.Inspect with ancestry: fn sees each node along with the
+// stack of its ancestors (outermost first, not including n itself).
+// Returning false skips the node's children.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			// Children are skipped, so the post-order nil for n never
+			// arrives; don't push.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

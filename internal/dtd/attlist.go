@@ -279,7 +279,7 @@ func (p *attScan) word() (string, error) {
 func (p *attScan) quoted() (string, error) {
 	q := p.peek()
 	if q != '\'' && q != '"' {
-		return "", fmt.Errorf("expected quoted value")
+		return "", errors.New("expected quoted value")
 	}
 	p.i++
 	start := p.i

@@ -40,6 +40,8 @@ type TransitionSim interface {
 // reject, so words interned against a different (or extended) alphabet are
 // handled gracefully. Word performs no allocation: it is the devirtualized
 // whole-word fast path; incremental and recorded runs go through Stream.
+//
+//dregex:noalloc
 func Word(sim TransitionSim, word []ast.Symbol) bool {
 	p := sim.Start()
 	for _, a := range word {
@@ -56,6 +58,8 @@ func Word(sim TransitionSim, word []ast.Symbol) bool {
 
 // Names matches a word of symbol names; names outside the alphabet (or the
 // reserved markers) reject. Allocation-free, like Word.
+//
+//dregex:noalloc
 func Names(sim TransitionSim, names []string) bool {
 	alpha := sim.Tree().Alpha
 	p := sim.Start()
@@ -74,6 +78,8 @@ func Names(sim TransitionSim, names []string) bool {
 
 // Chars matches a word of single-rune symbols (the paper's mathematical
 // notation) without allocating per rune.
+//
+//dregex:noalloc
 func Chars(sim TransitionSim, w string) bool {
 	alpha := sim.Tree().Alpha
 	p := sim.Start()
@@ -134,6 +140,8 @@ func (s *Stream) Reset() {
 
 // Feed consumes one symbol; it reports whether the prefix read so far is
 // still a viable prefix of some word in L(e).
+//
+//dregex:noalloc
 func (s *Stream) Feed(a ast.Symbol) bool {
 	if !s.Alive() || a < ast.FirstUser {
 		s.Kill()
@@ -150,6 +158,8 @@ func (s *Stream) Feed(a ast.Symbol) bool {
 }
 
 // FeedName consumes one symbol by name.
+//
+//dregex:noalloc
 func (s *Stream) FeedName(name string) bool {
 	a, ok := run.LookupName(s.Alphabet(), name)
 	if !ok {
@@ -162,6 +172,8 @@ func (s *Stream) FeedName(name string) bool {
 // FeedBytes consumes one symbol named by raw bytes (an element name
 // straight out of a document tokenizer), interned via
 // Alphabet.LookupBytes — no string materialization per symbol.
+//
+//dregex:noalloc
 func (s *Stream) FeedBytes(name []byte) bool {
 	a, ok := run.LookupBytes(s.Alphabet(), name)
 	if !ok {
@@ -174,6 +186,8 @@ func (s *Stream) FeedBytes(name []byte) bool {
 // FeedRune consumes one single-rune symbol (math notation), interned via
 // Alphabet.LookupRune — no per-rune string allocation, unlike
 // FeedName(string(r)).
+//
+//dregex:noalloc
 func (s *Stream) FeedRune(r rune) bool {
 	a, ok := run.LookupRune(s.Alphabet(), r)
 	if !ok {
@@ -184,6 +198,8 @@ func (s *Stream) FeedRune(r rune) bool {
 }
 
 // Accepts reports whether the prefix consumed so far is in L(e).
+//
+//dregex:noalloc
 func (s *Stream) Accepts() bool {
 	return s.Alive() && s.sim.Accept(s.cur)
 }

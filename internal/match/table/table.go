@@ -132,6 +132,8 @@ func (d *DFA) Start() parsetree.NodeID { return d.posNode[0] }
 
 // Next implements match.TransitionSim: one indexed load (plus the NodeID ↔
 // state translation the interface contract requires).
+//
+//dregex:noalloc
 func (d *DFA) Next(p parsetree.NodeID, a ast.Symbol) parsetree.NodeID {
 	if a < 0 || a >= ast.Symbol(d.sigma) {
 		return parsetree.Null
@@ -144,6 +146,8 @@ func (d *DFA) Next(p parsetree.NodeID, a ast.Symbol) parsetree.NodeID {
 }
 
 // Accept implements match.TransitionSim.
+//
+//dregex:noalloc
 func (d *DFA) Accept(p parsetree.NodeID) bool {
 	pi := d.posIndex[p]
 	return d.accept[pi/64]&(1<<(pi%64)) != 0
@@ -158,6 +162,8 @@ func (d *DFA) StartState() int32 { return 0 }
 // Step advances one state in raw state space: one bounds check and one
 // table load. Returns Dead when no follower exists (a Dead input stays
 // Dead, so callers may step a dead rule harmlessly).
+//
+//dregex:noalloc
 func (d *DFA) Step(state int32, a ast.Symbol) int32 {
 	if state == Dead || a < ast.FirstUser || a >= ast.Symbol(d.sigma) {
 		return Dead
@@ -166,11 +172,15 @@ func (d *DFA) Step(state int32, a ast.Symbol) int32 {
 }
 
 // AcceptState reports acceptance of a raw state (false for Dead).
+//
+//dregex:noalloc
 func (d *DFA) AcceptState(state int32) bool {
 	return state != Dead && d.accept[state/64]&(1<<(state%64)) != 0
 }
 
 // StateNode translates a live raw state back to its position NodeID.
+//
+//dregex:noalloc
 func (d *DFA) StateNode(state int32) parsetree.NodeID {
 	if state == Dead {
 		return parsetree.Null
@@ -182,6 +192,8 @@ func (d *DFA) StateNode(state int32) parsetree.NodeID {
 // per symbol, one bounds check and one table load, no interface calls and
 // no allocation. Symbols outside the user alphabet reject, exactly like
 // match.Word.
+//
+//dregex:noalloc
 func (d *DFA) MatchWord(word []ast.Symbol) bool {
 	state := int32(0) // position index of the phantom #
 	sigma := d.sigma

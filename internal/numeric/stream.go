@@ -25,6 +25,7 @@ type cfgSet struct {
 	ctr []int32
 }
 
+//dregex:noalloc
 func (s *cfgSet) reset() {
 	s.pos = s.pos[:0]
 	s.off = s.off[:0]
@@ -34,6 +35,8 @@ func (s *cfgSet) reset() {
 func (s *cfgSet) n() int { return len(s.pos) }
 
 // at returns the i-th configuration; the counter slice aliases the arena.
+//
+//dregex:noalloc
 func (s *cfgSet) at(c *Counted, i int) (parsetree.NodeID, []int32) {
 	p := s.pos[i]
 	o := int(s.off[i])
@@ -42,6 +45,8 @@ func (s *cfgSet) at(c *Counted, i int) (parsetree.NodeID, []int32) {
 
 // add appends configuration (q, v) unless an identical one is present.
 // v is copied, so callers may reuse its backing buffer.
+//
+//dregex:noalloc
 func (s *cfgSet) add(q parsetree.NodeID, v []int32) {
 outer:
 	for i, p := range s.pos {
@@ -109,6 +114,8 @@ func (s *Stream) Reset() {
 
 // Feed consumes one symbol; it reports whether the prefix read so far is
 // still a viable prefix of some word in L(e).
+//
+//dregex:noalloc
 func (s *Stream) Feed(a ast.Symbol) bool {
 	if !s.Alive() || a < ast.FirstUser {
 		s.Kill()
@@ -138,6 +145,8 @@ func (s *Stream) Feed(a ast.Symbol) bool {
 }
 
 // FeedName consumes one symbol by name.
+//
+//dregex:noalloc
 func (s *Stream) FeedName(name string) bool {
 	a, ok := run.LookupName(s.c.Alpha, name)
 	if !ok {
@@ -150,6 +159,8 @@ func (s *Stream) FeedName(name string) bool {
 // FeedBytes consumes one symbol named by raw bytes (an element name
 // straight out of a document tokenizer), interned via
 // Alphabet.LookupBytes — no string materialization per symbol.
+//
+//dregex:noalloc
 func (s *Stream) FeedBytes(name []byte) bool {
 	a, ok := run.LookupBytes(s.c.Alpha, name)
 	if !ok {
@@ -161,6 +172,8 @@ func (s *Stream) FeedBytes(name []byte) bool {
 
 // FeedRune consumes one single-rune symbol (math notation), interned via
 // Alphabet.LookupRune — no per-rune string allocation.
+//
+//dregex:noalloc
 func (s *Stream) FeedRune(r rune) bool {
 	a, ok := run.LookupRune(s.c.Alpha, r)
 	if !ok {
@@ -173,6 +186,8 @@ func (s *Stream) FeedRune(r rune) bool {
 // Accepts reports whether the prefix consumed so far is in L(e). It does
 // not consume anything: the probe steps every live configuration to the
 // phantom end position in a scratch set.
+//
+//dregex:noalloc
 func (s *Stream) Accepts() bool {
 	if !s.Alive() {
 		return false
@@ -234,6 +249,8 @@ func (s *Stream) Configs() int {
 // transition table precomputes (see table.go). This function is the
 // fallback enumeration for expressions beyond the table budget; both
 // paths funnel into stepVia for the counter checks.
+//
+//dregex:noalloc
 func (c *Counted) appendSteps(p parsetree.NodeID, pc []int32, q parsetree.NodeID, out *cfgSet, tmp []int32) {
 	t := c.Tree
 	n := c.Fol.LCA.Query(p, q)
@@ -255,11 +272,14 @@ func (c *Counted) appendSteps(p parsetree.NodeID, pc []int32, q parsetree.NodeID
 // stepVia applies one structurally-legal candidate transition p→q (pivot
 // Null for the concatenation case at n, else the loop node), checking the
 // counter legality and emitting the successor configuration into out.
+//
+//dregex:noalloc
 func (c *Counted) stepVia(p parsetree.NodeID, pc []int32, q, n, pivot parsetree.NodeID, out *cfgSet, tmp []int32) {
 	t := c.Tree
 	pChain := c.chainOf[p]
 	qChain := c.chainOf[q]
 
+	//dregex:ok noalloc called directly and never escapes, so it stays on the stack (pinned by TestNumericStreamAllocs)
 	counterOf := func(it parsetree.NodeID) int32 {
 		for i, x := range pChain {
 			if x == it {
@@ -270,6 +290,7 @@ func (c *Counted) stepVia(p parsetree.NodeID, pc []int32, q, n, pivot parsetree.
 	}
 	// exitsLegal: every iteration of p strictly below `limit` must have
 	// reached Min (a nullable body can always pad the count).
+	//dregex:ok noalloc called directly and never escapes, so it stays on the stack (pinned by TestNumericStreamAllocs)
 	exitsLegal := func(limit parsetree.NodeID) bool {
 		for i, it := range pChain {
 			if t.IsAncestor(limit, it) && it != limit {

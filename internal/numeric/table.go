@@ -104,6 +104,8 @@ func (c *Counted) buildTable(budget int) *transTable {
 // stepAll applies every candidate transition of (p, a) — from the table
 // when available, enumerated on the fly otherwise — appending the legal
 // successor configurations to out.
+//
+//dregex:noalloc
 func (c *Counted) stepAll(p parsetree.NodeID, pc []int32, a ast.Symbol, out *cfgSet, tmp []int32) {
 	if tab := c.table(); tab != nil {
 		if a < 0 || a >= ast.Symbol(tab.sigma) {

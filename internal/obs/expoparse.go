@@ -5,6 +5,7 @@ package obs
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"regexp"
@@ -191,7 +192,7 @@ func scanQuoted(s string) (val, rest string, err error) {
 			return b.String(), s[i+1:], nil
 		case '\\':
 			if i+1 >= len(s) {
-				return "", "", fmt.Errorf("dangling escape in label value")
+				return "", "", errors.New("dangling escape in label value")
 			}
 			i++
 			switch s[i] {
@@ -206,15 +207,15 @@ func scanQuoted(s string) (val, rest string, err error) {
 			b.WriteByte(s[i])
 		}
 	}
-	return "", "", fmt.Errorf("unterminated label value")
+	return "", "", errors.New("unterminated label value")
 }
 
 func parseValue(s string) (float64, error) {
 	switch s {
 	case "+Inf":
-		return 0, fmt.Errorf("+Inf sample value outside le label")
+		return 0, errors.New("+Inf sample value outside le label")
 	case "":
-		return 0, fmt.Errorf("missing sample value")
+		return 0, errors.New("missing sample value")
 	}
 	return strconv.ParseFloat(s, 64)
 }

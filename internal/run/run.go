@@ -121,6 +121,8 @@ func (c *Core) Rewind() {
 }
 
 // Advance records one consumed symbol landing on position p.
+//
+//dregex:noalloc
 func (c *Core) Advance(p parsetree.NodeID) {
 	c.fed++
 	if c.tr != nil {
@@ -130,11 +132,15 @@ func (c *Core) Advance(p parsetree.NodeID) {
 
 // Kill marks the run dead. The embedding stream keeps its last viable
 // state so ExpectedNext can report what could have come instead.
+//
+//dregex:noalloc
 func (c *Core) Kill() { c.dead = true }
 
 // LookupName resolves a symbol name for a Feed step; the reserved phantom
 // markers # and $ are never feedable. The ok=false result is what a
 // stream's FeedName forwards to Kill.
+//
+//dregex:noalloc
 func LookupName(alpha *ast.Alphabet, name string) (ast.Symbol, bool) {
 	a, ok := alpha.Lookup(name)
 	if !ok || a == ast.Begin || a == ast.End {
@@ -145,6 +151,8 @@ func LookupName(alpha *ast.Alphabet, name string) (ast.Symbol, bool) {
 
 // LookupBytes is LookupName for a name given as raw bytes (an element name
 // straight out of a document tokenizer) — no string materialization.
+//
+//dregex:noalloc
 func LookupBytes(alpha *ast.Alphabet, name []byte) (ast.Symbol, bool) {
 	a, ok := alpha.LookupBytes(name)
 	if !ok || a == ast.Begin || a == ast.End {
@@ -155,6 +163,8 @@ func LookupBytes(alpha *ast.Alphabet, name []byte) (ast.Symbol, bool) {
 
 // LookupRune is LookupName for a single-rune symbol (math notation) — no
 // per-rune string allocation.
+//
+//dregex:noalloc
 func LookupRune(alpha *ast.Alphabet, r rune) (ast.Symbol, bool) {
 	a, ok := alpha.LookupRune(r)
 	if !ok || a == ast.Begin || a == ast.End {
@@ -164,6 +174,8 @@ func LookupRune(alpha *ast.Alphabet, r rune) (ast.Symbol, bool) {
 }
 
 // Word drives a whole interned word through r and reports acceptance.
+//
+//dregex:noalloc
 func Word(r Runner, word []ast.Symbol) bool {
 	for _, a := range word {
 		if !r.Feed(a) {

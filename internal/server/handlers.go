@@ -187,6 +187,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &resp)
 }
 
+//dregex:noalloc
 func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	var (
 		name string
@@ -248,6 +249,8 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 // queryParam returns the (unescaped) first value of key in a raw query
 // string. Unlike url.Values it materializes no map, so the hot validate
 // path resolves its ?schema=NAME without per-request allocation.
+//
+//dregex:noalloc
 func queryParam(rawQuery, key string) string {
 	for q := rawQuery; q != ""; {
 		var kv string

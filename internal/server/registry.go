@@ -51,6 +51,8 @@ type schemaEntry struct {
 // the single-goroutine DocState and land in the shared atomic counters
 // once per request, after the state is read and before it returns to the
 // pool.
+//
+//dregex:noalloc
 func (e *schemaEntry) validate(r io.Reader) (client.ValidateResponse, error) {
 	start := time.Now()
 	resp := client.ValidateResponse{Schema: e.info.Name}

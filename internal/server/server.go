@@ -289,6 +289,8 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // writeError renders a client.ErrorResponse carrying the request's trace
 // id. 413 is detected from MaxBytesReader so oversized bodies report as
 // such wherever they surface (JSON decode or mid-document XML read).
+//
+//dregex:coldalloc
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, client.ErrorResponse{
 		Error:     fmt.Sprintf(format, args...),

@@ -171,17 +171,23 @@ func (t *Tokenizer) Offset() int { return t.tokOff }
 // Name returns the full element name (prefix included) of a
 // StartElement or EndElement, or the target of a ProcInst. Valid until
 // the next call to Next.
+//
+//dregex:noalloc
 func (t *Tokenizer) Name() []byte { return t.data[t.name.lo:t.name.hi] }
 
 // Local returns the local part of the element name: the part after the
 // colon when the name has exactly one with both sides nonempty (the
 // rule encoding/xml applies), the whole name otherwise.
+//
+//dregex:noalloc
 func (t *Tokenizer) Local() []byte { return localOf(t.Name()) }
 
 // Text returns the current token's content: resolved character data for
 // Text, raw bytes for Comment (without <!-- -->), ProcInst (after the
 // target, without <? ?>) and Directive (between <! and >, embedded
 // comments replaced by a space). Valid until the next call to Next.
+//
+//dregex:noalloc
 func (t *Tokenizer) Text() []byte { return t.bytesOf(t.content) }
 
 // SelfClosing reports whether the current StartElement came from an
@@ -192,16 +198,22 @@ func (t *Tokenizer) SelfClosing() bool { return t.self }
 func (t *Tokenizer) AttrCount() int { return t.nattr }
 
 // AttrName returns the full name of attribute i.
+//
+//dregex:noalloc
 func (t *Tokenizer) AttrName(i int) []byte {
 	a := &t.attrs[i]
 	return t.data[a.nameLo:a.nameHi]
 }
 
 // AttrLocal returns the local part of attribute i's name.
+//
+//dregex:noalloc
 func (t *Tokenizer) AttrLocal(i int) []byte { return localOf(t.AttrName(i)) }
 
 // AttrValue returns the resolved value of attribute i (entities
 // expanded, \r normalized). Valid until the next call to Next.
+//
+//dregex:noalloc
 func (t *Tokenizer) AttrValue(i int) []byte { return t.bytesOf(t.attrs[i].val) }
 
 // AttrNameOffset returns the byte offset of attribute i's name, for
@@ -211,6 +223,7 @@ func (t *Tokenizer) AttrNameOffset(i int) int { return t.attrs[i].nameLo }
 // Depth returns the number of currently open elements.
 func (t *Tokenizer) Depth() int { return len(t.stack) }
 
+//dregex:noalloc
 func (t *Tokenizer) bytesOf(v valRef) []byte {
 	if v.scratch {
 		return t.scratch[v.lo:v.hi]
@@ -221,6 +234,8 @@ func (t *Tokenizer) bytesOf(v valRef) []byte {
 // localOf implements encoding/xml's prefix split: exactly one colon with
 // nonempty prefix and suffix selects the suffix; anything else keeps the
 // whole name.
+//
+//dregex:noalloc
 func localOf(name []byte) []byte {
 	i := bytes.IndexByte(name, ':')
 	if i <= 0 || i == len(name)-1 {
@@ -255,6 +270,7 @@ func (t *Tokenizer) Position(off int) (line, col int) {
 	return t.posLine, 1 + utf8.RuneCount(t.data[t.lineStart:off])
 }
 
+//dregex:coldalloc
 func (t *Tokenizer) syntaxErr(off int, format string, args ...any) error {
 	line, col := t.Position(off)
 	err := &SyntaxError{Msg: fmt.Sprintf(format, args...), Line: line, Col: col, Offset: off}
@@ -295,6 +311,8 @@ func isInCharacterRange(r rune) bool {
 
 // Next advances to the next token. It returns io.EOF at a clean end of
 // input; any other error is a *SyntaxError (or a sticky earlier error).
+//
+//dregex:noalloc
 func (t *Tokenizer) Next() (Kind, error) {
 	if t.err != nil {
 		return 0, t.err
@@ -359,6 +377,7 @@ func (t *Tokenizer) Next() (Kind, error) {
 	return t.scanStart()
 }
 
+//dregex:noalloc
 func (t *Tokenizer) skipSpace() {
 	d := t.data
 	for t.pos < len(d) {
@@ -373,6 +392,8 @@ func (t *Tokenizer) skipSpace() {
 
 // scanName consumes a name at the current position; ok is false when the
 // first byte cannot start one (position unchanged).
+//
+//dregex:noalloc
 func (t *Tokenizer) scanName() (sp span, ok bool) {
 	d := t.data
 	i := t.pos
@@ -387,6 +408,7 @@ func (t *Tokenizer) scanName() (sp span, ok bool) {
 	return sp, true
 }
 
+//dregex:noalloc
 func (t *Tokenizer) scanText() (Kind, error) {
 	d := t.data
 	lo := t.pos
@@ -586,6 +608,7 @@ func (t *Tokenizer) scanDirective() (Kind, error) {
 	return Directive, nil
 }
 
+//dregex:noalloc
 func (t *Tokenizer) scanStart() (Kind, error) {
 	d := t.data
 	name, ok := t.scanName()
@@ -662,6 +685,7 @@ func (t *Tokenizer) scanStart() (Kind, error) {
 	return StartElement, nil
 }
 
+//dregex:noalloc
 func (t *Tokenizer) scanEnd() (Kind, error) {
 	d := t.data
 	name, ok := t.scanName()
@@ -699,6 +723,8 @@ func (t *Tokenizer) scanEnd() (Kind, error) {
 // range when no reference or carriage return occurs, a scratch range
 // otherwise. It validates every rune against the XML character range.
 // entities=false (CDATA) leaves '&' literal.
+//
+//dregex:noalloc
 func (t *Tokenizer) resolve(lo, hi int, entities bool) (valRef, error) {
 	d := t.data
 	for i := lo; i < hi; {

@@ -28,6 +28,7 @@
 package xsd
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -522,7 +523,7 @@ func (r *resolver) group(name string, line int) (*rawParticle, error) {
 // lowered expression).
 func checkName(name string) error {
 	if name == "" {
-		return fmt.Errorf("empty element name")
+		return errors.New("empty element name")
 	}
 	for i, c := range name {
 		if i == 0 && !nameStart(c) || i > 0 && !nameRune(c) {

@@ -13,6 +13,7 @@ package xsd
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -305,6 +306,7 @@ func (s *Schema) validateBytes(data []byte, st *docState) ([]ValidationError, er
 				errs = feedChild(errs, st, p, name, off, path, verr)
 			}
 			f := st.push()
+			//dregex:ok spanretain name is a Name() span into the stable document buffer (never scratch); the frame dies with this parse
 			f.decl, f.name = decl, name
 			if decl == nil {
 				f.failed = true
@@ -381,7 +383,7 @@ func (s *Schema) validateBytes(data []byte, st *docState) ([]ValidationError, er
 		}
 	}
 	if !sawRoot {
-		return errs, fmt.Errorf("xsd: document has no root element")
+		return errs, errors.New("xsd: document has no root element")
 	}
 	return errs, nil
 }

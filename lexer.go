@@ -13,6 +13,7 @@ package dregex
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"unicode/utf8"
@@ -59,7 +60,7 @@ type lexRule struct {
 // not accept the empty word (an ε-token would make "longest" meaningless).
 func NewLexer(rules ...LexRule) (*Lexer, error) {
 	if len(rules) == 0 {
-		return nil, fmt.Errorf("dregex: lexer needs at least one rule")
+		return nil, errors.New("dregex: lexer needs at least one rule")
 	}
 	l := &Lexer{rules: make([]lexRule, len(rules))}
 	for i, r := range rules {

@@ -1,6 +1,7 @@
 package dregex
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -262,11 +263,15 @@ func (m *Matcher) InitStream(s *match.Stream) bool {
 	return true
 }
 
+// errNeedDeterministicStream rejects streaming requests on expressions
+// that compiled without a streaming simulator (nondeterministic ones).
+var errNeedDeterministicStream = errors.New("dregex: streaming requires a deterministic engine")
+
 // MatchReaderRunes streams single-rune symbols from r (ASCII whitespace
 // skipped).
 func (m *Matcher) MatchReaderRunes(r io.Reader) (bool, error) {
 	if m.sim == nil {
-		return false, fmt.Errorf("dregex: streaming requires a deterministic engine")
+		return false, errNeedDeterministicStream
 	}
 	var s match.Stream
 	s.Init(m.sim)
@@ -276,7 +281,7 @@ func (m *Matcher) MatchReaderRunes(r io.Reader) (bool, error) {
 // MatchReaderTokens streams whitespace-separated symbol names from r.
 func (m *Matcher) MatchReaderTokens(r io.Reader) (bool, error) {
 	if m.sim == nil {
-		return false, fmt.Errorf("dregex: streaming requires a deterministic engine")
+		return false, errNeedDeterministicStream
 	}
 	var s match.Stream
 	s.Init(m.sim)

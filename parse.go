@@ -10,6 +10,7 @@ package dregex
 // surface as "expected ..." hints.
 
 import (
+	"errors"
 	"fmt"
 
 	"dregex/internal/ast"
@@ -17,6 +18,11 @@ import (
 	"dregex/internal/parsetree"
 	"dregex/internal/run"
 )
+
+// errNeedDeterministicParse rejects parse requests on nondeterministic
+// expressions: without determinism the position sequence is not unique, so
+// there is no canonical parse to report.
+var errNeedDeterministicParse = errors.New("dregex: parsing requires a deterministic engine")
 
 // ParseResult is the outcome of one recorded run over one word.
 type ParseResult struct {
@@ -60,7 +66,7 @@ func (r *ParseResult) TreeString() string {
 // match. The NFA engine has no single-position runs and cannot parse.
 func (m *Matcher) ParseWord(word []ast.Symbol) (*ParseResult, error) {
 	if m.sim == nil {
-		return nil, fmt.Errorf("dregex: parsing requires a deterministic engine")
+		return nil, errNeedDeterministicParse
 	}
 	var s match.Stream
 	s.Init(m.sim)
@@ -72,7 +78,7 @@ func (m *Matcher) ParseWord(word []ast.Symbol) (*ParseResult, error) {
 // with no follower.
 func (m *Matcher) Parse(names []string) (*ParseResult, error) {
 	if m.sim == nil {
-		return nil, fmt.Errorf("dregex: parsing requires a deterministic engine")
+		return nil, errNeedDeterministicParse
 	}
 	var s match.Stream
 	s.Init(m.sim)
@@ -82,7 +88,7 @@ func (m *Matcher) Parse(names []string) (*ParseResult, error) {
 // ParseText is Parse over a math-notation word (one rune per symbol).
 func (m *Matcher) ParseText(w string) (*ParseResult, error) {
 	if m.sim == nil {
-		return nil, fmt.Errorf("dregex: parsing requires a deterministic engine")
+		return nil, errNeedDeterministicParse
 	}
 	runes := []rune(w)
 	var s match.Stream
@@ -146,7 +152,7 @@ func finishParse(r run.Runner, t *parsetree.Tree, derive bool, feed func(int) bo
 // the failure point instead.
 func (m *Matcher) ExpectedAfter(prefix []ast.Symbol) ([]string, error) {
 	if m.sim == nil {
-		return nil, fmt.Errorf("dregex: parsing requires a deterministic engine")
+		return nil, errNeedDeterministicParse
 	}
 	var s match.Stream
 	s.Init(m.sim)
