@@ -3,7 +3,7 @@ BENCH_PATTERN ?= .
 BENCH_TIME ?= 1s
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build test bench bench-snapshot bench-check lint vet fmt drevet fuzz-smoke serve smoke-server
+.PHONY: all build test bench bench-snapshot bench-check lint vet fmt drevet fuzz-smoke serve smoke-server chaos-smoke
 
 all: build
 
@@ -26,6 +26,14 @@ serve:
 # invokes this on every push.
 smoke-server:
 	$(GO) test -race -run TestDregexdSmoke -v ./cmd/dregexd
+
+# chaos-smoke runs the fault-injection suite (see cmd/dregexd/chaos_test.go):
+# a race-enabled dregexd built with -tags faultinject, every fault point
+# armed via DREGEX_FAULTS, hammered by concurrent overload plus hot swaps,
+# then SIGTERMed mid-load. Every response must be a correct verdict or a
+# well-formed 429/503/500; CI invokes this on every push.
+chaos-smoke:
+	$(GO) test -race -tags faultinject -run TestDregexdChaos -v ./cmd/dregexd
 
 # fuzz-smoke runs the schema front-end fuzz targets briefly (seed corpus
 # plus a short random exploration); CI invokes this on every push.
@@ -65,7 +73,7 @@ bench-snapshot: bench
 # allocs/op are machine-independent, while ns/op across runner generations
 # is not; run `make bench-check GATE_UNITS=` locally on the machine that
 # wrote the baseline to gate time too.
-BENCH_PINNED := MatcherCached|MatchWordInterned|MatchAllCached|CacheGet|NumericStreamInterned|TableVsKore|ServerValidateE2E|ServerValidateMetrics|XMLTok|ParseWord|LexerStream
+BENCH_PINNED := MatcherCached|MatchWordInterned|MatchAllCached|CacheGet|NumericStreamInterned|TableVsKore|ServerValidateE2E|ServerValidateMetrics|ServerValidateLimited|XMLTok|ParseWord|LexerStream
 BENCH_BASELINE := $(lastword $(sort $(wildcard BENCH_*.json)))
 GATE_UNITS ?= B/op,allocs/op
 bench-check:

@@ -1,6 +1,8 @@
 package dregex
 
 import (
+	"context"
+	"fmt"
 	"hash/maphash"
 	"sync"
 	"sync/atomic"
@@ -76,6 +78,11 @@ type cacheKey struct {
 type cacheEntry struct {
 	key  cacheKey
 	once sync.Once
+	// done closes when the compile inside once.Do has resolved; it is what
+	// lets the Ctx variants wait on a compile without being committed to it.
+	// Invariant: linked entries always have done closed (finish runs after
+	// the once.Do body), so hits on resolved entries never block.
+	done chan struct{}
 	expr *Expr        // plain pipeline result
 	nexp *NumericExpr // numeric pipeline result
 	err  error
@@ -153,9 +160,30 @@ func (c *Cache) GetInfo(source string, syntax Syntax) (expr *Expr, hit bool, err
 	s, e, place, hit := c.entry(cacheKey{syntax: syntax, source: source})
 	e.once.Do(func() {
 		e.expr, e.err = Compile(source, syntax)
+		close(e.done)
 	})
 	if place {
 		c.finish(s, e)
+	}
+	return e.expr, hit, e.err
+}
+
+// GetInfoCtx is GetInfo with a cancellation escape hatch: a caller whose
+// ctx expires while the compile is in flight stops waiting and receives a
+// wrapped ctx.Err(). The compile itself is never canceled — it finishes in
+// the background and its true result (success or error) is cached, so an
+// impatient first caller does not poison the entry for everyone after it,
+// and the single-flight guarantee is preserved. A ctx that cannot be
+// canceled takes the exact GetInfo path.
+func (c *Cache) GetInfoCtx(ctx context.Context, source string, syntax Syntax) (expr *Expr, hit bool, err error) {
+	if ctx.Done() == nil {
+		return c.GetInfo(source, syntax)
+	}
+	s, e, place, hit := c.entry(cacheKey{syntax: syntax, source: source})
+	if err := c.await(ctx, s, e, place, func() {
+		e.expr, e.err = Compile(source, syntax)
+	}); err != nil {
+		return nil, hit, err
 	}
 	return e.expr, hit, e.err
 }
@@ -172,11 +200,63 @@ func (c *Cache) GetNumericInfo(source string, syntax Syntax) (nexp *NumericExpr,
 	s, e, place, hit := c.entry(cacheKey{syntax: syntax, source: source, numeric: true})
 	e.once.Do(func() {
 		e.nexp, e.err = CompileNumeric(source, syntax)
+		close(e.done)
 	})
 	if place {
 		c.finish(s, e)
 	}
 	return e.nexp, hit, e.err
+}
+
+// GetNumericInfoCtx is GetNumericInfo with the GetInfoCtx cancellation
+// contract: waiting is abandonable, the compile itself is not.
+func (c *Cache) GetNumericInfoCtx(ctx context.Context, source string, syntax Syntax) (nexp *NumericExpr, hit bool, err error) {
+	if ctx.Done() == nil {
+		return c.GetNumericInfo(source, syntax)
+	}
+	s, e, place, hit := c.entry(cacheKey{syntax: syntax, source: source, numeric: true})
+	if err := c.await(ctx, s, e, place, func() {
+		e.nexp, e.err = CompileNumeric(source, syntax)
+	}); err != nil {
+		return nil, hit, err
+	}
+	return e.nexp, hit, e.err
+}
+
+// await resolves entry e for a cancelable caller: if the compile already
+// resolved it returns immediately; otherwise the creator's compile runs in
+// a background goroutine (which also takes over the finish obligation, so
+// an abandoned entry still lands on its LRU list) and the caller waits on
+// whichever of e.done / ctx.Done() fires first. A non-nil return means the
+// caller abandoned the wait; the entry's own fields are then off limits.
+func (c *Cache) await(ctx context.Context, s *cacheShard, e *cacheEntry, place bool, compile func()) error {
+	select {
+	case <-e.done:
+		// Already resolved (the common hit path). finish below handles the
+		// rare resolved-but-unlinked entry (evicted mid-compile and re-Got).
+	default:
+		if !place {
+			// Unreachable in practice (linked entries have done closed), but
+			// fall through to waiting rather than assume.
+			break
+		}
+		go func() {
+			e.once.Do(func() {
+				compile()
+				close(e.done)
+			})
+			c.finish(s, e)
+		}()
+	}
+	select {
+	case <-e.done:
+		if place {
+			c.finish(s, e)
+		}
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("dregex: compile wait abandoned: %w", ctx.Err())
+	}
 }
 
 // entry finds or creates the entry for key, updating LRU order and
@@ -210,7 +290,7 @@ func (c *Cache) entry(key cacheKey) (s *cacheShard, e *cacheEntry, place, hit bo
 		c.hits.Add(1)
 		return s, e, !linked, true
 	}
-	e = &cacheEntry{key: key}
+	e = &cacheEntry{key: key, done: make(chan struct{})}
 	s.m[key] = e
 	s.mu.Unlock()
 	c.misses.Add(1)

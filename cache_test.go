@@ -1,9 +1,12 @@
 package dregex
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCacheReturnsSharedExpr(t *testing.T) {
@@ -173,5 +176,80 @@ func TestCacheConcurrentOverlappingKeys(t *testing.T) {
 	}
 	if st.Misses != uint64(len(sources)) {
 		t.Errorf("Misses = %d, want one per key (%d)", st.Misses, len(sources))
+	}
+}
+
+func TestCacheGetInfoCtx(t *testing.T) {
+	c := NewCache(64)
+
+	// A non-cancelable ctx takes the plain path with identical semantics.
+	e1, hit, err := c.GetInfoCtx(context.Background(), "(a|b)*, c", DTD)
+	if err != nil || hit {
+		t.Fatalf("first GetInfoCtx: hit=%v err=%v", hit, err)
+	}
+	e2, hit, err := c.GetInfoCtx(context.Background(), "(a|b)*, c", DTD)
+	if err != nil || !hit || e2 != e1 {
+		t.Fatalf("second GetInfoCtx: hit=%v err=%v shared=%v", hit, err, e1 == e2)
+	}
+
+	// A cancelable-but-live ctx still resolves resolved entries immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	e3, hit, err := c.GetInfoCtx(ctx, "(a|b)*, c", DTD)
+	if err != nil || !hit || e3 != e1 {
+		t.Fatalf("live-ctx GetInfoCtx: hit=%v err=%v shared=%v", hit, err, e1 == e3)
+	}
+}
+
+func TestCacheCtxAbandonDoesNotPoison(t *testing.T) {
+	c := NewCache(64)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: the creator abandons its own compile
+
+	_, _, err := c.GetInfoCtx(ctx, "x, y, z", DTD)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned wait: err = %v, want wrapped context.Canceled", err)
+	}
+
+	// The compile proceeded in the background and cached its true result:
+	// within a bounded window the entry resolves, and later Gets hit it
+	// without a hint of the earlier abandonment.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		e, hit, err := c.GetInfo("x, y, z", DTD)
+		if err != nil {
+			t.Fatalf("post-abandon GetInfo: %v", err)
+		}
+		if hit {
+			if e == nil || !e.IsDeterministic() {
+				t.Fatal("cached entry does not behave like a real compile")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background compile never resolved the entry")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Same contract on the numeric pipeline, including negative results:
+	// the abandoned waiter sees ctx.Err, later callers the cached compile
+	// error — never a blend of the two.
+	if _, _, err := c.GetNumericInfoCtx(ctx, "(((", Math); !errors.Is(err, context.Canceled) {
+		t.Fatalf("numeric abandoned wait: err = %v", err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		_, hit, err := c.GetNumericInfo("(((", Math)
+		if hit {
+			if err == nil {
+				t.Fatal("cached negative entry lost its compile error")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background numeric compile never resolved")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

@@ -183,6 +183,9 @@ type EndpointStats struct {
 	P50Millis float64 `json:"p50_ms"`
 	P90Millis float64 `json:"p90_ms"`
 	P99Millis float64 `json:"p99_ms"`
+	// Shed counts requests rejected by admission control (rate buckets,
+	// in-flight bounds, deadlines) — a subset of Errors.
+	Shed int64 `json:"shed,omitempty"`
 }
 
 // SchemaTraffic is the per-schema validation traffic summary of GET
@@ -226,4 +229,8 @@ type ErrorResponse struct {
 	// RequestID is the server's trace id for the failed request (0 when
 	// the error was produced outside the instrumented middleware).
 	RequestID uint64 `json:"request_id,omitempty"`
+	// RetryAfterMs is set on load-shed responses (429/503 from admission
+	// control): the retry hint from the Retry-After header, in
+	// milliseconds for clients that want sub-second precision.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
 }

@@ -8,14 +8,17 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"time"
 )
 
 // Client talks to a dregexd server. The zero value is not usable; construct
 // with New. Client is safe for concurrent use.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy
 }
 
 // New returns a client for the server at baseURL (e.g.
@@ -32,6 +35,10 @@ func New(baseURL string, httpClient *http.Client) *Client {
 type APIError struct {
 	Status int
 	Msg    string
+	// RetryAfter is the server's retry hint on load-shed responses
+	// (429/503), taken from retry_after_ms in the body or the Retry-After
+	// header; 0 when the server sent neither.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -44,15 +51,54 @@ func IsNotFound(err error) bool {
 	return ok && ae.Status == http.StatusNotFound
 }
 
-// do issues a request with the given body and decodes the JSON response
-// into out (out nil discards the body).
-func (c *Client) do(ctx context.Context, method, path, contentType string, body io.Reader, out any) error {
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+// IsShed reports whether err is a load-shed response (429/503) from the
+// server's admission control — the class of error WithRetry retries.
+func IsShed(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && retryable(ae.Status)
+}
+
+// do issues a request with the given body (nil for none) and decodes the
+// JSON response into out (out nil discards the body). Load-shed responses
+// are retried under the client's RetryPolicy; the body is a byte slice
+// precisely so each attempt can replay it.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	for attempt := 0; ; attempt++ {
+		err := c.do1(ctx, method, path, contentType, body, out)
+		if err == nil {
+			return nil
+		}
+		ae, ok := err.(*APIError)
+		if !ok || !retryable(ae.Status) || attempt+1 >= c.retry.MaxAttempts {
+			return err
+		}
+		if werr := c.retry.wait(ctx, attempt, ae.RetryAfter); werr != nil {
+			return werr
+		}
+	}
+}
+
+// do1 is one request/response exchange.
+func (c *Client) do1(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	var r io.Reader
+	if body != nil {
+		r = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, r)
 	if err != nil {
 		return err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	// Tell the server how much budget this attempt actually has, so a
+	// doomed validation sheds server-side instead of burning a worker past
+	// the point anyone is waiting (the server only tightens, never
+	// loosens, its own budget with this).
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.Header.Set("X-Timeout-Ms", strconv.FormatInt(ms, 10))
+		}
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -65,7 +111,13 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er) == nil && er.Error != "" {
 			msg = er.Error
 		}
-		return &APIError{Status: resp.StatusCode, Msg: msg}
+		ae := &APIError{Status: resp.StatusCode, Msg: msg}
+		if er.RetryAfterMs > 0 {
+			ae.RetryAfter = time.Duration(er.RetryAfterMs) * time.Millisecond
+		} else if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+			ae.RetryAfter = time.Duration(s) * time.Second
+		}
+		return ae
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)
@@ -79,7 +131,7 @@ func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
 	if err != nil {
 		return err
 	}
-	return c.do(ctx, http.MethodPost, path, "application/json", bytes.NewReader(data), out)
+	return c.do(ctx, http.MethodPost, path, "application/json", data, out)
 }
 
 // Compile asks the server for a determinism verdict (with counterexample
@@ -107,7 +159,7 @@ func (c *Client) Match(ctx context.Context, req MatchRequest) (*MatchResponse, e
 func (c *Client) Validate(ctx context.Context, schema string, doc []byte) (*ValidateResponse, error) {
 	var out ValidateResponse
 	path := "/v1/validate?schema=" + url.QueryEscape(schema)
-	if err := c.do(ctx, http.MethodPost, path, "application/xml", bytes.NewReader(doc), &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, path, "application/xml", doc, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -121,7 +173,7 @@ func (c *Client) PutSchema(ctx context.Context, name, kind string, source []byte
 		path += "?kind=" + url.QueryEscape(kind)
 	}
 	var out SchemaInfo
-	if err := c.do(ctx, http.MethodPut, path, "application/xml", bytes.NewReader(source), &out); err != nil {
+	if err := c.do(ctx, http.MethodPut, path, "application/xml", source, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

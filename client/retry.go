@@ -1,0 +1,99 @@
+// Retry: opt-in client-side handling of the server's load-shed responses.
+// dregexd sheds overload with 429 (rate) and 503 (capacity/deadline), both
+// carrying a Retry-After hint — see the "Overload & resilience" section of
+// the README. WithRetry makes the client honor those hints with capped,
+// jittered exponential backoff, so a fleet of shed clients spreads its
+// retries instead of stampeding the bucket the moment it refills.
+package client
+
+import (
+	"context"
+	"math/rand/v2"
+	"net/http"
+	"time"
+)
+
+// RetryPolicy configures automatic retries of load-shed (429/503)
+// responses. Only shed statuses are retried: 4xx request errors and
+// transport failures surface immediately, since repeating them cannot
+// help.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first; values
+	// <= 1 mean a single attempt (no retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (doubled per retry, jittered
+	// to [d/2, d)); 0 means 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps each wait, including server-requested Retry-After
+	// waits; 0 means 5s.
+	MaxDelay time.Duration
+	// Sleep, when non-nil, replaces the context-aware wait between
+	// attempts — a test seam for scripting retries without real time
+	// passing. It must return promptly with ctx.Err() when ctx ends.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+const (
+	defaultBaseDelay = 100 * time.Millisecond
+	defaultMaxDelay  = 5 * time.Second
+)
+
+// WithRetry returns a copy of the client that retries load-shed responses
+// under p. The original client is unchanged, so one transport can serve
+// both retrying and fail-fast call sites.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	cc := *c
+	cc.retry = p
+	return &cc
+}
+
+// retryable reports whether status is a load-shed verdict worth retrying.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// backoff computes the wait before retry number attempt (0-based): capped
+// exponential with full-range jitter in [d/2, d), raised to the server's
+// Retry-After hint when that is longer — the server knows when its bucket
+// refills; waiting less just buys another 429.
+func (p RetryPolicy) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	base, cap := p.BaseDelay, p.MaxDelay
+	if base <= 0 {
+		base = defaultBaseDelay
+	}
+	if cap <= 0 {
+		cap = defaultMaxDelay
+	}
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	d = d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// wait sleeps the backoff for attempt (or runs the injected Sleep hook),
+// returning early with the context's error if it ends first.
+func (p RetryPolicy) wait(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	d := p.backoff(attempt, retryAfter)
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,235 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// shedScript is a fake dregexd that answers each request from a fixed
+// script of status codes, shedding with the real wire shape (Retry-After
+// header + retry_after_ms body) and recording what it saw.
+type shedScript struct {
+	codes        []int
+	retryAfterMs int64
+	calls        atomic.Int64
+	lastTimeout  atomic.Int64 // parsed X-Timeout-Ms of the last request, -1 if absent
+}
+
+func (f *shedScript) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := int(f.calls.Add(1)) - 1
+	f.lastTimeout.Store(-1)
+	if h := r.Header.Get("X-Timeout-Ms"); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil {
+			f.lastTimeout.Store(ms)
+		}
+	}
+	code := f.codes[len(f.codes)-1]
+	if n < len(f.codes) {
+		code = f.codes[n]
+	}
+	if code == http.StatusOK {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(ValidateResponse{Schema: "s", Valid: true})
+		return
+	}
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: http.StatusText(code), RetryAfterMs: f.retryAfterMs})
+}
+
+// retryClient builds a WithRetry client against the scripted server, with
+// an injected Sleep that records waits instead of taking them.
+func retryClient(t *testing.T, f *shedScript, p RetryPolicy, slept *[]time.Duration) *Client {
+	t.Helper()
+	hs := httptest.NewServer(f)
+	t.Cleanup(hs.Close)
+	p.Sleep = func(ctx context.Context, d time.Duration) error {
+		*slept = append(*slept, d)
+		return ctx.Err()
+	}
+	return New(hs.URL, hs.Client()).WithRetry(p)
+}
+
+func TestRetryShedThenSuccess(t *testing.T) {
+	f := &shedScript{codes: []int{429, 503, 200}, retryAfterMs: 250}
+	var slept []time.Duration
+	c := retryClient(t, f, RetryPolicy{MaxAttempts: 4}, &slept)
+
+	resp, err := c.Validate(context.Background(), "s", []byte("<a/>"))
+	if err != nil {
+		t.Fatalf("Validate after sheds: %v", err)
+	}
+	if !resp.Valid {
+		t.Errorf("response: %+v", resp)
+	}
+	if f.calls.Load() != 3 {
+		t.Errorf("attempts = %d, want 3", f.calls.Load())
+	}
+	if len(slept) != 2 {
+		t.Fatalf("sleeps = %v, want 2", slept)
+	}
+	// Retry-After (250ms) exceeds the first jittered backoff window
+	// ([50ms, 100ms]) and must win; every wait respects the hint.
+	for i, d := range slept {
+		if d < 250*time.Millisecond {
+			t.Errorf("sleep %d = %v, want >= 250ms (Retry-After)", i, d)
+		}
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	f := &shedScript{codes: []int{429}, retryAfterMs: 10}
+	var slept []time.Duration
+	c := retryClient(t, f, RetryPolicy{MaxAttempts: 3}, &slept)
+
+	_, err := c.Validate(context.Background(), "s", []byte("<a/>"))
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 429 {
+		t.Fatalf("err = %v, want APIError 429", err)
+	}
+	if !IsShed(err) {
+		t.Error("IsShed(429) = false")
+	}
+	if ae.RetryAfter != 10*time.Millisecond {
+		t.Errorf("RetryAfter = %v, want 10ms (from retry_after_ms)", ae.RetryAfter)
+	}
+	if f.calls.Load() != 3 || len(slept) != 2 {
+		t.Errorf("attempts = %d, sleeps = %d; want 3 and 2", f.calls.Load(), len(slept))
+	}
+}
+
+func TestRetryOnlyShedStatuses(t *testing.T) {
+	// A 422 is the request's fault: retrying cannot help and must not happen.
+	f := &shedScript{codes: []int{422}}
+	var slept []time.Duration
+	c := retryClient(t, f, RetryPolicy{MaxAttempts: 5}, &slept)
+
+	_, err := c.Validate(context.Background(), "s", []byte("<a/>"))
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 422 {
+		t.Fatalf("err = %v, want APIError 422", err)
+	}
+	if IsShed(err) {
+		t.Error("IsShed(422) = true")
+	}
+	if f.calls.Load() != 1 || len(slept) != 0 {
+		t.Errorf("attempts = %d, sleeps = %d; want 1 and 0", f.calls.Load(), len(slept))
+	}
+}
+
+func TestRetryDisabledByDefault(t *testing.T) {
+	f := &shedScript{codes: []int{429, 200}, retryAfterMs: 1}
+	hs := httptest.NewServer(f)
+	t.Cleanup(hs.Close)
+	c := New(hs.URL, hs.Client())
+	if _, err := c.Validate(context.Background(), "s", []byte("<a/>")); !IsShed(err) {
+		t.Fatalf("err = %v, want shed APIError (no retry without WithRetry)", err)
+	}
+	if f.calls.Load() != 1 {
+		t.Errorf("attempts = %d, want 1", f.calls.Load())
+	}
+	// WithRetry is a copy: the original still fails fast afterwards.
+	rc := c.WithRetry(RetryPolicy{MaxAttempts: 2, Sleep: func(ctx context.Context, _ time.Duration) error { return nil }})
+	if _, err := rc.Validate(context.Background(), "s", []byte("<a/>")); err != nil {
+		t.Fatalf("retrying copy: %v", err)
+	}
+	if c.retry.MaxAttempts != 0 {
+		t.Error("WithRetry mutated the original client")
+	}
+}
+
+func TestRetryContextCanceled(t *testing.T) {
+	f := &shedScript{codes: []int{429}, retryAfterMs: 1}
+	hs := httptest.NewServer(f)
+	t.Cleanup(hs.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(hs.URL, hs.Client()).WithRetry(RetryPolicy{
+		MaxAttempts: 10,
+		Sleep: func(ctx context.Context, _ time.Duration) error {
+			cancel() // the caller gives up while we wait
+			return ctx.Err()
+		},
+	})
+	_, err := c.Validate(ctx, "s", []byte("<a/>"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if f.calls.Load() != 1 {
+		t.Errorf("attempts = %d, want 1 (no attempt after cancellation)", f.calls.Load())
+	}
+}
+
+func TestRetryAfterHeaderFallback(t *testing.T) {
+	// No retry_after_ms in the body: the Retry-After header (whole
+	// seconds) is the fallback source.
+	f := &shedScript{codes: []int{503}}
+	hs := httptest.NewServer(f)
+	t.Cleanup(hs.Close)
+	c := New(hs.URL, hs.Client())
+	_, err := c.Validate(context.Background(), "s", []byte("<a/>"))
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v", err)
+	}
+	if ae.RetryAfter != time.Second {
+		t.Errorf("RetryAfter = %v, want 1s (from header)", ae.RetryAfter)
+	}
+}
+
+func TestDeadlineHeaderPropagation(t *testing.T) {
+	f := &shedScript{codes: []int{200}}
+	hs := httptest.NewServer(f)
+	t.Cleanup(hs.Close)
+	c := New(hs.URL, hs.Client())
+
+	// No deadline: no header.
+	if _, err := c.Validate(context.Background(), "s", []byte("<a/>")); err != nil {
+		t.Fatal(err)
+	}
+	if f.lastTimeout.Load() != -1 {
+		t.Errorf("X-Timeout-Ms sent without a deadline: %d", f.lastTimeout.Load())
+	}
+	// With a deadline: the remaining budget rides the header.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.Validate(ctx, "s", []byte("<a/>")); err != nil {
+		t.Fatal(err)
+	}
+	ms := f.lastTimeout.Load()
+	if ms <= 0 || ms > 30_000 {
+		t.Errorf("X-Timeout-Ms = %d, want (0, 30000]", ms)
+	}
+}
+
+func TestBackoffBounds(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	for attempt := 0; attempt < 10; attempt++ {
+		for i := 0; i < 50; i++ {
+			d := p.backoff(attempt, 0)
+			lo := 100 * time.Millisecond << attempt / 2
+			if lo > time.Second/2 {
+				lo = time.Second / 2
+			}
+			if d < lo || d > time.Second {
+				t.Fatalf("backoff(%d) = %v, want [%v, 1s]", attempt, d, lo)
+			}
+		}
+	}
+	// A Retry-After hint longer than the backoff wins, but never past the cap.
+	if d := p.backoff(0, 700*time.Millisecond); d != 700*time.Millisecond {
+		t.Errorf("backoff with hint = %v, want 700ms", d)
+	}
+	if d := p.backoff(0, time.Minute); d != time.Second {
+		t.Errorf("backoff with huge hint = %v, want capped at 1s", d)
+	}
+}

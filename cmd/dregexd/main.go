@@ -6,6 +6,8 @@
 //
 //	dregexd [-addr :8480] [-cache 4096] [-max-body 4194304]
 //	        [-log off|text|json] [-pprof ADDR]
+//	        [-rate N] [-burst N] [-schema-rate N] [-schema-burst N]
+//	        [-max-inflight N] [-compile-timeout D] [-validate-timeout D]
 //
 // Endpoints:
 //
@@ -27,6 +29,15 @@
 // default -log off skips all logging work on the hot path. With -pprof
 // ADDR, net/http/pprof is served on its own listener (never on the public
 // address).
+//
+// The -rate/-burst flags arm a global token bucket over the non-admin
+// endpoints; -schema-rate/-schema-burst add one bucket per registered
+// schema on /v1/validate; -max-inflight bounds concurrently executing
+// requests per endpoint class; -compile-timeout and -validate-timeout
+// bound one compile wait and one validation run. Shed requests get 429
+// (rate) or 503 (capacity/deadline) with a Retry-After header and a
+// structured JSON error — see the README's "Overload & resilience"
+// section. All are off by default.
 //
 // All expressions and schema content models compile through one shared
 // cache; validation requests reuse pooled per-schema state. The server
@@ -65,6 +76,14 @@ func run(args []string, stdout, stderr *os.File) int {
 		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		logMode   = fs.String("log", "off", "access log format: off, text or json (one line per request, on stderr)")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (own listener; empty disables)")
+
+		rate        = fs.Float64("rate", 0, "global admission rate over compile/match/validate, requests/second (0 disables)")
+		burst       = fs.Int("burst", 1, "global rate-bucket depth: requests admitted back-to-back after idle")
+		schemaRate  = fs.Float64("schema-rate", 0, "per-schema validate rate, requests/second (0 disables)")
+		schemaBurst = fs.Int("schema-burst", 1, "per-schema rate-bucket depth")
+		maxInflight = fs.Int("max-inflight", 0, "max concurrently executing requests per endpoint class (0 disables)")
+		compileTO   = fs.Duration("compile-timeout", 0, "per-request compile budget (0 disables)")
+		validateTO  = fs.Duration("validate-timeout", 0, "per-request validation budget; clients may tighten it with X-Timeout-Ms (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -82,6 +101,15 @@ func run(args []string, stdout, stderr *os.File) int {
 		Cache:        dregex.NewCache(*cacheSize),
 		MaxBodyBytes: *maxBody,
 		AccessLog:    accessLog,
+		Limits: server.Limits{
+			Rate:            *rate,
+			Burst:           *burst,
+			SchemaRate:      *schemaRate,
+			SchemaBurst:     *schemaBurst,
+			MaxInflight:     *maxInflight,
+			CompileTimeout:  *compileTO,
+			ValidateTimeout: *validateTO,
+		},
 	})
 	srv.Publish()
 	hs := srv.NewHTTPServer(*addr)

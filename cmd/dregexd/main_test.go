@@ -117,11 +117,14 @@ func TestDregexdSmoke(t *testing.T) {
 }
 
 // TestDregexdDrainObservability exercises graceful drain end to end with
-// the observability layer on: a slow /v1/validate is mid-body when SIGTERM
-// arrives, and must still complete with a 200; a /metrics scrape riding a
-// connection that was active at shutdown returns coherent totals
-// mid-drain; the access log (-log json) carries the final request line
-// before the process exits 0.
+// the observability layer on and the rate limiter actively shedding: a
+// slow /v1/validate is mid-body when SIGTERM arrives, and must still
+// complete with a 200; a request released mid-drain still gets a
+// well-formed 429 with Retry-After (admission control keeps shedding
+// while the server drains); a /metrics scrape riding a connection that
+// was active at shutdown returns coherent totals mid-drain; the access
+// log (-log json) carries the final request line before the process
+// exits 0.
 func TestDregexdDrainObservability(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: skipping binary drain test")
@@ -132,7 +135,11 @@ func TestDregexdDrainObservability(t *testing.T) {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
 
-	srv := exec.Command(bin, "-addr", "127.0.0.1:0", "-log", "json")
+	// One token per 10s with burst 2: the in-flight connection A takes one
+	// token, one quick validate takes the other, and the bucket then stays
+	// empty for the rest of the test — shedding is active when the signal
+	// lands, deterministically.
+	srv := exec.Command(bin, "-addr", "127.0.0.1:0", "-log", "json", "-rate", "0.1", "-burst", "2")
 	stdout, err := srv.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -179,6 +186,15 @@ func TestDregexdDrainObservability(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Drain the bucket: one validate passes on the second burst token, the
+	// next is shed — the limiter is now actively shedding.
+	if ok, err := c.Validate(ctx, "note", []byte(doc)); err != nil || !ok.Valid {
+		t.Fatalf("burst validate: %+v err=%v", ok, err)
+	}
+	if _, err := c.Validate(ctx, "note", []byte(doc)); !client.IsShed(err) {
+		t.Fatalf("third validate: err=%v, want shed 429", err)
+	}
+
 	// Connection B: a /metrics request with the final header CRLF
 	// withheld — active at shutdown, released mid-drain.
 	connB, err := net.Dial("tcp", addr)
@@ -188,7 +204,17 @@ func TestDregexdDrainObservability(t *testing.T) {
 	defer connB.Close()
 	fmt.Fprintf(connB, "GET /metrics HTTP/1.1\r\nHost: %s\r\n", addr)
 
-	// Let the server read both partial requests, then signal.
+	// Connection C: a validate with the final header CRLF withheld, to be
+	// released mid-drain — it must shed with a well-formed 429 even while
+	// the server is shutting down.
+	connC, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer connC.Close()
+	fmt.Fprintf(connC, "POST /v1/validate?schema=note HTTP/1.1\r\nHost: %s\r\nContent-Type: application/xml\r\nContent-Length: %d\r\n", addr, len(doc))
+
+	// Let the server read the partial requests, then signal.
 	time.Sleep(300 * time.Millisecond)
 	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
@@ -230,12 +256,40 @@ func TestDregexdDrainObservability(t *testing.T) {
 	if err := exp.CheckHistograms(); err != nil {
 		t.Fatalf("mid-drain histograms: %v", err)
 	}
+	// Three validates so far: connA (drained to completion), the burst
+	// success, the shed 429 — every one counted, with its duration, and
+	// the shed one also in dregexd_shed_total.
 	ep := obs.L("endpoint", "validate")
 	reqs, ok1 := exp.Get("dregexd_requests_total", ep)
 	durs, ok2 := exp.Get("dregexd_request_duration_seconds_count", ep)
-	if !ok1 || !ok2 || reqs != 1 || durs != 1 {
-		t.Errorf("mid-drain totals: requests=%v(%v) durations=%v(%v), want 1/1", reqs, ok1, durs, ok2)
+	if !ok1 || !ok2 || reqs != 3 || durs != 3 {
+		t.Errorf("mid-drain totals: requests=%v(%v) durations=%v(%v), want 3/3", reqs, ok1, durs, ok2)
 	}
+	shed, ok := exp.Get("dregexd_shed_total", ep, obs.L("reason", "rate"))
+	if !ok || shed < 1 {
+		t.Errorf("mid-drain shed total: %v(%v), want >= 1", shed, ok)
+	}
+
+	// Release connection C: a request arriving mid-drain while the bucket
+	// is empty still gets a complete, well-formed shed response.
+	if _, err := connC.Write([]byte("\r\n" + doc)); err != nil {
+		t.Fatalf("releasing validate mid-drain: %v", err)
+	}
+	respC, err := http.ReadResponse(bufio.NewReader(connC), nil)
+	if err != nil {
+		t.Fatalf("reading mid-drain shed response: %v", err)
+	}
+	if respC.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("mid-drain shed status = %d, want 429", respC.StatusCode)
+	}
+	if respC.Header.Get("Retry-After") == "" {
+		t.Error("mid-drain shed response missing Retry-After")
+	}
+	var er client.ErrorResponse
+	if err := jsonDecode(respC.Body, &er); err != nil || er.Error == "" || er.RetryAfterMs <= 0 {
+		t.Errorf("mid-drain shed body: %+v err=%v", er, err)
+	}
+	respC.Body.Close()
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Wait() }()

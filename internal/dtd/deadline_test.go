@@ -1,0 +1,94 @@
+package dtd
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dregex/internal/run"
+)
+
+// wideDTD / wideDoc build a document with far more than one checkpoint
+// stride of tokens, so an armed deadline is guaranteed to be probed
+// mid-stream.
+const wideDTD = `<!ELEMENT r (c)*><!ELEMENT c EMPTY>`
+
+func wideDoc(n int) string {
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < n; i++ {
+		b.WriteString("<c/>")
+	}
+	b.WriteString("</r>")
+	return b.String()
+}
+
+func TestValidateDeadline(t *testing.T) {
+	d, err := Parse(wideDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := wideDoc(4000)
+	var st DocState
+
+	// Disarmed (zero DocState): the wide document validates clean.
+	if errs, err := d.ValidateBytesReusing([]byte(doc), &st); err != nil || len(errs) != 0 {
+		t.Fatalf("disarmed: errs=%v err=%v", errs, err)
+	}
+
+	// An expired deadline aborts mid-stream with the classifiable sentinel.
+	st.SetDeadline(nil, time.Now().Add(-time.Second))
+	if _, err := d.ValidateBytesReusing([]byte(doc), &st); !errors.Is(err, run.ErrDeadlineExceeded) {
+		t.Fatalf("expired deadline: err = %v, want run.ErrDeadlineExceeded", err)
+	}
+
+	// A closed cancellation channel aborts with ErrCanceled.
+	done := make(chan struct{})
+	close(done)
+	st.SetDeadline(done, time.Time{})
+	if _, err := d.ValidateBytesReusing([]byte(doc), &st); !errors.Is(err, run.ErrCanceled) {
+		t.Fatalf("closed done: err = %v, want run.ErrCanceled", err)
+	}
+
+	// Re-disarming restores normal validation on the same reused state.
+	st.SetDeadline(nil, time.Time{})
+	if errs, err := d.ValidateBytesReusing([]byte(doc), &st); err != nil || len(errs) != 0 {
+		t.Fatalf("re-disarmed: errs=%v err=%v", errs, err)
+	}
+
+	// A live channel plus a generous deadline never fires.
+	st.SetDeadline(make(chan struct{}), time.Now().Add(time.Hour))
+	if errs, err := d.ValidateBytesReusing([]byte(doc), &st); err != nil || len(errs) != 0 {
+		t.Fatalf("armed-but-live: errs=%v err=%v", errs, err)
+	}
+}
+
+// TestValidateDeadlineAllocs extends the 0-alloc acceptance criterion to
+// armed checkpoints: validating with cancellation armed allocates exactly
+// as much as validating disarmed (zero, in steady state, for the byte
+// path), so deadline support costs the hot path nothing.
+func TestValidateDeadlineAllocs(t *testing.T) {
+	d, err := Parse(wideDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := []byte(wideDoc(4000))
+	var st DocState
+	if _, err := d.ValidateBytesReusing(doc, &st); err != nil {
+		t.Fatal(err)
+	}
+	measure := func() float64 {
+		return testing.AllocsPerRun(100, func() {
+			if _, err := d.ValidateBytesReusing(doc, &st); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	disarmed := measure()
+	st.SetDeadline(make(chan struct{}), time.Now().Add(time.Hour))
+	armed := measure()
+	if disarmed != 0 || armed != 0 {
+		t.Errorf("allocs/doc: disarmed=%.2f armed=%.2f, want 0 and 0", disarmed, armed)
+	}
+}

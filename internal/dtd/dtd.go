@@ -41,6 +41,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"dregex"
 	"dregex/internal/match"
@@ -507,6 +508,9 @@ type docState struct {
 	// 0-alloc hot path; callers aggregate them into shared counters.
 	symbols  int
 	docBytes int
+	// cp is the cooperative cancellation point probed once per token; it
+	// stays disarmed (one branch per token) unless SetDeadline armed it.
+	cp run.Checkpoint
 }
 
 func (st *docState) addRef(val []byte, off int, elem []byte) {
@@ -568,6 +572,19 @@ func (st *DocState) Symbols() int { return st.st.symbols }
 // DocState (the bytes the tokenizer scanned).
 func (st *DocState) DocBytes() int { return st.st.docBytes }
 
+// SetDeadline arms cooperative cancellation for subsequent validations
+// through this DocState: the token loop aborts with an error satisfying
+// errors.Is(err, run.ErrCanceled) once done closes, or
+// run.ErrDeadlineExceeded once the absolute deadline passes. Both zero
+// arguments disarm, which is also the zero DocState's behavior — the
+// disarmed per-token cost is a single branch, so the 0-alloc validation
+// path is undisturbed. The arming persists across documents until the
+// next SetDeadline, so per-request callers must re-arm (or disarm) each
+// time they check a state out of a pool.
+func (st *DocState) SetDeadline(done <-chan struct{}, deadline time.Time) {
+	st.st.cp.Arm(done, deadline)
+}
+
 func (d *DTD) validate(r io.Reader, st *docState) ([]ValidationError, error) {
 	data, err := xmltok.ReadAll(r, st.buf)
 	st.buf = data
@@ -626,6 +643,9 @@ func (d *DTD) validateBytes(data []byte, st *docState) ([]ValidationError, error
 		return ValidationError{Path: path, Element: elem, Msg: msg, Line: line, Col: col}
 	}
 	for {
+		if err := st.cp.Check(); err != nil {
+			return errs, fmt.Errorf("dtd: validation aborted: %w", err)
+		}
 		kind, err := tok.Next()
 		if err == io.EOF {
 			break

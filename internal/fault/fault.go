@@ -1,0 +1,116 @@
+// Package fault provides deterministic, test-only fault injection points
+// for the dregexd resilience suite: slow body reads, truncated documents,
+// injected compile errors, forced pool exhaustion, and injected panics.
+//
+// A fault point is a named site in production code:
+//
+//	if fault.Enabled && fault.Hit("validate.slow-read") {
+//		// degraded behavior
+//	}
+//
+// In the default build Enabled is the constant false and Hit is an empty
+// function, so the compiler removes the whole branch — fault points cost
+// literally nothing in production binaries. Building with the faultinject
+// tag (go build -tags faultinject) compiles the real implementation, which
+// reads its configuration once from the DREGEX_FAULTS environment
+// variable:
+//
+//	DREGEX_FAULTS="validate.slow-read=every:3,delay:5ms;compile.error=every:7"
+//
+// Each clause names a point and its parameters: every:N fires the point on
+// every Nth hit (deterministic — no randomness, so a chaos run is exactly
+// reproducible), delay:D sleeps D when the point fires, and arg:N attaches
+// an integer parameter the site can read with Arg. A point that is not
+// configured never fires, so an instrumented binary with an empty
+// DREGEX_FAULTS behaves identically to a production one.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error a fault site reports when a point configured to
+// inject failures fires (e.g. compile.error). Using one shared sentinel
+// keeps injected failures recognizable in assertions and logs.
+var ErrInjected = fmt.Errorf("fault: injected error")
+
+// point is one configured fault point.
+type point struct {
+	name  string
+	every uint64        // fire on every Nth hit (>= 1)
+	delay time.Duration // sleep when firing
+	arg   int64         // site-specific integer parameter
+	hits  atomic.Uint64
+}
+
+// hit reports whether this call fires the point, sleeping the configured
+// delay when it does. Deterministic: the point fires on hits every,
+// 2*every, 3*every, … of the process lifetime.
+func (p *point) hit() bool {
+	n := p.hits.Add(1)
+	if n%p.every != 0 {
+		return false
+	}
+	if p.delay > 0 {
+		time.Sleep(p.delay)
+	}
+	return true
+}
+
+// parseConfig parses a DREGEX_FAULTS value: semicolon-separated clauses,
+// each "name=key:val,key:val". Unknown keys and malformed clauses are
+// reported as errors — a chaos run with a typoed fault spec must fail
+// loudly, not silently skip the fault.
+func parseConfig(s string) (map[string]*point, error) {
+	pts := make(map[string]*point)
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, params, ok := strings.Cut(clause, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("fault: malformed clause %q (want name=key:val,...)", clause)
+		}
+		p := &point{name: name, every: 1}
+		for _, kv := range strings.Split(params, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(kv, ":")
+			if !ok {
+				return nil, fmt.Errorf("fault: point %s: malformed parameter %q (want key:val)", name, kv)
+			}
+			switch key {
+			case "every":
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil || n == 0 {
+					return nil, fmt.Errorf("fault: point %s: every:%q is not a positive integer", name, val)
+				}
+				p.every = n
+			case "delay":
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("fault: point %s: delay:%q is not a duration", name, val)
+				}
+				p.delay = d
+			case "arg":
+				a, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("fault: point %s: arg:%q is not an integer", name, val)
+				}
+				p.arg = a
+			default:
+				return nil, fmt.Errorf("fault: point %s: unknown parameter %q", name, key)
+			}
+		}
+		pts[name] = p
+	}
+	return pts, nil
+}

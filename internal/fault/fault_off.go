@@ -1,0 +1,15 @@
+//go:build !faultinject
+
+package fault
+
+// Enabled is false in production builds: every fault site is written as
+// `if fault.Enabled && fault.Hit(...)`, so the branch — and the call — is
+// removed by the compiler. The guarantee chaos testing relies on is that
+// an un-tagged binary contains no fault machinery at all.
+const Enabled = false
+
+// Hit never fires in production builds.
+func Hit(name string) bool { return false }
+
+// Arg returns def in production builds.
+func Arg(name string, def int64) int64 { return def }

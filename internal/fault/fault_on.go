@@ -1,0 +1,53 @@
+//go:build faultinject
+
+package fault
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Enabled marks a fault-instrumented build (go build -tags faultinject).
+const Enabled = true
+
+var (
+	loadOnce sync.Once
+	points   map[string]*point
+)
+
+// load parses DREGEX_FAULTS once. A malformed spec aborts the process:
+// chaos runs must never silently proceed with half their faults missing.
+func load() {
+	loadOnce.Do(func() {
+		spec := os.Getenv("DREGEX_FAULTS")
+		pts, err := parseConfig(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		points = pts
+	})
+}
+
+// Hit reports whether the named point fires at this call, sleeping its
+// configured delay when it does. Unconfigured points never fire.
+func Hit(name string) bool {
+	load()
+	p := points[name]
+	if p == nil {
+		return false
+	}
+	return p.hit()
+}
+
+// Arg returns the integer parameter configured for the named point (arg:N
+// in DREGEX_FAULTS), or def when the point is absent or carries none.
+func Arg(name string, def int64) int64 {
+	load()
+	p := points[name]
+	if p == nil || p.arg == 0 {
+		return def
+	}
+	return p.arg
+}

@@ -1,0 +1,78 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseConfig(t *testing.T) {
+	pts, err := parseConfig("validate.slow-read=every:3,delay:5ms; compile.error=every:7 ;pool.exhaust=every:2,arg:16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("parsed %d points, want 3", len(pts))
+	}
+	sr := pts["validate.slow-read"]
+	if sr == nil || sr.every != 3 || sr.delay != 5*time.Millisecond {
+		t.Errorf("slow-read point = %+v", sr)
+	}
+	ce := pts["compile.error"]
+	if ce == nil || ce.every != 7 || ce.delay != 0 {
+		t.Errorf("compile.error point = %+v", ce)
+	}
+	pe := pts["pool.exhaust"]
+	if pe == nil || pe.every != 2 || pe.arg != 16 {
+		t.Errorf("pool.exhaust point = %+v", pe)
+	}
+
+	// Empty spec: no points, no error (the instrumented binary without
+	// DREGEX_FAULTS behaves like production).
+	if pts, err := parseConfig(""); err != nil || len(pts) != 0 {
+		t.Errorf("empty spec: %v points, err=%v", pts, err)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	for _, spec := range []string{
+		"noequals",
+		"p=every:0",
+		"p=every:x",
+		"p=delay:fast",
+		"p=arg:1.5",
+		"p=unknown:1",
+		"p=every",
+		"=every:1",
+	} {
+		if _, err := parseConfig(spec); err == nil {
+			t.Errorf("spec %q accepted, want error", spec)
+		}
+	}
+}
+
+func TestPointDeterminism(t *testing.T) {
+	p := &point{name: "t", every: 3}
+	var fired []int
+	for i := 1; i <= 9; i++ {
+		if p.hit() {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+
+	// every:1 fires always.
+	p1 := &point{name: "a", every: 1}
+	for i := 0; i < 5; i++ {
+		if !p1.hit() {
+			t.Fatal("every:1 point skipped a hit")
+		}
+	}
+}

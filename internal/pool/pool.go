@@ -3,30 +3,88 @@
 // per-request states the dregexd server rides.
 package pool
 
-import "sync"
+import (
+	"sync"
 
-// StatePool is a typed sync.Pool of reusable scratch states (validator
+	"dregex/internal/fault"
+)
+
+// DefaultStateCap is the free-list bound a zero-value StatePool adopts on
+// first use. States are the largest per-request scratch objects the server
+// holds (grown element stacks, stream buffers), so the bound is what keeps
+// a burst of concurrent requests from turning into permanently retained
+// memory: up to DefaultStateCap idle states are kept warm, the rest are
+// dropped for the collector the moment the burst passes.
+const DefaultStateCap = 32
+
+// StatePool is a bounded free list of reusable scratch states (validator
 // DocStates, buffers). Where RunWithStates hands each worker of a
 // fixed-size pool one state, StatePool serves open-ended request traffic:
 // a handler Gets a state, validates with it, and Puts it back, so
 // steady-state request handling reuses grown stacks and stream buffers
-// instead of reallocating them. The zero value is ready; S must be usable
-// as new(S).
+// instead of reallocating them.
+//
+// Unlike sync.Pool, the free list has a hard cap (SetCap, default
+// DefaultStateCap): Put beyond the cap drops the state rather than
+// retaining it, so burst-sized populations of grown states cannot outlive
+// the burst. Get never blocks — an empty list means a fresh allocation,
+// never queueing.
+//
+// The zero value is ready; S must be usable as new(S).
 type StatePool[S any] struct {
-	p sync.Pool
+	once sync.Once
+	capn int
+	free chan *S
 }
 
-// Get returns a pooled state, or a fresh zero value when the pool is empty.
+// SetCap bounds the free list at n idle states (n <= 0 selects
+// DefaultStateCap). It must be called before the pool's first Get or Put;
+// later calls are ignored.
+func (sp *StatePool[S]) SetCap(n int) {
+	sp.once.Do(func() {
+		if n <= 0 {
+			n = DefaultStateCap
+		}
+		sp.free = make(chan *S, n)
+	})
+}
+
+func (sp *StatePool[S]) init() {
+	sp.once.Do(func() {
+		sp.free = make(chan *S, DefaultStateCap)
+	})
+}
+
+// Get returns a pooled state, or a fresh zero value when the list is
+// empty. The fault point pool.exhaust (chaos builds only) forces the
+// empty-list path, so overload tests exercise cold allocations on demand.
 func (sp *StatePool[S]) Get() *S {
-	if v := sp.p.Get(); v != nil {
-		return v.(*S)
+	sp.init()
+	if fault.Enabled && fault.Hit("pool.exhaust") {
+		return new(S)
 	}
-	return new(S)
+	select {
+	case s := <-sp.free:
+		return s
+	default:
+		return new(S)
+	}
 }
 
-// Put returns a state to the pool for reuse.
+// Put offers a state back for reuse; states beyond the cap are dropped.
 func (sp *StatePool[S]) Put(s *S) {
-	sp.p.Put(s)
+	sp.init()
+	select {
+	case sp.free <- s:
+	default:
+	}
+}
+
+// Idle reports how many states are currently parked on the free list —
+// the number a release-under-pressure test watches to prove the cap held.
+func (sp *StatePool[S]) Idle() int {
+	sp.init()
+	return len(sp.free)
 }
 
 // Run distributes jobs 0..n-1 over a pool of workers. job receives the

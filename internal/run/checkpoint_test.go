@@ -1,0 +1,101 @@
+package run
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCheckpointDisarmed(t *testing.T) {
+	var cp Checkpoint
+	for i := 0; i < 3*checkpointEvery; i++ {
+		if err := cp.Check(); err != nil {
+			t.Fatalf("disarmed checkpoint returned %v", err)
+		}
+	}
+}
+
+func TestCheckpointCancel(t *testing.T) {
+	done := make(chan struct{})
+	var cp Checkpoint
+	cp.Arm(done, time.Time{})
+	// Before cancellation the armed checkpoint passes full strides.
+	for i := 0; i < 2*checkpointEvery; i++ {
+		if err := cp.Check(); err != nil {
+			t.Fatalf("armed-but-live checkpoint returned %v at %d", err, i)
+		}
+	}
+	close(done)
+	var got error
+	for i := 0; i < checkpointEvery+1; i++ {
+		if err := cp.Check(); err != nil {
+			got = err
+			break
+		}
+	}
+	if !errors.Is(got, ErrCanceled) {
+		t.Fatalf("after close: %v, want ErrCanceled within one stride", got)
+	}
+}
+
+func TestCheckpointDeadline(t *testing.T) {
+	var cp Checkpoint
+	cp.Arm(nil, time.Now().Add(-time.Millisecond)) // already expired
+	var got error
+	for i := 0; i < checkpointEvery+1; i++ {
+		if err := cp.Check(); err != nil {
+			got = err
+			break
+		}
+	}
+	if !errors.Is(got, ErrDeadlineExceeded) {
+		t.Fatalf("expired deadline: %v, want ErrDeadlineExceeded within one stride", got)
+	}
+
+	// A future deadline does not fire.
+	cp.Arm(nil, time.Now().Add(time.Hour))
+	for i := 0; i < 2*checkpointEvery; i++ {
+		if err := cp.Check(); err != nil {
+			t.Fatalf("future deadline fired: %v", err)
+		}
+	}
+}
+
+func TestCheckpointRearmResetsStride(t *testing.T) {
+	var cp Checkpoint
+	cp.Arm(nil, time.Now().Add(-time.Millisecond))
+	// Consume most of a stride, then re-arm: the next probe is a full
+	// stride away, so a run never inherits the previous run's position.
+	for i := 0; i < checkpointEvery-2; i++ {
+		cp.Check()
+	}
+	cp.Arm(nil, time.Now().Add(-time.Millisecond))
+	for i := 0; i < checkpointEvery-1; i++ {
+		if err := cp.Check(); err != nil {
+			t.Fatalf("probe before a full stride after re-arm (i=%d): %v", i, err)
+		}
+	}
+	if err := cp.Check(); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("stride boundary after re-arm: %v", err)
+	}
+	cp.Disarm()
+	if err := cp.Check(); err != nil {
+		t.Fatalf("disarmed after expiry: %v", err)
+	}
+}
+
+func TestCheckpointAllocs(t *testing.T) {
+	done := make(chan struct{})
+	var cp Checkpoint
+	cp.Arm(done, time.Now().Add(time.Hour))
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 4*checkpointEvery; i++ {
+			if err := cp.Check(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("armed checkpoint allocates %.2f per 4 strides, want 0", allocs)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"dregex/client"
 )
@@ -119,6 +120,39 @@ func BenchmarkServerValidate(b *testing.B) {
 			}
 		})
 	})
+}
+
+// BenchmarkServerValidateLimited is BenchmarkServerValidate/serial with
+// the full admission-control stack armed — global and per-schema rate
+// buckets (sized so nothing sheds), in-flight bounds, and a validate
+// deadline. Pinned against the unlimited serial benchmark: overload
+// protection must cost no more than a few percent on admitted requests
+// (one CAS per bucket, two atomic adds, one checkpoint arm).
+func BenchmarkServerValidateLimited(b *testing.B) {
+	s := New(Config{Limits: Limits{
+		Rate: 1e9, Burst: 1 << 20,
+		SchemaRate: 1e9, SchemaBurst: 1 << 20,
+		MaxInflight:     64,
+		ValidateTimeout: time.Hour,
+	}})
+	req := httptest.NewRequest("PUT", "/v1/schemas/library", strings.NewReader(benchSchemaDTD))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusCreated {
+		b.Fatalf("schema registration: %d %s", rec.Code, rec.Body)
+	}
+	h := s.Handler()
+	doc := []byte(benchDoc)
+	vreq := httptest.NewRequest("POST", "/v1/validate?schema=library", nil)
+	rb := &resetBody{bytes.NewReader(doc)}
+	w := &discardWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rb.Seek(0, io.SeekStart)
+		vreq.Body = rb
+		h.ServeHTTP(w, vreq)
+	}
 }
 
 // BenchmarkServerCompileCached measures the /v1/compile hot path: a cache

@@ -6,6 +6,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
@@ -13,10 +14,14 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"dregex"
 	"dregex/client"
+	"dregex/internal/fault"
+	"dregex/internal/run"
 )
 
 // decodeJSON reads the request body into v, distinguishing oversized
@@ -44,15 +49,46 @@ func toAmbiguity(a *dregex.Ambiguity) *client.Ambiguity {
 // expressions straight to their pipeline — no doomed plain compile, no
 // negative-cache slot, and cache stats count one lookup per request. This
 // is the single fallback ladder both /v1/compile and /v1/match ride.
-func (s *Server) compileAny(expr string, syntax dregex.Syntax, forceNumeric bool) (e *dregex.Expr, ne *dregex.NumericExpr, hit bool, err error) {
+func (s *Server) compileAny(ctx context.Context, expr string, syntax dregex.Syntax, forceNumeric bool) (e *dregex.Expr, ne *dregex.NumericExpr, hit bool, err error) {
+	if fault.Enabled && fault.Hit("compile.error") {
+		return nil, nil, false, fault.ErrInjected
+	}
 	if !forceNumeric && !strings.ContainsRune(expr, '{') {
-		e, hit, err = s.cache.GetInfo(expr, syntax)
+		e, hit, err = s.cache.GetInfoCtx(ctx, expr, syntax)
 		if err == nil || !errors.Is(err, dregex.ErrNumericIndicator) {
 			return e, nil, hit, err
 		}
 	}
-	ne, hit, err = s.cache.GetNumericInfo(expr, syntax)
+	ne, hit, err = s.cache.GetNumericInfoCtx(ctx, expr, syntax)
 	return nil, ne, hit, err
+}
+
+// compileCtx derives the context a compile request runs under: the
+// request's own (canceled when the client goes away), tightened by the
+// configured compile timeout when one is set.
+func (s *Server) compileCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.limits.CompileTimeout <= 0 {
+		return r.Context(), nil
+	}
+	return context.WithTimeout(r.Context(), s.limits.CompileTimeout)
+}
+
+// compileError classifies a failed compile: a blown deadline is a shed
+// (503, Retry-After — the background compile finishes and caches, so a
+// retry is a cache hit), a canceled wait means the client is gone, and
+// anything else is the input's own compile error (422).
+//
+//dregex:coldalloc
+func (s *Server) compileError(w http.ResponseWriter, endpoint string, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.endpoints[endpoint].shedTimeout.Inc()
+		writeShed(w, http.StatusServiceUnavailable, capacityRetryAfter, "compile timed out")
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "request canceled")
+	default:
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+	}
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
@@ -65,9 +101,13 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	e, ne, hit, err := s.compileAny(req.Expr, syntax, req.Numeric)
+	ctx, cancel := s.compileCtx(r)
+	if cancel != nil {
+		defer cancel()
+	}
+	e, ne, hit, err := s.compileAny(ctx, req.Expr, syntax, req.Numeric)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		s.compileError(w, "compile", err)
 		return
 	}
 	var resp client.CompileResponse
@@ -110,9 +150,13 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	e, ne, _, err := s.compileAny(req.Expr, syntax, req.Numeric)
+	ctx, cancel := s.compileCtx(r)
+	if cancel != nil {
+		defer cancel()
+	}
+	e, ne, _, err := s.compileAny(ctx, req.Expr, syntax, req.Numeric)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		s.compileError(w, "match", err)
 		return
 	}
 	var resp client.MatchResponse
@@ -221,11 +265,52 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "schema %q is not registered", name)
 		return
 	}
-	resp, verr := entry.validate(doc)
+	if rl := entry.limiter; rl != nil {
+		if allowed, ra := rl.allow(time.Now().UnixNano()); !allowed {
+			s.endpoints["validate"].shedSchemaRate.Inc()
+			if sw, ok := w.(*statusWriter); ok {
+				sw.schema = name
+			}
+			writeShed(w, http.StatusTooManyRequests, ra, "rate limit exceeded for this schema")
+			return
+		}
+	}
+	// Deadline: the configured validate budget, tightened (never loosened)
+	// by the client's X-Timeout-Ms. The cancellation channel always rides
+	// along, so a client that disconnects mid-document stops the run at
+	// the next checkpoint instead of burning the remaining stream.
+	deadline := validateDeadline(s.limits.ValidateTimeout, r.Header.Get(timeoutHeader))
+	if fault.Enabled {
+		// Chaos hooks: a stalled read, a body cut short mid-document, and
+		// a handler panic (exercising the recovery middleware end to end).
+		fault.Hit("validate.slow-read")
+		if fault.Hit("validate.truncate") {
+			doc = io.LimitReader(doc, fault.Arg("validate.truncate", 64))
+		}
+		if fault.Hit("validate.panic") {
+			panic("fault: injected validate panic")
+		}
+	}
+	resp, verr := entry.validate(doc, r.Context().Done(), deadline)
 	// A document truncated by the size limit surfaces as an XML read
 	// error; report it as 413, not as a validation verdict.
 	if errStatus(verr, http.StatusOK) == http.StatusRequestEntityTooLarge {
 		writeError(w, http.StatusRequestEntityTooLarge, "document exceeds the request size limit")
+		return
+	}
+	// An aborted run produced no verdict: a blown deadline is a timeout
+	// shed (503, Retry-After); a closed cancellation channel means the
+	// client is gone and any response is best-effort.
+	if verr != nil && (errors.Is(verr, run.ErrDeadlineExceeded) || errors.Is(verr, run.ErrCanceled)) {
+		if sw, ok := w.(*statusWriter); ok {
+			sw.schema = name
+		}
+		if errors.Is(verr, run.ErrDeadlineExceeded) {
+			s.endpoints["validate"].shedTimeout.Inc()
+			writeShed(w, http.StatusServiceUnavailable, capacityRetryAfter, "validation deadline exceeded")
+		} else {
+			writeError(w, http.StatusServiceUnavailable, "request canceled")
+		}
 		return
 	}
 	if sw, ok := w.(*statusWriter); ok {
@@ -244,6 +329,34 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		resp.RequestID = sw.id
 	}
 	writeJSON(w, http.StatusOK, &resp)
+}
+
+// timeoutHeader is the request header carrying a client-supplied validate
+// budget in milliseconds. It can only tighten the server's configured
+// budget, never extend it.
+const timeoutHeader = "X-Timeout-Ms"
+
+// validateDeadline combines the configured validate timeout with the
+// client's X-Timeout-Ms header value into an absolute deadline (zero when
+// neither applies). Off the allocation-pinned path only when a deadline
+// actually applies — time.Now costs nothing, and Header.Get returns an
+// existing string.
+//
+//dregex:noalloc
+func validateDeadline(configured time.Duration, headerMs string) time.Time {
+	var deadline time.Time
+	if configured > 0 {
+		deadline = time.Now().Add(configured)
+	}
+	if headerMs != "" {
+		if ms, err := strconv.ParseInt(headerMs, 10, 64); err == nil && ms > 0 {
+			d := time.Now().Add(time.Duration(ms) * time.Millisecond)
+			if deadline.IsZero() || d.Before(deadline) {
+				deadline = d
+			}
+		}
+	}
+	return deadline
 }
 
 // queryParam returns the (unescaped) first value of key in a raw query

@@ -1,0 +1,231 @@
+// Admission control: the overload-protection layer every request crosses
+// before its handler runs. Three mechanisms compose, all lock-free on the
+// admit path (one CAS and two atomic adds — the validate hot path keeps
+// its allocation pin):
+//
+//   - token buckets (GCRA): one global bucket over the non-admin
+//     endpoints, plus one bucket per registered schema name so a single
+//     hot schema cannot starve the rest. Over-rate requests are shed with
+//     429 and a Retry-After telling the client when a token frees up.
+//   - bounded in-flight semaphores, one per endpoint class (compile-like,
+//     validate, admin), so a slow-request pileup degrades into fast 503s
+//     instead of unbounded goroutine/memory growth.
+//   - deadlines: compile requests carry a context with the configured
+//     compile timeout into the cache; validate requests arm the pooled
+//     DocState's cancellation checkpoint. Both shed with 503 when the
+//     budget is exhausted mid-request.
+//
+// Admin endpoints (schemas, stats, metrics) bypass the rate buckets —
+// observability and operator control must keep working while the service
+// sheds load — but still ride their own in-flight bound.
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"dregex/client"
+)
+
+// Limits parameterizes admission control. The zero value disables every
+// mechanism: no buckets, no in-flight bounds, no deadlines.
+type Limits struct {
+	// Rate is the global admission rate in requests/second across the
+	// non-admin endpoints (compile, match, validate); 0 disables the
+	// global bucket. Burst is the bucket depth (max requests admitted
+	// back-to-back after idle); <=1 means no burst allowance.
+	Rate  float64
+	Burst int
+	// SchemaRate/SchemaBurst configure one bucket per registered schema
+	// name on /v1/validate, applied after the global bucket. 0 disables.
+	// Buckets are resolved per name at registration, so hot swaps of a
+	// schema keep its bucket state.
+	SchemaRate  float64
+	SchemaBurst int
+	// MaxInflight bounds concurrently executing requests per endpoint
+	// class (compile-like, validate, admin — each class gets the full
+	// bound); 0 disables. Excess requests are shed with 503 immediately,
+	// never queued.
+	MaxInflight int
+	// CompileTimeout bounds the time a request may spend waiting on an
+	// expression or schema compile; ValidateTimeout bounds a document
+	// validation run. 0 disables. Clients can tighten (never loosen) the
+	// validate budget per request with an X-Timeout-Ms header.
+	CompileTimeout  time.Duration
+	ValidateTimeout time.Duration
+}
+
+// rateLimiter is a lock-free GCRA token bucket: state is one int64, the
+// theoretical arrival time (TAT) of the next conforming request, advanced
+// by CAS. A request conforms when TAT has not run more than the burst
+// tolerance tau ahead of now; rejected requests leave the TAT untouched,
+// so probing while shed does not push the recovery point further out.
+type rateLimiter struct {
+	t   int64 // emission interval between tokens, ns
+	tau int64 // burst tolerance: (burst-1) * t, ns
+	tat atomic.Int64
+}
+
+// newRateLimiter returns a bucket admitting rate requests/second with the
+// given burst depth, or nil (no limiting) when rate <= 0.
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	t := int64(float64(time.Second) / rate)
+	if t < 1 {
+		t = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{t: t, tau: int64(burst-1) * t}
+}
+
+// allow decides one request at now (UnixNano). Shed requests get the
+// duration after which a retry can conform.
+func (l *rateLimiter) allow(now int64) (ok bool, retryAfter time.Duration) {
+	for {
+		tat := l.tat.Load()
+		if tat-l.tau > now {
+			return false, time.Duration(tat - l.tau - now)
+		}
+		next := tat
+		if now > next {
+			next = now
+		}
+		if l.tat.CompareAndSwap(tat, next+l.t) {
+			return true, 0
+		}
+	}
+}
+
+// Endpoint classes for the in-flight bounds. Compile-like endpoints do
+// CPU-bound pipeline work, validate streams documents, admin serves
+// registry/observability reads — bounding them separately means a
+// validate pileup cannot lock operators out of /metrics.
+const (
+	classCompile  = "compile"
+	classValidate = "validate"
+	classAdmin    = "admin"
+)
+
+// endpointClass maps an endpoint instrument name to its class.
+func endpointClass(endpoint string) string {
+	switch endpoint {
+	case "validate":
+		return classValidate
+	case "compile", "match":
+		return classCompile
+	}
+	return classAdmin
+}
+
+// classLimit is the in-flight accounting of one endpoint class: a plain
+// atomic counter used as a semaphore (acquire increments and backs out
+// over the bound — requests are shed, never queued) and read by the
+// dregexd_inflight gauge.
+type classLimit struct {
+	class string
+	max   int64
+	cur   atomic.Int64
+}
+
+func (c *classLimit) acquire() bool {
+	n := c.cur.Add(1)
+	if c.max > 0 && n > c.max {
+		c.cur.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (c *classLimit) release() { c.cur.Add(-1) }
+
+// initLimits builds the admission-control state from cfg. Class limits
+// always exist (the inflight gauges export even when unbounded); buckets
+// only when configured.
+func (s *Server) initLimits(l Limits) {
+	s.limits = l
+	s.global = newRateLimiter(l.Rate, l.Burst)
+	s.classes = make(map[string]*classLimit, 3)
+	for _, class := range []string{classCompile, classValidate, classAdmin} {
+		s.classes[class] = &classLimit{class: class, max: int64(l.MaxInflight)}
+	}
+}
+
+// schemaLimiter resolves (creating on first registration) the validate
+// bucket for schema name. Like schemaMetricsFor, resolution is by name so
+// a hot swap keeps the bucket's fill state — re-registering a schema is
+// not a way around its rate limit. Returns nil when per-schema limiting
+// is off. Called on the registration path (compileSchema), never per
+// request, so taking the registry mutex here is fine.
+func (s *Server) schemaLimiter(name string) *rateLimiter {
+	if s.limits.SchemaRate <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rl, ok := s.schemaBuckets[name]; ok {
+		return rl
+	}
+	rl := newRateLimiter(s.limits.SchemaRate, s.limits.SchemaBurst)
+	s.schemaBuckets[name] = rl
+	return rl
+}
+
+// writeShed renders a load-shed response: the right status (429 for rate,
+// 503 for capacity/deadline), a Retry-After header, and the structured
+// error body every other failure mode uses, with the hint duplicated in
+// retry_after_ms for clients that prefer the body.
+//
+//dregex:coldalloc
+func writeShed(w http.ResponseWriter, code int, retryAfter time.Duration, msg string) {
+	ra := retryAfterMs(retryAfter)
+	w.Header().Set("Retry-After", strconv.FormatInt((ra+999)/1000, 10))
+	writeJSON(w, code, client.ErrorResponse{
+		Error:        msg,
+		RequestID:    requestID(w),
+		RetryAfterMs: ra,
+	})
+}
+
+// retryAfterMs rounds a retry hint up to whole milliseconds, with a floor
+// of 1ms — a shed response never tells the client to retry immediately.
+func retryAfterMs(d time.Duration) int64 {
+	ms := int64((d + time.Millisecond - 1) / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// admit runs the pre-handler admission checks for one request on the
+// given endpoint. It reports whether the handler may run and whether the
+// class's in-flight slot was taken (and must be released); when it sheds,
+// the response has already been written and counted.
+// capacityRetryAfter is the retry hint on capacity (in-flight) sheds: the
+// semaphore frees as soon as any in-flight request finishes, so unlike a
+// rate shed there is no schedule to compute — one second is a neutral
+// "soon, with backoff" signal the client's jittered retry spreads out.
+const capacityRetryAfter = time.Second
+
+func (s *Server) admit(w http.ResponseWriter, m *endpointMetrics, cl *classLimit) (ok, acquired bool) {
+	if !cl.acquire() {
+		m.shedInflight.Inc()
+		writeShed(w, http.StatusServiceUnavailable, capacityRetryAfter,
+			"server is at its in-flight capacity for this endpoint class")
+		return false, false
+	}
+	if s.global != nil && cl.class != classAdmin {
+		if allowed, ra := s.global.allow(time.Now().UnixNano()); !allowed {
+			m.shedRate.Inc()
+			cl.release()
+			writeShed(w, http.StatusTooManyRequests, ra, "request rate limit exceeded")
+			return false, false
+		}
+	}
+	return true, true
+}

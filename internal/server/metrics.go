@@ -35,6 +35,9 @@ const (
 	mSchemaTiers = "dregexd_schema_models"
 	mNsPerSym    = "dregexd_schema_ns_per_symbol"
 	mEngineSel   = "dregexd_engine_selections_total"
+	mShed        = "dregexd_shed_total"
+	mPanics      = "dregexd_panics_recovered_total"
+	mInflight    = "dregexd_inflight"
 )
 
 // endpointMetrics are the pre-resolved instruments of one endpoint; the
@@ -45,6 +48,13 @@ type endpointMetrics struct {
 	duration  *obs.Histogram // nanoseconds, exposed as seconds
 	reqBytes  *obs.Histogram // Content-Length when declared
 	respBytes *obs.Histogram // bytes written
+	// Load-shed counters by reason (dregexd_shed_total{endpoint,reason}),
+	// pre-resolved like everything else so shedding — which happens
+	// exactly when the server is busiest — never takes a registry lock.
+	shedRate       *obs.Counter // global bucket, 429
+	shedSchemaRate *obs.Counter // per-schema bucket, 429 (validate only)
+	shedInflight   *obs.Counter // class in-flight bound, 503
+	shedTimeout    *obs.Counter // compile/validate deadline, 503
 }
 
 // schemaMetrics are the per-schema instruments, resolved at registration
@@ -67,13 +77,25 @@ func (s *Server) initMetrics() {
 	s.endpoints = make(map[string]*endpointMetrics, len(endpointNames))
 	for _, name := range endpointNames {
 		l := obs.L("endpoint", name)
+		const shedHelp = "Requests shed by admission control, by endpoint and reason."
 		s.endpoints[name] = &endpointMetrics{
-			requests:  r.Counter(mRequests, "Requests served, by endpoint.", l),
-			errors:    r.Counter(mErrors, "4xx/5xx responses, by endpoint.", l),
-			duration:  r.Histogram(mDuration, "Request latency, by endpoint.", obs.Seconds, l),
-			reqBytes:  r.Histogram(mReqBytes, "Declared request body sizes, by endpoint.", 1, l),
-			respBytes: r.Histogram(mRespBytes, "Response body sizes, by endpoint.", 1, l),
+			requests:       r.Counter(mRequests, "Requests served, by endpoint.", l),
+			errors:         r.Counter(mErrors, "4xx/5xx responses, by endpoint.", l),
+			duration:       r.Histogram(mDuration, "Request latency, by endpoint.", obs.Seconds, l),
+			reqBytes:       r.Histogram(mReqBytes, "Declared request body sizes, by endpoint.", 1, l),
+			respBytes:      r.Histogram(mRespBytes, "Response body sizes, by endpoint.", 1, l),
+			shedRate:       r.Counter(mShed, shedHelp, l, obs.L("reason", "rate")),
+			shedSchemaRate: r.Counter(mShed, shedHelp, l, obs.L("reason", "schema_rate")),
+			shedInflight:   r.Counter(mShed, shedHelp, l, obs.L("reason", "inflight")),
+			shedTimeout:    r.Counter(mShed, shedHelp, l, obs.L("reason", "timeout")),
 		}
+	}
+	s.panics = r.Counter(mPanics, "Handler panics absorbed by the recovery middleware.")
+	for _, cl := range s.classes {
+		cl := cl
+		r.GaugeFunc(mInflight, "Requests currently executing, by endpoint class.",
+			func() float64 { return float64(cl.cur.Load()) },
+			obs.L("class", cl.class))
 	}
 
 	r.GaugeFunc("dregexd_uptime_seconds", "Seconds since server start.",

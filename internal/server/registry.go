@@ -8,6 +8,7 @@ package server
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"dregex/client"
 	"dregex/internal/dtd"
 	"dregex/internal/pool"
+	"dregex/internal/run"
 	"dregex/internal/xsd"
 )
 
@@ -33,6 +35,10 @@ type schemaEntry struct {
 	// tiers counts the schema's compiled content models per engine tier —
 	// which rung of the Auto ladder each model landed on.
 	tiers map[string]int
+	// limiter is this schema's validate-rate bucket (nil when per-schema
+	// limiting is off). Resolved by name like om, so hot swaps keep the
+	// bucket's fill state.
+	limiter *rateLimiter
 
 	// Validation-state pools, one per backend. Only the pool matching the
 	// kind is used; requests Get a state, validate, and Put it back.
@@ -53,7 +59,7 @@ type schemaEntry struct {
 // pool.
 //
 //dregex:noalloc
-func (e *schemaEntry) validate(r io.Reader) (client.ValidateResponse, error) {
+func (e *schemaEntry) validate(r io.Reader, done <-chan struct{}, deadline time.Time) (client.ValidateResponse, error) {
 	start := time.Now()
 	resp := client.ValidateResponse{Schema: e.info.Name}
 	var verrs []client.ValidationError
@@ -62,6 +68,9 @@ func (e *schemaEntry) validate(r io.Reader) (client.ValidateResponse, error) {
 	switch e.info.Kind {
 	case client.KindDTD:
 		st := e.dtdStates.Get()
+		// Arm (or, with zero arguments, disarm) on every checkout: a state
+		// must never carry the previous request's deadline.
+		st.SetDeadline(done, deadline)
 		var es []dtd.ValidationError
 		es, err = e.dtd.ValidateReusing(r, st)
 		symbols, docBytes = st.Symbols(), st.DocBytes()
@@ -71,6 +80,7 @@ func (e *schemaEntry) validate(r io.Reader) (client.ValidateResponse, error) {
 		}
 	case client.KindXSD:
 		st := e.xsdStates.Get()
+		st.SetDeadline(done, deadline)
 		var es []xsd.ValidationError
 		es, err = e.xsd.ValidateReusing(r, st)
 		symbols, docBytes = st.Symbols(), st.DocBytes()
@@ -89,6 +99,9 @@ func (e *schemaEntry) validate(r io.Reader) (client.ValidateResponse, error) {
 	e.om.symbols.Add(uint64(symbols))
 	e.om.docBytes.Add(uint64(docBytes))
 	switch {
+	case err != nil && (errors.Is(err, run.ErrDeadlineExceeded) || errors.Is(err, run.ErrCanceled)):
+		// Aborted, not adjudicated: the handler sheds it; no verdict series
+		// moves (the shed counters carry the accounting).
 	case err != nil:
 		e.om.docErrors.Inc()
 	case len(verrs) > 0:
@@ -208,6 +221,7 @@ func (s *Server) compileSchema(name, kind string, src []byte) (*schemaEntry, err
 	}
 	e.tiers = schemaTiers(e)
 	e.om = s.schemaMetricsFor(name)
+	e.limiter = s.schemaLimiter(name)
 	s.registerTierGauges(name, e.tiers)
 	return e, nil
 }

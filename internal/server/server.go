@@ -51,6 +51,9 @@ type Config struct {
 	// and — for /v1/validate — schema and verdict). nil disables access
 	// logging entirely; the hot path then pays a single branch.
 	AccessLog *slog.Logger
+	// Limits configures admission control (rate buckets, in-flight
+	// bounds, deadlines); the zero value disables all of it. See limit.go.
+	Limits Limits
 }
 
 // DefaultMaxBodyBytes bounds request bodies when Config leaves it zero.
@@ -78,6 +81,16 @@ type Server struct {
 	// pre-resolved per-endpoint instruments keyed by endpointNames.
 	metrics   *obs.Registry
 	endpoints map[string]*endpointMetrics
+	// panics counts handler panics absorbed by the recovery middleware.
+	panics *obs.Counter
+
+	// Admission control (limit.go): the global rate bucket, the per-class
+	// in-flight bounds, and the per-schema-name validate buckets (guarded
+	// by mu, resolved at registration like the per-schema instruments).
+	limits        Limits
+	global        *rateLimiter
+	classes       map[string]*classLimit
+	schemaBuckets map[string]*rateLimiter
 	// reqSeq issues the monotonic per-server request ids threaded through
 	// access-log lines and error responses.
 	reqSeq    atomic.Uint64
@@ -105,6 +118,8 @@ func New(cfg Config) *Server {
 	}
 	empty := map[string]*schemaEntry{}
 	s.schemas.Store(&empty)
+	s.schemaBuckets = make(map[string]*rateLimiter)
+	s.initLimits(cfg.Limits)
 	s.initMetrics()
 
 	mux := http.NewServeMux()
@@ -179,14 +194,19 @@ type statusWriter struct {
 	id      uint64
 	schema  string
 	verdict string
+	// wrote tracks whether the response has started, so the panic-recovery
+	// middleware knows whether a clean 500 is still possible.
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
 func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += int64(n)
 	return n, err
@@ -202,12 +222,14 @@ func requestID(w http.ResponseWriter) uint64 {
 }
 
 // counted wraps a handler with the per-endpoint instruments (request and
-// error counters, latency and size histograms), the request-size limit,
-// the trace id, and the optional access log. The instrumentation is a
-// time.Now and a few uncontended atomic adds — the handler hot path stays
-// within its allocation pin.
+// error counters, latency and size histograms), admission control, panic
+// recovery, the request-size limit, the trace id, and the optional access
+// log. The instrumentation is a time.Now and a few uncontended atomic
+// adds, and admission is a CAS plus two atomic adds — the handler hot
+// path stays within its allocation pin.
 func (s *Server) counted(name string, h http.HandlerFunc) http.Handler {
 	m := s.endpoints[name]
+	cl := s.classes[endpointClass(name)]
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		m.requests.Inc()
@@ -223,16 +245,38 @@ func (s *Server) counted(name string, h http.HandlerFunc) http.Handler {
 			// opt-in: the id is only useful for joining with log lines.
 			setRequestID(w, sw.id)
 		}
+		defer func() {
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					// net/http's own abort sentinel: pass it through so the
+					// connection is torn down as the handler intended.
+					panic(p)
+				}
+				s.panics.Inc()
+				sw.code = http.StatusInternalServerError
+				if !sw.wrote {
+					writeError(&sw, http.StatusInternalServerError,
+						"internal error (recovered from panic)")
+				}
+			}
+			d := time.Since(start)
+			m.duration.Observe(int64(d))
+			m.respBytes.Observe(sw.bytes)
+			if sw.code >= 400 {
+				m.errors.Inc()
+			}
+			if s.accessLog != nil {
+				s.logAccess(r, &sw, d)
+			}
+		}()
+		ok, acquired := s.admit(&sw, m, cl)
+		if acquired {
+			defer cl.release()
+		}
+		if !ok {
+			return
+		}
 		h(&sw, r)
-		d := time.Since(start)
-		m.duration.Observe(int64(d))
-		m.respBytes.Observe(sw.bytes)
-		if sw.code >= 400 {
-			m.errors.Inc()
-		}
-		if s.accessLog != nil {
-			s.logAccess(r, &sw, d)
-		}
 	})
 }
 
@@ -338,6 +382,8 @@ func (s *Server) statsSnapshot() client.StatsResponse {
 			P50Millis: h.Quantile(0.5) / 1e6,
 			P90Millis: h.Quantile(0.9) / 1e6,
 			P99Millis: h.Quantile(0.99) / 1e6,
+			Shed: int64(m.shedRate.Value() + m.shedSchemaRate.Value() +
+				m.shedInflight.Value() + m.shedTimeout.Value()),
 		}
 	}
 	if len(schemas) > 0 {

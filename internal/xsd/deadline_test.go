@@ -1,0 +1,83 @@
+package xsd
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dregex/internal/run"
+)
+
+// wideCatalog builds a catalog with far more than one checkpoint stride of
+// tokens, so an armed deadline is guaranteed to be probed mid-stream.
+func wideCatalog(products int) []byte {
+	var b strings.Builder
+	b.WriteString("<catalog>")
+	for i := 0; i < products; i++ {
+		b.WriteString(product(2, ""))
+	}
+	b.WriteString("</catalog>")
+	return []byte(b.String())
+}
+
+func TestValidateDeadline(t *testing.T) {
+	s, err := Parse([]byte(catalogSchema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := wideCatalog(500)
+	var st DocState
+
+	if errs, err := s.ValidateBytesReusing(doc, &st); err != nil || len(errs) != 0 {
+		t.Fatalf("disarmed: errs=%v err=%v", errs, err)
+	}
+
+	st.SetDeadline(nil, time.Now().Add(-time.Second))
+	if _, err := s.ValidateBytesReusing(doc, &st); !errors.Is(err, run.ErrDeadlineExceeded) {
+		t.Fatalf("expired deadline: err = %v, want run.ErrDeadlineExceeded", err)
+	}
+
+	done := make(chan struct{})
+	close(done)
+	st.SetDeadline(done, time.Time{})
+	if _, err := s.ValidateBytesReusing(doc, &st); !errors.Is(err, run.ErrCanceled) {
+		t.Fatalf("closed done: err = %v, want run.ErrCanceled", err)
+	}
+
+	st.SetDeadline(nil, time.Time{})
+	if errs, err := s.ValidateBytesReusing(doc, &st); err != nil || len(errs) != 0 {
+		t.Fatalf("re-disarmed: errs=%v err=%v", errs, err)
+	}
+}
+
+// TestValidateDeadlineAllocs extends the steady-state allocation pin to
+// armed checkpoints: arming cancellation must not add a single allocation
+// to the byte-validation path.
+func TestValidateDeadlineAllocs(t *testing.T) {
+	s, err := Parse([]byte(catalogSchema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := wideCatalog(500)
+	var st DocState
+	if _, err := s.ValidateBytesReusing(doc, &st); err != nil {
+		t.Fatal(err)
+	}
+	measure := func() float64 {
+		return testing.AllocsPerRun(100, func() {
+			if _, err := s.ValidateBytesReusing(doc, &st); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	disarmed := measure()
+	st.SetDeadline(make(chan struct{}), time.Now().Add(time.Hour))
+	armed := measure()
+	if armed != disarmed {
+		t.Errorf("allocs/doc: disarmed=%.2f armed=%.2f, want identical", disarmed, armed)
+	}
+	if disarmed != 0 {
+		t.Logf("byte path allocates %.2f/doc before arming (informational)", disarmed)
+	}
+}

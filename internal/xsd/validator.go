@@ -19,6 +19,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"dregex/internal/dtd"
 	"dregex/internal/match"
@@ -162,6 +163,9 @@ type docState struct {
 	// and tokenized document bytes.
 	symbols  int
 	docBytes int
+	// cp is the cooperative cancellation point probed once per token; it
+	// stays disarmed (one branch per token) unless SetDeadline armed it.
+	cp run.Checkpoint
 }
 
 // push returns the next frame slot, reusing the slot's buffers when the
@@ -223,6 +227,15 @@ func (st *DocState) Symbols() int { return st.st.symbols }
 // DocState (the bytes the tokenizer scanned).
 func (st *DocState) DocBytes() int { return st.st.docBytes }
 
+// SetDeadline arms cooperative cancellation for subsequent validations
+// through this DocState, with the same contract as the DTD validator's
+// DocState.SetDeadline: abort errors satisfy errors.Is against
+// run.ErrCanceled / run.ErrDeadlineExceeded, both zero arguments disarm,
+// and the arming persists until the next SetDeadline.
+func (st *DocState) SetDeadline(done <-chan struct{}, deadline time.Time) {
+	st.st.cp.Arm(done, deadline)
+}
+
 func (s *Schema) validate(r io.Reader, st *docState) ([]ValidationError, error) {
 	data, err := xmltok.ReadAll(r, st.buf)
 	st.buf = data
@@ -258,6 +271,9 @@ func (s *Schema) validateBytes(data []byte, st *docState) ([]ValidationError, er
 		return ValidationError{Path: path, Element: string(elem), Msg: msg, Line: line, Col: col}
 	}
 	for {
+		if err := st.cp.Check(); err != nil {
+			return errs, fmt.Errorf("xsd: validation aborted: %w", err)
+		}
 		kind, err := tok.Next()
 		if err == io.EOF {
 			break
